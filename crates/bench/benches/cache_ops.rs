@@ -1,0 +1,37 @@
+//! Criterion: SRAM cache model operation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_cache::{HierarchyConfig, SetAssocCache, SramHierarchy};
+use dice_workloads::SplitMix64;
+
+fn bench_set_assoc(c: &mut Criterion) {
+    let mut cache = SetAssocCache::new(1 << 20, 16);
+    let mut rng = SplitMix64::new(1);
+    // Pre-fill.
+    for i in 0..20_000 {
+        cache.install(i, false);
+    }
+    c.bench_function("cache/access_hit", |b| {
+        b.iter(|| std::hint::black_box(cache.access(rng.below(20_000), false)))
+    });
+    c.bench_function("cache/install_evict", |b| {
+        b.iter(|| std::hint::black_box(cache.install(rng.next_u64() % 1_000_000, false)))
+    });
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut h = SramHierarchy::new(&HierarchyConfig::paper_8core_scaled(16));
+    let mut rng = SplitMix64::new(2);
+    c.bench_function("cache/hierarchy_access_fill", |b| {
+        b.iter(|| {
+            let addr = rng.below(100_000);
+            if h.access(0, addr, false).is_none() {
+                h.fill(0, addr, false);
+            }
+            std::hint::black_box(h.take_writebacks().len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_set_assoc, bench_hierarchy);
+criterion_main!(benches);

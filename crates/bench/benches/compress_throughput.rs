@@ -1,0 +1,69 @@
+//! Criterion: compression/decompression throughput of FPC, BDI and the
+//! hybrid codec on representative line contents.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dice_compress::{bdi::BdiLine, compress, cpack::CpackLine, decompress, fpc::FpcLine, LineData};
+use dice_workloads::{line_data, PageClass, SplitMix64};
+
+fn sample_lines() -> Vec<(&'static str, LineData)> {
+    let classes = [
+        ("zero", PageClass::Zero),
+        ("small_int", PageClass::SmallInt),
+        ("strided", PageClass::Strided),
+        ("pointer", PageClass::Pointer),
+        ("float", PageClass::Float),
+        ("random", PageClass::Random),
+    ];
+    classes.into_iter().map(|(name, class)| (name, line_data(7, class, 12_345))).collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let lines = sample_lines();
+    let mut g = c.benchmark_group("compress");
+    for (name, line) in &lines {
+        g.bench_function(format!("fpc/{name}"), |b| {
+            b.iter(|| std::hint::black_box(FpcLine::compress(line).size()))
+        });
+        g.bench_function(format!("bdi/{name}"), |b| {
+            b.iter(|| std::hint::black_box(BdiLine::compress(line).map(|l| l.size())))
+        });
+        g.bench_function(format!("cpack/{name}"), |b| {
+            b.iter(|| std::hint::black_box(CpackLine::compress(line).size()))
+        });
+        g.bench_function(format!("hybrid/{name}"), |b| {
+            b.iter(|| std::hint::black_box(compress(line).size()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let lines = sample_lines();
+    let mut g = c.benchmark_group("decompress");
+    for (name, line) in &lines {
+        let compressed = compress(line);
+        g.bench_function(format!("hybrid/{name}"), |b| {
+            b.iter(|| std::hint::black_box(decompress(&compressed)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    // Sustained compression over a random mix of classes, the shape the
+    // simulator's size oracle sees.
+    let mut rng = SplitMix64::new(7);
+    c.bench_function("compress/stream_mixed", |b| {
+        b.iter_batched(
+            || {
+                let class = PageClass::ALL[(rng.next_u64() % 8) as usize];
+                line_data(7, class, rng.next_u64() >> 32)
+            },
+            |line| std::hint::black_box(compress(&line).size()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_stream);
+criterion_main!(benches);

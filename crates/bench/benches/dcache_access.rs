@@ -1,0 +1,63 @@
+//! Criterion: DRAM-cache controller operation cost (read probe decisions,
+//! compressed-set inserts with real compressed sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_core::{DramCacheConfig, DramCacheController, Organization};
+use dice_workloads::{spec_table, DataModel, SplitMix64};
+
+fn controller(org: Organization) -> DramCacheController {
+    DramCacheController::new(DramCacheConfig::with_capacity(org, 1 << 22))
+}
+
+fn oracle() -> DataModel {
+    let spec = spec_table().into_iter().find(|w| w.name == "soplex").unwrap();
+    DataModel::new(&spec, 7)
+}
+
+fn bench_reads(c: &mut Criterion) {
+    for (name, org) in [
+        ("alloy", Organization::UncompressedAlloy),
+        ("dice", Organization::Dice { threshold: 36 }),
+        ("scc", Organization::Scc),
+    ] {
+        let mut l4 = controller(org);
+        let mut data = oracle();
+        let mut rng = SplitMix64::new(3);
+        for i in 0..100_000u64 {
+            l4.fill(i * 3, false, None, &mut data);
+        }
+        c.bench_function(&format!("dcache/read/{name}"), |b| {
+            b.iter(|| std::hint::black_box(l4.read(rng.below(300_000)).hit))
+        });
+    }
+}
+
+fn bench_fills(c: &mut Criterion) {
+    let mut l4 = controller(Organization::Dice { threshold: 36 });
+    let mut data = oracle();
+    let mut rng = SplitMix64::new(4);
+    c.bench_function("dcache/fill/dice", |b| {
+        b.iter(|| {
+            let line = rng.below(1_000_000);
+            std::hint::black_box(l4.fill(line, false, None, &mut data).probes.len())
+        })
+    });
+}
+
+fn bench_writebacks(c: &mut Criterion) {
+    let mut l4 = controller(Organization::Dice { threshold: 36 });
+    let mut data = oracle();
+    let mut rng = SplitMix64::new(5);
+    for i in 0..100_000u64 {
+        l4.fill(i, false, None, &mut data);
+    }
+    c.bench_function("dcache/writeback/dice", |b| {
+        b.iter(|| {
+            let line = rng.below(100_000);
+            std::hint::black_box(l4.writeback(line, &mut data).probes.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_reads, bench_fills, bench_writebacks);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion: DRAM timing-model scheduling cost (accesses per second the
+//! simulator can sustain).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_dram::{AccessKind, DramConfig, DramDevice, Location};
+
+fn bench_row_hits(c: &mut Criterion) {
+    let mut dev = DramDevice::new(DramConfig::stacked_l4());
+    let mut now = 0;
+    c.bench_function("dram/row_hit_access", |b| {
+        b.iter(|| {
+            let r = dev.access(now, AccessKind::Read, Location { channel: 0, bank: 0, row: 1 }, 80);
+            now = r.done;
+            std::hint::black_box(r.done)
+        })
+    });
+}
+
+fn bench_row_conflicts(c: &mut Criterion) {
+    let mut dev = DramDevice::new(DramConfig::stacked_l4());
+    let mut now = 0;
+    let mut row = 0u64;
+    c.bench_function("dram/row_conflict_access", |b| {
+        b.iter(|| {
+            row = row.wrapping_add(1);
+            let r = dev.access(now, AccessKind::Read, Location { channel: 0, bank: 0, row }, 80);
+            now = r.done;
+            std::hint::black_box(r.done)
+        })
+    });
+}
+
+fn bench_spread_traffic(c: &mut Criterion) {
+    let mut dev = DramDevice::new(DramConfig::stacked_l4());
+    let cfg = dev.config().clone();
+    let mut now = 0;
+    let mut n = 0u64;
+    c.bench_function("dram/interleaved_traffic", |b| {
+        b.iter(|| {
+            n = n.wrapping_add(0x9e37_79b9);
+            let loc = Location::interleave(&cfg, n % 100_000);
+            let r = dev.access(now, AccessKind::Read, loc, 80);
+            now = now.max(r.start);
+            std::hint::black_box(r.done)
+        })
+    });
+}
+
+criterion_group!(benches, bench_row_hits, bench_row_conflicts, bench_spread_traffic);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion: end-to-end simulator throughput (one small measured window
+//! per iteration) for the baseline and DICE organizations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_core::Organization;
+use dice_sim::{SimConfig, System, WorkloadSet};
+use dice_workloads::spec_table;
+
+fn run_once(org: Organization, wl_name: &str) -> u64 {
+    let spec = spec_table().into_iter().find(|w| w.name == wl_name).unwrap();
+    let cfg = SimConfig::scaled(org, 1024).with_records(1_000, 2_000);
+    let r = System::new(cfg, &WorkloadSet::rate(spec, 7)).run();
+    r.cycles
+}
+
+fn bench_endtoend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(10);
+    g.bench_function("baseline/gcc", |b| {
+        b.iter(|| std::hint::black_box(run_once(Organization::UncompressedAlloy, "gcc")))
+    });
+    g.bench_function("dice/gcc", |b| {
+        b.iter(|| std::hint::black_box(run_once(Organization::Dice { threshold: 36 }, "gcc")))
+    });
+    g.bench_function("dice/cc_twi", |b| {
+        b.iter(|| std::hint::black_box(run_once(Organization::Dice { threshold: 36 }, "cc_twi")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Experiment context: shared scale settings and a run memo.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dice_core::Organization;
+use dice_sim::{RunReport, SimConfig, System, WorkloadSet};
+
+/// Shared settings for one harness invocation plus a cache of completed
+/// runs keyed by `(config tag, workload name)`, so experiments that share
+/// configurations (every figure needs the uncompressed baseline) pay for
+/// each simulation once.
+pub struct Ctx {
+    /// Footprint/capacity scale divisor (DESIGN.md §3; 64 by default for
+    /// the harness, 16 for higher-fidelity runs, 1 = the paper's 1 GB).
+    pub scale: u64,
+    /// Warm-up records per core.
+    pub warmup: u64,
+    /// Measured records per core.
+    pub measure: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Print progress lines to stderr as runs complete.
+    pub verbose: bool,
+    cache: RefCell<HashMap<(String, String), Rc<RunReport>>>,
+}
+
+impl Ctx {
+    /// The harness default: a 1/256-scale system (4 MB L4) with windows
+    /// long enough to warm the cache (~10 fills per set on GAP), sized so
+    /// the full `all` sweep completes in ~20 minutes on one core.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            scale: 256,
+            warmup: 60_000,
+            measure: 100_000,
+            seed: 0xd1ce,
+            verbose: true,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// A tiny context for unit tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            scale: 512,
+            warmup: 2_000,
+            measure: 5_000,
+            seed: 0xd1ce,
+            verbose: false,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Baseline [`SimConfig`] for `org` at this context's scale/windows.
+    #[must_use]
+    pub fn cfg(&self, org: Organization) -> SimConfig {
+        SimConfig::scaled(org, self.scale).with_records(self.warmup, self.measure)
+    }
+
+    /// Runs (or recalls) `cfg` on `wl`. `tag` must uniquely identify the
+    /// configuration — it is the memo key together with the workload name.
+    pub fn run_cfg(&self, tag: &str, cfg: SimConfig, wl: &WorkloadSet) -> Rc<RunReport> {
+        let key = (tag.to_owned(), wl.name.clone());
+        if let Some(r) = self.cache.borrow().get(&key) {
+            return Rc::clone(r);
+        }
+        if self.verbose {
+            eprintln!("  [run] {:<12} {}", tag, wl.name);
+        }
+        let report = Rc::new(System::new(cfg, wl).run());
+        self.cache.borrow_mut().insert(key, Rc::clone(&report));
+        report
+    }
+
+    /// Runs (or recalls) the plain organization `org` on `wl`.
+    pub fn run_org(&self, tag: &str, org: Organization, wl: &WorkloadSet) -> Rc<RunReport> {
+        self.run_cfg(tag, self.cfg(org), wl)
+    }
+
+    /// The uncompressed Alloy baseline for `wl`.
+    pub fn baseline(&self, wl: &WorkloadSet) -> Rc<RunReport> {
+        self.run_org("base", Organization::UncompressedAlloy, wl)
+    }
+
+    /// DICE with the paper's default 36 B threshold.
+    pub fn dice(&self, wl: &WorkloadSet) -> Rc<RunReport> {
+        self.run_org("dice36", Organization::Dice { threshold: 36 }, wl)
+    }
+
+    /// Number of memoized runs (introspection for tests).
+    #[must_use]
+    pub fn cached_runs(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_workloads::spec_table;
+
+    #[test]
+    fn memoizes_runs() {
+        let ctx = Ctx::quick();
+        let spec = spec_table().into_iter().find(|w| w.name == "gcc").unwrap();
+        let wl = WorkloadSet::rate(spec, 1);
+        let a = ctx.baseline(&wl);
+        assert_eq!(ctx.cached_runs(), 1);
+        let b = ctx.baseline(&wl);
+        assert_eq!(ctx.cached_runs(), 1);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn distinct_tags_are_distinct_runs() {
+        let ctx = Ctx::quick();
+        let spec = spec_table().into_iter().find(|w| w.name == "gcc").unwrap();
+        let wl = WorkloadSet::rate(spec, 1);
+        let _ = ctx.baseline(&wl);
+        let _ = ctx.dice(&wl);
+        assert_eq!(ctx.cached_runs(), 2);
+    }
+}

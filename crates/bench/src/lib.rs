@@ -1,0 +1,25 @@
+//! Experiment harness for regenerating every table and figure of the DICE
+//! paper (see DESIGN.md §4 for the experiment index).
+//!
+//! The heavy lifting lives in `dice-sim`; this crate adds:
+//!
+//! * [`Ctx`] — experiment context: the scale/window settings shared by all
+//!   experiments and a memo cache so e.g. the uncompressed-baseline run of
+//!   each workload is simulated once and reused by every figure;
+//! * [`workloads`] — the paper's workload lists (RATE / MIX / GAP /
+//!   ALL26 / non-memory-intensive) in Table 3 order;
+//! * [`table`] — plain-text table rendering for harness output.
+//!
+//! Run the harness with `cargo run --release -p dice-bench --bin
+//! experiments -- <id>` where `<id>` is `fig4`, `fig7`, `fig10`, …,
+//! `tab8`, `cip`, or `all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod table;
+pub mod workloads;
+
+pub use ctx::Ctx;
+pub use table::Table;

@@ -1,0 +1,96 @@
+//! Minimal aligned-text table rendering for harness output.
+
+use std::fmt::Write as _;
+
+/// A column-aligned text table.
+///
+/// ```
+/// use dice_bench::Table;
+/// let mut t = Table::new(&["workload", "speedup"]);
+/// t.row(&["gcc".into(), format!("{:.3}", 1.234)]);
+/// let s = t.render();
+/// assert!(s.contains("gcc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a separator-style row of dashes.
+    pub fn separator(&mut self) {
+        self.rows.push(vec!["--".to_owned(); self.headers.len()]);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", c, w = widths[i]);
+                } else {
+                    let _ = write!(out, "  {:>w$}", c, w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            fmt_row(&mut out, r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1.00".into()]);
+        t.row(&["longer-name".into(), "10.00".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[0].starts_with("name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

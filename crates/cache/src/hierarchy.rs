@@ -1,0 +1,333 @@
+//! The on-chip three-level hierarchy: private L1/L2 per core, shared L3.
+//!
+//! Misses fill all levels (paper §3.1: "Cache misses fill all levels of the
+//! hierarchy"). Dirty victims cascade downward — L1 → L2 → L3 — and dirty
+//! L3 victims are returned to the caller, which forwards them to the DRAM
+//! L4 as writebacks.
+
+use crate::set_assoc::{Eviction, SetAssocCache};
+use crate::stats::CacheStats;
+use crate::LineAddr;
+
+/// Sizing of the SRAM hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Number of cores (each gets a private L1 and L2).
+    pub cores: usize,
+    /// Private L1 data cache capacity in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// Private L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Shared L3 capacity in bytes.
+    pub l3_bytes: usize,
+    /// L3 associativity.
+    pub l3_ways: usize,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 2 configuration: 8 cores, 32 KB/256 KB private
+    /// L1/L2 (8-way each), 8 MB shared L3 (16-way; 1 MB per core).
+    #[must_use]
+    pub fn paper_8core() -> Self {
+        Self {
+            cores: 8,
+            l1_bytes: 32 << 10,
+            l1_ways: 8,
+            l2_bytes: 256 << 10,
+            l2_ways: 8,
+            l3_bytes: 8 << 20,
+            l3_ways: 16,
+        }
+    }
+
+    /// A proportionally scaled-down hierarchy for fast experiments:
+    /// capacities divided by `factor` (associativities kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero or does not divide the capacities into
+    /// power-of-two set counts.
+    #[must_use]
+    pub fn paper_8core_scaled(factor: usize) -> Self {
+        assert!(factor > 0 && factor.is_power_of_two(), "scale factor must be a power of two");
+        let base = Self::paper_8core();
+        Self {
+            l1_bytes: base.l1_bytes / factor,
+            l2_bytes: base.l2_bytes / factor,
+            l3_bytes: base.l3_bytes / factor,
+            ..base
+        }
+    }
+}
+
+/// Which level serviced a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Private L1 hit.
+    L1,
+    /// Private L2 hit.
+    L2,
+    /// Shared L3 hit.
+    L3,
+}
+
+/// The three SRAM levels, with per-core private L1/L2.
+#[derive(Debug, Clone)]
+pub struct SramHierarchy {
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    l3: SetAssocCache,
+    /// Dirty L3 victims awaiting pickup by the L4 controller.
+    pending_writebacks: Vec<LineAddr>,
+}
+
+impl SramHierarchy {
+    /// Builds the hierarchy described by `cfg`, all caches empty.
+    #[must_use]
+    pub fn new(cfg: &HierarchyConfig) -> Self {
+        Self {
+            l1: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways)).collect(),
+            l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2_bytes, cfg.l2_ways)).collect(),
+            l3: SetAssocCache::new(cfg.l3_bytes, cfg.l3_ways),
+            pending_writebacks: Vec::new(),
+        }
+    }
+
+    /// Services a demand access from `core`. Returns the hit level, or
+    /// `None` on an L3 miss (the caller must fetch from L4/memory and then
+    /// call [`fill`](Self::fill)).
+    ///
+    /// On an L2 or L3 hit the line is promoted into the upper levels,
+    /// cascading victims downward.
+    pub fn access(&mut self, core: usize, addr: LineAddr, is_write: bool) -> Option<HitLevel> {
+        if self.l1[core].access(addr, is_write) {
+            return Some(HitLevel::L1);
+        }
+        if self.l2[core].access(addr, false) {
+            self.promote_to_l1(core, addr, is_write);
+            return Some(HitLevel::L2);
+        }
+        if self.l3.access(addr, false) {
+            self.promote_to_l2(core, addr);
+            self.promote_to_l1(core, addr, is_write);
+            return Some(HitLevel::L3);
+        }
+        None
+    }
+
+    /// Fills `addr` into all levels after an L4/memory fetch (write misses
+    /// allocate dirty in L1, as write-allocate requires).
+    pub fn fill(&mut self, core: usize, addr: LineAddr, is_write: bool) {
+        self.install_l3(addr, false);
+        self.promote_to_l2(core, addr);
+        self.promote_to_l1(core, addr, is_write);
+    }
+
+    /// Installs `addr` into the shared L3 only — the path DICE uses for the
+    /// *extra* line obtained free from a compressed-pair L4 hit (§6.4: both
+    /// lines are installed in L3, improving its hit rate).
+    pub fn fill_l3_only(&mut self, addr: LineAddr) {
+        self.install_l3(addr, false);
+    }
+
+    /// Probes only the shared L3 (the entry point when the simulator drives
+    /// the hierarchy with a post-L2 miss stream; see DESIGN.md §3). Returns
+    /// `true` on a hit, updating recency and dirtiness.
+    pub fn l3_access(&mut self, addr: LineAddr, is_write: bool) -> bool {
+        self.l3.access(addr, is_write)
+    }
+
+    /// Installs `addr` into the shared L3 with explicit dirtiness; dirty
+    /// victims are queued for [`take_writebacks`](Self::take_writebacks).
+    pub fn l3_fill(&mut self, addr: LineAddr, dirty: bool) {
+        self.install_l3(addr, dirty);
+    }
+
+    fn promote_to_l1(&mut self, core: usize, addr: LineAddr, is_write: bool) {
+        if let Some(v) = self.l1[core].install(addr, is_write) {
+            if v.dirty {
+                // Dirty L1 victim: write through to L2 (allocating).
+                self.absorb_into_l2(core, v);
+            }
+        }
+    }
+
+    fn promote_to_l2(&mut self, core: usize, addr: LineAddr) {
+        if let Some(v) = self.l2[core].install(addr, false) {
+            if v.dirty {
+                self.absorb_into_l3(v);
+            }
+        }
+    }
+
+    fn absorb_into_l2(&mut self, core: usize, wb: Eviction) {
+        if self.l2[core].contains(wb.addr) {
+            self.l2[core].access(wb.addr, true);
+        } else if let Some(v) = self.l2[core].install(wb.addr, true) {
+            if v.dirty {
+                self.absorb_into_l3(v);
+            }
+        }
+    }
+
+    fn absorb_into_l3(&mut self, wb: Eviction) {
+        if self.l3.contains(wb.addr) {
+            self.l3.access(wb.addr, true);
+        } else {
+            self.install_l3(wb.addr, true);
+        }
+    }
+
+    fn install_l3(&mut self, addr: LineAddr, dirty: bool) {
+        if let Some(v) = self.l3.install(addr, dirty) {
+            if v.dirty {
+                self.pending_writebacks.push(v.addr);
+            }
+        }
+    }
+
+    /// Drains dirty L3 victims produced since the last call; the L4
+    /// controller turns each into a DRAM-cache write.
+    pub fn take_writebacks(&mut self) -> Vec<LineAddr> {
+        std::mem::take(&mut self.pending_writebacks)
+    }
+
+    /// Whether `addr` is resident in the shared L3 (no side effects).
+    #[must_use]
+    pub fn l3_contains(&self, addr: LineAddr) -> bool {
+        self.l3.contains(addr)
+    }
+
+    /// Statistics of the shared L3.
+    #[must_use]
+    pub fn l3_stats(&self) -> &CacheStats {
+        self.l3.stats()
+    }
+
+    /// Statistics of `core`'s private L1.
+    #[must_use]
+    pub fn l1_stats(&self, core: usize) -> &CacheStats {
+        self.l1[core].stats()
+    }
+
+    /// Statistics of `core`'s private L2.
+    #[must_use]
+    pub fn l2_stats(&self, core: usize) -> &CacheStats {
+        self.l2[core].stats()
+    }
+
+    /// Resets statistics on every level (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.l1 {
+            c.reset_stats();
+        }
+        for c in &mut self.l2 {
+            c.reset_stats();
+        }
+        self.l3.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SramHierarchy {
+        SramHierarchy::new(&HierarchyConfig {
+            cores: 2,
+            l1_bytes: 4 * 64,
+            l1_ways: 2,
+            l2_bytes: 16 * 64,
+            l2_ways: 2,
+            l3_bytes: 64 * 64,
+            l3_ways: 4,
+            ..HierarchyConfig::paper_8core()
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_fill_then_l1_hit() {
+        let mut h = tiny();
+        assert_eq!(h.access(0, 42, false), None);
+        h.fill(0, 42, false);
+        assert_eq!(h.access(0, 42, false), Some(HitLevel::L1));
+    }
+
+    #[test]
+    fn shared_l3_serves_other_core() {
+        let mut h = tiny();
+        h.fill(0, 42, false);
+        // Core 1 never touched the line: private levels miss, shared L3 hits.
+        assert_eq!(h.access(1, 42, false), Some(HitLevel::L3));
+        // And it is promoted into core 1's private levels.
+        assert_eq!(h.access(1, 42, false), Some(HitLevel::L1));
+    }
+
+    #[test]
+    fn l1_eviction_falls_to_l2() {
+        let mut h = tiny();
+        // L1 has 2 sets × 2 ways. Fill set 0 (even addresses) thrice.
+        h.fill(0, 0, false);
+        h.fill(0, 2, false);
+        h.fill(0, 4, false); // evicts line 0 from L1
+        assert_eq!(h.access(0, 0, false), Some(HitLevel::L2));
+    }
+
+    #[test]
+    fn dirty_l3_victims_surface_as_writebacks() {
+        let mut h = tiny();
+        // Make a line dirty, then flood L3's set with conflicting installs.
+        h.fill(0, 0, true);
+        // Push it out of L1 and L2 via conflicting fills, then out of L3.
+        // L3 has 16 sets × 4 ways; lines congruent mod 16 collide.
+        for i in 1..=40u64 {
+            h.fill(0, i * 16, false);
+        }
+        let wbs = h.take_writebacks();
+        assert!(wbs.contains(&0), "dirty line 0 should be written back, got {wbs:?}");
+        assert!(h.take_writebacks().is_empty(), "drain empties the queue");
+    }
+
+    #[test]
+    fn fill_l3_only_leaves_private_levels_cold() {
+        let mut h = tiny();
+        h.fill_l3_only(7);
+        assert!(h.l3_contains(7));
+        assert_eq!(h.access(0, 7, false), Some(HitLevel::L3));
+    }
+
+    #[test]
+    fn write_allocates_dirty() {
+        let mut h = tiny();
+        assert_eq!(h.access(0, 3, true), None);
+        h.fill(0, 3, true);
+        // Force the dirty line down the hierarchy and out of L3.
+        for i in 1..=48u64 {
+            h.fill(0, 3 + i * 16, false);
+            // Keep L1/L2 churning so line 3 eventually falls to L3.
+            h.fill(0, 3 + i * 2, false);
+        }
+        let wbs = h.take_writebacks();
+        assert!(wbs.contains(&3), "written line must eventually write back, got {wbs:?}");
+    }
+
+    #[test]
+    fn paper_config_shapes() {
+        let cfg = HierarchyConfig::paper_8core();
+        let h = SramHierarchy::new(&cfg);
+        assert_eq!(h.l1.len(), 8);
+        assert_eq!(h.l2.len(), 8);
+        assert_eq!(h.l3.sets() * h.l3.ways() * 64, 8 << 20);
+    }
+
+    #[test]
+    fn scaled_config_divides_capacity() {
+        let cfg = HierarchyConfig::paper_8core_scaled(16);
+        assert_eq!(cfg.l3_bytes, (8 << 20) / 16);
+        let _ = SramHierarchy::new(&cfg); // constructible
+    }
+}

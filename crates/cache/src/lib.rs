@@ -1,0 +1,42 @@
+//! SRAM cache-hierarchy substrate for the DICE reproduction.
+//!
+//! The paper's system (Table 2) has a four-level hierarchy: private 32 KB L1
+//! and 256 KB L2 per core, a shared 8 MB L3, and the 1 GB DRAM L4 this
+//! project is about. This crate provides the on-chip (SRAM) part:
+//!
+//! * [`SetAssocCache`] — a generic set-associative, write-back,
+//!   write-allocate cache with true-LRU replacement,
+//! * [`SramHierarchy`] — per-core L1/L2 plus a shared L3, with dirty
+//!   evictions cascading downward and L3 victims surfaced to the caller
+//!   (they become L4 writebacks),
+//! * [`prefetch`] — the L3 fetch-policy baselines of the paper's Table 7
+//!   (next-line prefetch and 128 B wide fetch).
+//!
+//! Addresses everywhere are *line addresses* (byte address `>> 6`).
+//!
+//! # Example
+//!
+//! ```
+//! use dice_cache::{HierarchyConfig, SramHierarchy};
+//!
+//! let mut h = SramHierarchy::new(&HierarchyConfig::paper_8core());
+//! assert!(h.access(0, 0x40, false).is_none()); // cold miss goes to L4
+//! h.fill(0, 0x40, false);
+//! assert!(h.access(0, 0x40, false).is_some()); // now a hit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+pub mod prefetch;
+mod set_assoc;
+mod stats;
+
+pub use hierarchy::{HierarchyConfig, HitLevel, SramHierarchy};
+pub use prefetch::L3FetchPolicy;
+pub use set_assoc::{Eviction, SetAssocCache};
+pub use stats::CacheStats;
+
+/// A line address: the physical byte address divided by the 64 B line size.
+pub type LineAddr = u64;

@@ -1,0 +1,65 @@
+//! L3 fetch-policy baselines for the paper's Table 7.
+//!
+//! DICE delivers an adjacent line into L3 *for free* when a compressed pair
+//! comes back from the L4. The paper contrasts this with two conventional
+//! ways of getting that extra line, both of which pay full bandwidth:
+//!
+//! * **next-line prefetch** — every demand L3 miss issues an additional
+//!   independent request for the next line (`+1.6%` in the paper);
+//! * **128 B wide fetch** — every L3 miss fetches the 128 B-aligned pair of
+//!   64 B lines as two requests (`+1.9%`).
+
+use crate::LineAddr;
+
+/// How the L3 turns a demand miss into L4 requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum L3FetchPolicy {
+    /// Fetch only the demanded line (the baseline).
+    #[default]
+    Demand,
+    /// Also request `addr + 1` (next-line prefetcher).
+    NextLine,
+    /// Fetch both halves of the 128 B-aligned super-line (`addr & !1` and
+    /// `addr | 1`) as two 64 B requests.
+    Wide128,
+}
+
+impl L3FetchPolicy {
+    /// The extra (non-demand) line addresses this policy requests alongside
+    /// a demand miss on `addr`. The demand line itself is not included.
+    #[must_use]
+    pub fn extra_fetches(self, addr: LineAddr) -> Vec<LineAddr> {
+        match self {
+            L3FetchPolicy::Demand => Vec::new(),
+            L3FetchPolicy::NextLine => vec![addr + 1],
+            L3FetchPolicy::Wide128 => vec![addr ^ 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_fetches_nothing_extra() {
+        assert!(L3FetchPolicy::Demand.extra_fetches(10).is_empty());
+    }
+
+    #[test]
+    fn next_line_fetches_successor() {
+        assert_eq!(L3FetchPolicy::NextLine.extra_fetches(10), vec![11]);
+        assert_eq!(L3FetchPolicy::NextLine.extra_fetches(11), vec![12]);
+    }
+
+    #[test]
+    fn wide_fetch_returns_pair_sibling() {
+        assert_eq!(L3FetchPolicy::Wide128.extra_fetches(10), vec![11]);
+        assert_eq!(L3FetchPolicy::Wide128.extra_fetches(11), vec![10]);
+    }
+
+    #[test]
+    fn default_is_demand() {
+        assert_eq!(L3FetchPolicy::default(), L3FetchPolicy::Demand);
+    }
+}

@@ -1,0 +1,253 @@
+//! Generic set-associative cache with true-LRU replacement.
+
+use crate::stats::CacheStats;
+use crate::LineAddr;
+
+/// A victim produced by an install or invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line address of the evicted block.
+    pub addr: LineAddr,
+    /// Whether the block was dirty (needs a writeback to the next level).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    addr: LineAddr,
+    dirty: bool,
+    /// Monotonic recency stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// A write-back, write-allocate, set-associative cache model.
+///
+/// Only tags are modeled (the simulator synthesizes data values separately),
+/// which keeps multi-megabyte caches cheap to simulate.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    ways: usize,
+    set_mask: u64,
+    entries: Vec<Vec<Way>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with `ways`-way associativity and
+    /// 64 B lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting set count is not a power of two or is zero.
+    #[must_use]
+    pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        let lines = capacity_bytes / 64;
+        assert!(ways > 0 && lines >= ways, "cache too small for associativity");
+        let sets = lines / ways;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        Self {
+            ways,
+            set_mask: sets as u64 - 1,
+            entries: vec![Vec::with_capacity(ways); sets],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_of(&self, addr: LineAddr) -> usize {
+        (addr & self.set_mask) as usize
+    }
+
+    /// Probes for `addr`; on a hit, updates recency (and the dirty bit for
+    /// writes) and returns `true`. Does **not** allocate on miss — call
+    /// [`install`](Self::install) when the fill returns.
+    pub fn access(&mut self, addr: LineAddr, is_write: bool) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(addr);
+        let hit = self.entries[set].iter_mut().find(|w| w.addr == addr);
+        match hit {
+            Some(w) => {
+                w.stamp = clock;
+                w.dirty |= is_write;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Checks residency without touching recency or statistics.
+    #[must_use]
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.entries[self.set_of(addr)].iter().any(|w| w.addr == addr)
+    }
+
+    /// Installs `addr` (evicting the LRU way if the set is full). If the
+    /// line is already resident, only refreshes recency/dirtiness.
+    pub fn install(&mut self, addr: LineAddr, dirty: bool) -> Option<Eviction> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(addr);
+        let ways = self.ways;
+        let set_entries = &mut self.entries[set];
+        if let Some(w) = set_entries.iter_mut().find(|w| w.addr == addr) {
+            w.stamp = clock;
+            w.dirty |= dirty;
+            return None;
+        }
+        let victim = if set_entries.len() == ways {
+            let (idx, _) = set_entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .expect("full set has entries");
+            let v = set_entries.swap_remove(idx);
+            self.stats.evictions += 1;
+            if v.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            Some(Eviction { addr: v.addr, dirty: v.dirty })
+        } else {
+            None
+        };
+        set_entries.push(Way { addr, dirty, stamp: clock });
+        victim
+    }
+
+    /// Removes `addr` if resident, returning it (used for invalidations).
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<Eviction> {
+        let set = self.set_of(addr);
+        let set_entries = &mut self.entries[set];
+        let idx = set_entries.iter().position(|w| w.addr == addr)?;
+        let v = set_entries.swap_remove(idx);
+        Some(Eviction { addr: v.addr, dirty: v.dirty })
+    }
+
+    /// Number of valid lines currently resident.
+    #[must_use]
+    pub fn valid_lines(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// Accumulated hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. at the end of warm-up) without touching
+    /// contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut c = SetAssocCache::new(64 * 64, 4);
+        assert!(!c.access(100, false));
+        assert_eq!(c.install(100, false), None);
+        assert!(c.access(100, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set, 2 ways: addresses spaced by set count collide.
+        let mut c = SetAssocCache::new(2 * 64, 2);
+        assert_eq!(c.sets(), 1);
+        c.install(1, false);
+        c.install(2, false);
+        c.access(1, false); // 1 is now MRU
+        let v = c.install(3, false).expect("eviction");
+        assert_eq!(v.addr, 2);
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+    }
+
+    #[test]
+    fn write_sets_dirty_and_eviction_reports_it() {
+        let mut c = SetAssocCache::new(2 * 64, 2);
+        c.install(1, false);
+        c.access(1, true);
+        c.install(2, false);
+        c.access(2, false);
+        c.access(2, false);
+        let v = c.install(3, false).expect("eviction");
+        assert_eq!(v, Eviction { addr: 1, dirty: true });
+    }
+
+    #[test]
+    fn install_dirty_flag_is_sticky() {
+        let mut c = SetAssocCache::new(2 * 64, 2);
+        c.install(7, true);
+        c.install(7, false); // re-install must not clear dirtiness
+        let v = c.invalidate(7).expect("resident");
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn reinstall_does_not_duplicate() {
+        let mut c = SetAssocCache::new(4 * 64, 4);
+        c.install(5, false);
+        c.install(5, false);
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = SetAssocCache::new(4 * 64, 4);
+        c.install(9, false);
+        assert!(c.invalidate(9).is_some());
+        assert!(!c.contains(9));
+        assert!(c.invalidate(9).is_none());
+    }
+
+    #[test]
+    fn sets_partition_the_address_space() {
+        let mut c = SetAssocCache::new(64 * 64, 1); // 64 direct-mapped sets
+        c.install(0, false);
+        c.install(64, false); // same set (64 sets apart): evicts 0
+        assert!(!c.contains(0));
+        c.install(1, false); // different set
+        assert!(c.contains(64) && c.contains(1));
+    }
+
+    #[test]
+    fn valid_lines_tracks_occupancy() {
+        let mut c = SetAssocCache::new(8 * 64, 2);
+        for a in 0..8 {
+            c.install(a, false);
+        }
+        assert_eq!(c.valid_lines(), 8);
+        c.install(100, false); // evicts one
+        assert_eq!(c.valid_lines(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = SetAssocCache::new(3 * 64, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the SRAM cache model, checked against a naive
+//! reference implementation of set-associative LRU.
+
+use dice_cache::{HierarchyConfig, SetAssocCache, SramHierarchy};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A deliberately simple reference model: per-set ordered list, MRU front.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    entries: Vec<VecDeque<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self { sets, ways, entries: vec![VecDeque::new(); sets] }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        (addr as usize) % self.sets
+    }
+
+    fn access(&mut self, addr: u64, write: bool) -> bool {
+        let s = self.set_of(addr);
+        if let Some(i) = self.entries[s].iter().position(|&(a, _)| a == addr) {
+            let (a, d) = self.entries[s].remove(i).unwrap();
+            self.entries[s].push_front((a, d || write));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn install(&mut self, addr: u64, dirty: bool) -> Option<(u64, bool)> {
+        let s = self.set_of(addr);
+        if let Some(i) = self.entries[s].iter().position(|&(a, _)| a == addr) {
+            let (a, d) = self.entries[s].remove(i).unwrap();
+            self.entries[s].push_front((a, d || dirty));
+            return None;
+        }
+        let victim = if self.entries[s].len() == self.ways {
+            self.entries[s].pop_back()
+        } else {
+            None
+        };
+        self.entries[s].push_front((addr, dirty));
+        victim
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u8, bool),
+    Install(u8, bool),
+    Invalidate(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<bool>()).prop_map(|(a, w)| Op::Access(a, w)),
+            (any::<u8>(), any::<bool>()).prop_map(|(a, d)| Op::Install(a, d)),
+            any::<u8>().prop_map(Op::Invalidate),
+        ],
+        1..500,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_reference_lru(ops in arb_ops()) {
+        // 16 sets x 4 ways of 64 B lines.
+        let mut dut = SetAssocCache::new(16 * 4 * 64, 4);
+        let mut reference = RefCache::new(16, 4);
+        for op in ops {
+            match op {
+                Op::Access(a, w) => {
+                    prop_assert_eq!(
+                        dut.access(u64::from(a), w),
+                        reference.access(u64::from(a), w)
+                    );
+                }
+                Op::Install(a, d) => {
+                    let v_dut = dut.install(u64::from(a), d);
+                    let v_ref = reference.install(u64::from(a), d);
+                    prop_assert_eq!(v_dut.map(|v| (v.addr, v.dirty)), v_ref);
+                }
+                Op::Invalidate(a) => {
+                    let s = reference.set_of(u64::from(a));
+                    let i = reference.entries[s].iter().position(|&(x, _)| x == u64::from(a));
+                    let v_ref = i.map(|i| reference.entries[s].remove(i).unwrap());
+                    let v_dut = dut.invalidate(u64::from(a));
+                    prop_assert_eq!(v_dut.map(|v| (v.addr, v.dirty)), v_ref);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_geometry(ops in arb_ops()) {
+        let mut dut = SetAssocCache::new(8 * 2 * 64, 2);
+        for op in ops {
+            match op {
+                Op::Access(a, w) => {
+                    dut.access(u64::from(a), w);
+                }
+                Op::Install(a, d) => {
+                    dut.install(u64::from(a), d);
+                }
+                Op::Invalidate(a) => {
+                    dut.invalidate(u64::from(a));
+                }
+            }
+            prop_assert!(dut.valid_lines() <= 16);
+        }
+    }
+
+    #[test]
+    fn hierarchy_never_loses_dirty_lines(writes in proptest::collection::vec(0u8..64, 1..200)) {
+        // Every line written must eventually be either resident somewhere
+        // or surfaced as an L4 writeback — never silently dropped.
+        let mut h = SramHierarchy::new(&HierarchyConfig {
+            cores: 1,
+            l1_bytes: 4 * 64,
+            l1_ways: 2,
+            l2_bytes: 8 * 64,
+            l2_ways: 2,
+            l3_bytes: 16 * 64,
+            l3_ways: 2,
+            ..HierarchyConfig::paper_8core()
+        });
+        let mut written = std::collections::HashSet::new();
+        let mut surfaced = std::collections::HashSet::new();
+        for &w in &writes {
+            let addr = u64::from(w);
+            if h.access(0, addr, true).is_none() {
+                h.fill(0, addr, true);
+            }
+            written.insert(addr);
+            for wb in h.take_writebacks() {
+                surfaced.insert(wb);
+            }
+        }
+        // Flush: push conflicting clean lines through every set to evict
+        // all dirty state down and out.
+        for round in 1..=6u64 {
+            for s in 0..16u64 {
+                let addr = 1000 + round * 64 + s;
+                if h.access(0, addr, false).is_none() {
+                    h.fill(0, addr, false);
+                }
+            }
+        }
+        for wb in h.take_writebacks() {
+            surfaced.insert(wb);
+        }
+        for addr in written {
+            let resident = h.l3_contains(addr)
+                || h.access(0, addr, false).is_some();
+            prop_assert!(
+                resident || surfaced.contains(&addr),
+                "dirty line {addr} vanished"
+            );
+        }
+    }
+}

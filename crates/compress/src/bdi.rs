@@ -1,0 +1,416 @@
+//! Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012).
+//!
+//! A cache line often holds values that are numerically close to each other
+//! (array indices, pointers into the same region, pixels, …). BDI stores one
+//! *base* value of `B` bytes plus `64/B` signed deltas of `D < B` bytes. The
+//! encodings and their sizes follow the original paper:
+//!
+//! | encoding | base | delta | size (B + 64/B·D)        |
+//! |----------|------|-------|--------------------------|
+//! | `Zeros`  | —    | —     | 1                        |
+//! | `Rep8`   | 8    | —     | 8 (one repeated 64-bit)  |
+//! | `B8D1`   | 8    | 1     | 16                       |
+//! | `B4D1`   | 4    | 1     | 20                       |
+//! | `B8D2`   | 8    | 2     | 24                       |
+//! | `B2D1`   | 2    | 1     | 34                       |
+//! | `B4D2`   | 4    | 2     | 36                       |
+//! | `B8D4`   | 8    | 4     | 40                       |
+//!
+//! `B4D2`'s 36-byte size is load-bearing for DICE: it is the most common
+//! "just barely half a TAD" case, and two such lines sharing their 4-byte
+//! base compress to 4 + 32 + 32 = 68 B — exactly one 72 B TAD minus a shared
+//! 4 B tag. That is where the paper's 36 B insertion threshold comes from
+//! (§6.2).
+//!
+//! We implement plain base+delta (the "immediate" zero-base flags of the
+//! original need a per-element mask that does not fit the 9 metadata bits the
+//! DICE set format allots, so like the paper we account only base sharing).
+
+use crate::{LineData, LINE_BYTES};
+
+/// The BDI encoding used for a compressed line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BdiEncoding {
+    /// All 64 bytes are zero.
+    Zeros,
+    /// The line is one 64-bit value repeated eight times.
+    Rep8,
+    /// 8-byte base, 1-byte deltas.
+    B8D1,
+    /// 4-byte base, 1-byte deltas.
+    B4D1,
+    /// 8-byte base, 2-byte deltas.
+    B8D2,
+    /// 2-byte base, 1-byte deltas.
+    B2D1,
+    /// 4-byte base, 2-byte deltas.
+    B4D2,
+    /// 8-byte base, 4-byte deltas.
+    B8D4,
+}
+
+impl BdiEncoding {
+    /// All base+delta encodings, in increasing order of compressed size —
+    /// the order the compressor tries them in.
+    pub const BASE_DELTA: [BdiEncoding; 6] = [
+        BdiEncoding::B8D1,
+        BdiEncoding::B4D1,
+        BdiEncoding::B8D2,
+        BdiEncoding::B2D1,
+        BdiEncoding::B4D2,
+        BdiEncoding::B8D4,
+    ];
+
+    /// Width of the base value in bytes (0 for `Zeros`).
+    #[must_use]
+    pub fn base_bytes(self) -> usize {
+        match self {
+            BdiEncoding::Zeros => 0,
+            BdiEncoding::Rep8 | BdiEncoding::B8D1 | BdiEncoding::B8D2 | BdiEncoding::B8D4 => 8,
+            BdiEncoding::B4D1 | BdiEncoding::B4D2 => 4,
+            BdiEncoding::B2D1 => 2,
+        }
+    }
+
+    /// Width of each delta in bytes (0 for `Zeros`/`Rep8`).
+    #[must_use]
+    pub fn delta_bytes(self) -> usize {
+        match self {
+            BdiEncoding::Zeros | BdiEncoding::Rep8 => 0,
+            BdiEncoding::B8D1 | BdiEncoding::B4D1 | BdiEncoding::B2D1 => 1,
+            BdiEncoding::B8D2 | BdiEncoding::B4D2 => 2,
+            BdiEncoding::B8D4 => 4,
+        }
+    }
+
+    /// Number of `base_bytes`-wide elements in a 64-byte line.
+    #[must_use]
+    pub fn num_elems(self) -> usize {
+        match self.base_bytes() {
+            0 => 0,
+            b => LINE_BYTES / b,
+        }
+    }
+
+    /// Compressed size in bytes (base + deltas; 1 for `Zeros`).
+    #[must_use]
+    pub fn size(self) -> usize {
+        match self {
+            BdiEncoding::Zeros => 1,
+            BdiEncoding::Rep8 => 8,
+            enc => enc.base_bytes() + enc.num_elems() * enc.delta_bytes(),
+        }
+    }
+
+    /// Size of the deltas alone — what a second line costs when it *shares*
+    /// this encoding's base with its pair neighbor.
+    #[must_use]
+    pub fn deltas_only_size(self) -> usize {
+        self.size() - self.base_bytes().min(self.size())
+    }
+}
+
+fn mask(bytes: usize) -> u64 {
+    if bytes == 8 {
+        u64::MAX
+    } else {
+        (1u64 << (bytes * 8)) - 1
+    }
+}
+
+/// Reads the `i`-th little-endian element of width `b` bytes.
+fn elem(line: &LineData, b: usize, i: usize) -> u64 {
+    let mut v = 0u64;
+    for k in (0..b).rev() {
+        v = (v << 8) | u64::from(line[i * b + k]);
+    }
+    v
+}
+
+/// Sign-extends the low `bytes` bytes of `v` to i64.
+fn sext(v: u64, bytes: usize) -> i64 {
+    let shift = 64 - bytes * 8;
+    ((v << shift) as i64) >> shift
+}
+
+/// Checks whether every element of `line` is within a signed `D`-byte delta
+/// of `base` (arithmetic performed modulo the base width, as hardware would).
+#[must_use]
+pub fn fits_with_base(line: &LineData, enc: BdiEncoding, base: u64) -> bool {
+    let b = enc.base_bytes();
+    let d = enc.delta_bytes();
+    if b == 0 || d == 0 {
+        return false;
+    }
+    let m = mask(b);
+    (0..enc.num_elems()).all(|i| {
+        let diff = elem(line, b, i).wrapping_sub(base) & m;
+        let sd = sext(diff, b);
+        let lim = 1i64 << (d * 8 - 1);
+        (-lim..lim).contains(&sd)
+    })
+}
+
+/// A BDI-compressed 64-byte line: the encoding tag plus packed
+/// base-then-deltas bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BdiLine {
+    encoding: BdiEncoding,
+    data: Vec<u8>,
+}
+
+impl BdiLine {
+    /// Compresses `line` with the smallest applicable encoding, or `None`
+    /// if no BDI encoding beats storing the line raw.
+    #[must_use]
+    pub fn compress(line: &LineData) -> Option<Self> {
+        if line.iter().all(|&b| b == 0) {
+            return Some(Self { encoding: BdiEncoding::Zeros, data: Vec::new() });
+        }
+        let first = elem(line, 8, 0);
+        if (0..8).all(|i| elem(line, 8, i) == first) {
+            return Some(Self { encoding: BdiEncoding::Rep8, data: first.to_le_bytes().to_vec() });
+        }
+        BdiEncoding::BASE_DELTA
+            .iter()
+            .find(|&&enc| enc.size() < LINE_BYTES && fits_with_base(line, enc, elem(line, enc.base_bytes(), 0)))
+            .map(|&enc| Self::encode(line, enc, elem(line, enc.base_bytes(), 0)))
+    }
+
+    /// Compresses `line` with a *specific* base+delta encoding and an
+    /// externally supplied base (used for base sharing between paired
+    /// lines). Returns `None` if the deltas do not fit.
+    #[must_use]
+    pub fn compress_with_base(line: &LineData, enc: BdiEncoding, base: u64) -> Option<Self> {
+        fits_with_base(line, enc, base).then(|| Self::encode(line, enc, base))
+    }
+
+    fn encode(line: &LineData, enc: BdiEncoding, base: u64) -> Self {
+        let b = enc.base_bytes();
+        let d = enc.delta_bytes();
+        let m = mask(b);
+        let mut data = Vec::with_capacity(enc.size());
+        data.extend_from_slice(&base.to_le_bytes()[..b]);
+        for i in 0..enc.num_elems() {
+            let diff = elem(line, b, i).wrapping_sub(base) & m;
+            data.extend_from_slice(&diff.to_le_bytes()[..d]);
+        }
+        Self { encoding: enc, data }
+    }
+
+    /// The encoding tag (stored in the set format's metadata bits).
+    #[must_use]
+    pub fn encoding(&self) -> BdiEncoding {
+        self.encoding
+    }
+
+    /// Compressed size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.encoding.size()
+    }
+
+    /// The base value (0 for `Zeros`; the repeated value for `Rep8`).
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        let b = self.encoding.base_bytes();
+        if b == 0 {
+            return 0;
+        }
+        let mut v = 0u64;
+        for k in (0..b).rev() {
+            v = (v << 8) | u64::from(self.data[k]);
+        }
+        v
+    }
+
+    /// Reconstructs the original 64-byte line.
+    #[must_use]
+    pub fn decompress(&self) -> LineData {
+        let mut out = [0u8; LINE_BYTES];
+        match self.encoding {
+            BdiEncoding::Zeros => {}
+            BdiEncoding::Rep8 => {
+                for chunk in out.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&self.data[..8]);
+                }
+            }
+            enc => {
+                let b = enc.base_bytes();
+                let d = enc.delta_bytes();
+                let m = mask(b);
+                let base = self.base();
+                for i in 0..enc.num_elems() {
+                    let mut diff = 0u64;
+                    let off = b + i * d;
+                    for k in (0..d).rev() {
+                        diff = (diff << 8) | u64::from(self.data[off + k]);
+                    }
+                    // Sign-extend the delta from d bytes before adding.
+                    let diff = sext(diff, d) as u64;
+                    let v = base.wrapping_add(diff) & m;
+                    out[i * b..(i + 1) * b].copy_from_slice(&v.to_le_bytes()[..b]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: the best BDI size for `line`, if any encoding applies.
+#[must_use]
+pub fn bdi_size(line: &LineData) -> Option<usize> {
+    BdiLine::compress(line).map(|c| c.size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zero_line;
+
+    fn line_from_u32s(vals: [u32; 16]) -> LineData {
+        let mut out = [0u8; LINE_BYTES];
+        for (chunk, v) in out.chunks_exact_mut(4).zip(vals.iter()) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn line_from_u64s(vals: [u64; 8]) -> LineData {
+        let mut out = [0u8; LINE_BYTES];
+        for (chunk, v) in out.chunks_exact_mut(8).zip(vals.iter()) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn zeros_encoding() {
+        let c = BdiLine::compress(&zero_line()).expect("zeros compress");
+        assert_eq!(c.encoding(), BdiEncoding::Zeros);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.decompress(), zero_line());
+    }
+
+    #[test]
+    fn repeated_u64() {
+        let line = line_from_u64s([0x0102_0304_0506_0708; 8]);
+        let c = BdiLine::compress(&line).expect("rep8");
+        assert_eq!(c.encoding(), BdiEncoding::Rep8);
+        assert_eq!(c.size(), 8);
+        assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn pointers_use_b8d1() {
+        // Eight pointers into the same 128-byte region.
+        let base = 0x7fff_a000_1000u64;
+        let vals = [base, base + 8, base + 16, base + 24, base + 120, base + 64, base + 32, base + 56];
+        let line = line_from_u64s(vals);
+        let c = BdiLine::compress(&line).expect("b8d1");
+        assert_eq!(c.encoding(), BdiEncoding::B8D1);
+        assert_eq!(c.size(), 16);
+        assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn negative_deltas_round_trip() {
+        let base = 0x1000u64;
+        let vals = [base, base - 100, base + 100, base - 128, base + 127, base, base - 1, base + 1];
+        let line = line_from_u64s(vals);
+        let c = BdiLine::compress(&line).expect("b8d1 with negative deltas");
+        assert_eq!(c.encoding(), BdiEncoding::B8D1);
+        assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn u32_indices_use_b4d1() {
+        let vals: [u32; 16] = core::array::from_fn(|i| 0x0040_0000 + i as u32 * 4);
+        let line = line_from_u32s(vals);
+        let c = BdiLine::compress(&line).expect("b4d1");
+        assert_eq!(c.encoding(), BdiEncoding::B4D1);
+        assert_eq!(c.size(), 20);
+        assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn u32_spread_uses_b4d2() {
+        let vals: [u32; 16] = core::array::from_fn(|i| 0x0040_0000 + i as u32 * 1000);
+        let line = line_from_u32s(vals);
+        let c = BdiLine::compress(&line).expect("b4d2");
+        assert_eq!(c.encoding(), BdiEncoding::B4D2);
+        assert_eq!(c.size(), 36);
+        assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn incompressible_returns_none() {
+        let mut line = [0u8; LINE_BYTES];
+        // A maximally spread pattern: no narrow-delta base exists.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for chunk in line.chunks_exact_mut(8) {
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9).wrapping_add(1);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        assert_eq!(BdiLine::compress(&line), None);
+    }
+
+    #[test]
+    fn wraparound_deltas_are_handled() {
+        // Base near the top of the u32 range, elements wrap past zero.
+        let base = 0xffff_fff0u32;
+        let vals: [u32; 16] = core::array::from_fn(|i| base.wrapping_add(i as u32 * 2));
+        let line = line_from_u32s(vals);
+        let c = BdiLine::compress(&line).expect("wraparound b4d1");
+        assert_eq!(c.decompress(), line);
+    }
+
+    #[test]
+    fn shared_base_compression() {
+        let base = 0x0100_0000u64;
+        let vals_a: [u32; 16] = core::array::from_fn(|i| (base as u32) + i as u32);
+        let vals_b: [u32; 16] = core::array::from_fn(|i| (base as u32) + 50 + i as u32);
+        let a = line_from_u32s(vals_a);
+        let b = line_from_u32s(vals_b);
+        let ca = BdiLine::compress(&a).expect("a compresses");
+        let cb = BdiLine::compress_with_base(&b, ca.encoding(), ca.base()).expect("b shares base");
+        assert_eq!(cb.decompress(), b);
+    }
+
+    #[test]
+    fn shared_base_rejects_distant_line() {
+        let vals_a: [u32; 16] = core::array::from_fn(|i| 100 + i as u32);
+        let vals_b: [u32; 16] = core::array::from_fn(|i| 0x7000_0000 + i as u32);
+        let a = line_from_u32s(vals_a);
+        let b = line_from_u32s(vals_b);
+        let ca = BdiLine::compress(&a).expect("a compresses");
+        assert_eq!(BdiLine::compress_with_base(&b, BdiEncoding::B4D1, ca.base()), None);
+    }
+
+    #[test]
+    fn encoding_sizes_match_paper() {
+        assert_eq!(BdiEncoding::Zeros.size(), 1);
+        assert_eq!(BdiEncoding::Rep8.size(), 8);
+        assert_eq!(BdiEncoding::B8D1.size(), 16);
+        assert_eq!(BdiEncoding::B4D1.size(), 20);
+        assert_eq!(BdiEncoding::B8D2.size(), 24);
+        assert_eq!(BdiEncoding::B2D1.size(), 34);
+        assert_eq!(BdiEncoding::B4D2.size(), 36);
+        assert_eq!(BdiEncoding::B8D4.size(), 40);
+    }
+
+    #[test]
+    fn deltas_only_size() {
+        assert_eq!(BdiEncoding::B4D2.deltas_only_size(), 32);
+        assert_eq!(BdiEncoding::B8D1.deltas_only_size(), 8);
+    }
+
+    #[test]
+    fn compressor_prefers_smaller_encoding() {
+        // Values within ±127 of base fit B8D1; compressor must not pick B8D2.
+        let base = 0x10_0000u64;
+        let vals = [base, base + 1, base + 2, base + 3, base + 4, base + 5, base + 6, base + 7];
+        let line = line_from_u64s(vals);
+        assert_eq!(BdiLine::compress(&line).expect("compresses").encoding(), BdiEncoding::B8D1);
+    }
+}

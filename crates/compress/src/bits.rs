@@ -1,0 +1,160 @@
+//! Minimal MSB-first bit-stream reader/writer used by the FPC codec.
+//!
+//! FPC is defined at bit granularity (3-bit prefixes, 4/8/16-bit payloads),
+//! so the encoder needs sub-byte packing. The stream is written most
+//! significant bit first within each byte, which makes hexdumps of encoded
+//! lines readable left-to-right.
+
+/// Accumulates bits into a byte buffer, MSB first.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits already written into the last byte of `buf`
+    /// (0 means the last byte is full / the buffer is empty).
+    partial: u32,
+}
+
+impl BitWriter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `value` (1..=32), most significant first.
+    pub(crate) fn write(&mut self, value: u32, n: u32) {
+        debug_assert!(n >= 1 && n <= 32, "bit count {n} out of range");
+        debug_assert!(n == 32 || value < (1u32 << n), "value wider than field");
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.partial == 0 {
+                self.buf.push(0);
+                self.partial = 8;
+            }
+            let take = remaining.min(self.partial);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u32 << take) - 1)) as u8;
+            let last = self.buf.last_mut().expect("buffer non-empty");
+            *last |= chunk << (self.partial - take);
+            self.partial -= take;
+            if self.partial == 0 {
+                // Last byte is now full; the next write allocates a new one.
+            }
+            remaining -= take;
+        }
+    }
+
+    /// Total number of bits written so far.
+    #[cfg(test)]
+    pub(crate) fn bit_len(&self) -> usize {
+        if self.buf.is_empty() {
+            0
+        } else {
+            self.buf.len() * 8 - self.partial as usize
+        }
+    }
+
+    /// Finishes the stream, returning the packed bytes (last byte
+    /// zero-padded).
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads bits back out of a buffer produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub(crate) struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next bit index to read (0 = MSB of byte 0).
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Reads `n` bits (1..=32), MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is exhausted — the codecs always know exactly how
+    /// many bits they wrote, so running out indicates a corrupted encoding.
+    pub(crate) fn read(&mut self, n: u32) -> u32 {
+        debug_assert!(n >= 1 && n <= 32);
+        let mut out: u32 = 0;
+        for _ in 0..n {
+            let byte = self.buf[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | u32::from(bit);
+            self.pos += 1;
+        }
+        out
+    }
+
+    /// Number of bits consumed so far.
+    #[cfg(test)]
+    pub(crate) fn bits_read(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_round_trip() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0b01, 2);
+        w.write(0b110, 3);
+        assert_eq!(w.bit_len(), 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1010_1110]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), 0b101);
+        assert_eq!(r.read(2), 0b01);
+        assert_eq!(r.read(3), 0b110);
+        assert_eq!(r.bits_read(), 8);
+    }
+
+    #[test]
+    fn cross_byte_fields() {
+        let mut w = BitWriter::new();
+        w.write(0x3, 3); // 011
+        w.write(0xabcd, 16);
+        w.write(0x1f, 5);
+        let total = w.bit_len();
+        assert_eq!(total, 24);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3), 0x3);
+        assert_eq!(r.read(16), 0xabcd);
+        assert_eq!(r.read(5), 0x1f);
+    }
+
+    #[test]
+    fn thirty_two_bit_field() {
+        let mut w = BitWriter::new();
+        w.write(0xdead_beef, 32);
+        w.write(1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(32), 0xdead_beef);
+        assert_eq!(r.read(1), 1);
+    }
+
+    #[test]
+    fn empty_writer_is_empty() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Low-latency cache-line compression for the DICE DRAM-cache reproduction.
+//!
+//! DICE (ISCA 2017) compresses 64-byte cache lines with a hybrid of two
+//! classic low-latency schemes and picks whichever yields the smaller
+//! encoding:
+//!
+//! * [Frequent Pattern Compression (FPC)](fpc) — per-32-bit-word pattern
+//!   encoding (zero runs, sign-extended narrow values, repeated bytes, …).
+//! * [Base-Delta-Immediate (BDI)](bdi) — a line is a base value plus small
+//!   per-element deltas.
+//!
+//! The crate provides bit-exact compression *and* decompression (round-trip
+//! tested), because the simulated DRAM cache stores and later reconstructs
+//! real line contents. It also implements the *paired* compression used by
+//! DICE's Bandwidth-Aware Indexing, where two spatially adjacent lines are
+//! compressed together and may share one BDI base (this is why the paper's
+//! 36 B insertion threshold works: a 36 B `B4D2` single line pairs into 68 B
+//! when the 4 B base is shared, which fits one 72 B Alloy TAD with a shared
+//! tag).
+//!
+//! # Example
+//!
+//! ```
+//! use dice_compress::{compress, decompress, LineData, LINE_BYTES};
+//!
+//! // A line of small 32-bit integers compresses well.
+//! let mut line: LineData = [0u8; LINE_BYTES];
+//! for (i, w) in line.chunks_exact_mut(4).enumerate() {
+//!     w.copy_from_slice(&(i as u32 + 1000).to_le_bytes());
+//! }
+//! let c = compress(&line);
+//! assert!(c.size() < LINE_BYTES);
+//! assert_eq!(decompress(&c), line);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdi;
+mod bits;
+pub mod cpack;
+pub mod fpc;
+mod hybrid;
+mod pair;
+
+pub use bdi::{BdiEncoding, BdiLine};
+pub use cpack::CpackLine;
+pub use fpc::FpcLine;
+pub use hybrid::{compress, compressed_size, decompress, Algorithm, Compressed};
+pub use pair::{compress_pair, pair_compressed_size, PairCompressed, PairMode};
+
+/// Size of one cache line in bytes. Every level of the simulated hierarchy
+/// uses 64 B lines, as in the paper's configuration (Table 2).
+pub const LINE_BYTES: usize = 64;
+
+/// Raw contents of one 64-byte cache line.
+pub type LineData = [u8; LINE_BYTES];
+
+/// Returns a line whose bytes are all zero.
+///
+/// Zero lines are the most compressible input (FPC encodes them as two zero
+/// runs; the hybrid compressor special-cases them to a 1-byte encoding).
+#[must_use]
+pub fn zero_line() -> LineData {
+    [0u8; LINE_BYTES]
+}
+
+/// Builds a line from sixteen little-endian 32-bit words.
+///
+/// Convenience used pervasively by tests and by the synthetic workload
+/// generators, which think in terms of 32-bit program values.
+#[must_use]
+pub fn line_from_words(words: &[u32; 16]) -> LineData {
+    let mut out = [0u8; LINE_BYTES];
+    for (chunk, w) in out.chunks_exact_mut(4).zip(words.iter()) {
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Splits a line into sixteen little-endian 32-bit words.
+#[must_use]
+pub fn words_of_line(line: &LineData) -> [u32; 16] {
+    let mut out = [0u32; 16];
+    for (w, chunk) in out.iter_mut().zip(line.chunks_exact(4)) {
+        *w = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip() {
+        let words = [0xdead_beefu32; 16];
+        assert_eq!(words_of_line(&line_from_words(&words)), words);
+    }
+
+    #[test]
+    fn zero_line_is_all_zero() {
+        assert!(zero_line().iter().all(|&b| b == 0));
+    }
+}

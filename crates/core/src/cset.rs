@@ -1,0 +1,330 @@
+//! The flexible compressed set format (§4.3, Figure 5).
+//!
+//! Each Alloy set provides 72 bytes that the memory controller is free to
+//! interpret as tags or data. Uncompressed, that is one 4 B tag (18-bit tag,
+//! valid, dirty, BAI, shared-tag, next-tag-valid, ≤9 metadata bits — the 8 B
+//! Alloy field is bus alignment, the *useful* tag is 4 B) plus one 64 B
+//! line. Compressed, a set holds a variable number of lines, each charged
+//! 4 B of tag plus its compressed data size, except that a spatially
+//! adjacent pair compressed together shares one tag and (when BDI applies)
+//! one base. The format caps at 28 lines per set.
+//!
+//! This module tracks set *contents* and byte accounting; actual data bytes
+//! live in the workload's value model, consulted through [`SizeInfo`].
+
+use crate::indexing::IndexScheme;
+use crate::LineAddr;
+
+/// Usable bytes per set (the 72 B TAD payload).
+pub const SET_BYTES: u32 = 72;
+/// Bytes charged per (possibly shared) tag.
+pub const TAG_BYTES: u32 = 4;
+/// Maximum lines one set can reference (§4.3).
+pub const MAX_LINES_PER_SET: usize = 28;
+
+/// Source of compressed sizes — implemented by the workload's value model
+/// (sizes are a pure function of a line's current contents).
+pub trait SizeInfo {
+    /// Compressed size in bytes of `line` alone (1..=64).
+    fn single_size(&mut self, line: LineAddr) -> u32;
+
+    /// Joint compressed size of the aligned pair `(even, even|1)`,
+    /// including any shared-base saving but not tags.
+    fn pair_size(&mut self, even_line: LineAddr) -> u32;
+}
+
+/// Whether a set stores one raw line (baseline Alloy) or compressed lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetMode {
+    /// Direct-mapped baseline: exactly one 64 B line per set.
+    Uncompressed,
+    /// Variable number of compressed lines within 72 B.
+    Compressed,
+}
+
+/// One resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The line address.
+    pub line: LineAddr,
+    /// Needs a memory writeback when evicted.
+    pub dirty: bool,
+    /// Which index function placed the line here (Fig 11 statistics and
+    /// CIP updates).
+    pub scheme: IndexScheme,
+    /// Recency stamp (larger = more recent).
+    pub stamp: u64,
+}
+
+/// A line evicted to make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether it must be written back to memory.
+    pub dirty: bool,
+}
+
+/// Contents of one DRAM-cache set.
+#[derive(Debug, Clone, Default)]
+pub struct CompressedSet {
+    entries: Vec<Entry>,
+}
+
+impl CompressedSet {
+    /// Entries currently resident.
+    #[must_use]
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no line is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finds `line` without touching recency.
+    #[must_use]
+    pub fn get(&self, line: LineAddr) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.line == line)
+    }
+
+    /// Finds `line`, updating its recency stamp; `write` also sets dirty.
+    pub fn touch(&mut self, line: LineAddr, stamp: u64, write: bool) -> Option<&Entry> {
+        let e = self.entries.iter_mut().find(|e| e.line == line)?;
+        e.stamp = stamp;
+        e.dirty |= write;
+        Some(e)
+    }
+
+    /// Total bytes the current contents occupy: per entry 4 B tag + its
+    /// single compressed size, except co-resident pairs, which are charged
+    /// one shared tag + their joint pair size.
+    pub fn occupancy(&self, info: &mut dyn SizeInfo) -> u32 {
+        let mut total = 0;
+        for (i, e) in self.entries.iter().enumerate() {
+            let partner = e.line ^ 1;
+            let partner_idx = self.entries.iter().position(|o| o.line == partner);
+            match partner_idx {
+                // Count each pair once, at its lower-index member.
+                Some(j) if j < i => {}
+                Some(_) => total += TAG_BYTES + info.pair_size(e.line & !1),
+                None => total += TAG_BYTES + info.single_size(e.line),
+            }
+        }
+        total
+    }
+
+    /// Inserts (or refreshes) `line`, evicting least-recently-used entries
+    /// until the contents fit `mode`'s capacity. The inserted line itself is
+    /// never evicted (a single raw line always fits: 4 + 64 ≤ 72).
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        scheme: IndexScheme,
+        stamp: u64,
+        mode: SetMode,
+        info: &mut dyn SizeInfo,
+    ) -> Vec<Evicted> {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.stamp = stamp;
+            e.dirty |= dirty;
+            e.scheme = scheme;
+        } else {
+            self.entries.push(Entry { line, dirty, scheme, stamp });
+        }
+
+        let mut evicted = Vec::new();
+        loop {
+            let over = match mode {
+                SetMode::Uncompressed => self.entries.len() > 1,
+                SetMode::Compressed => {
+                    self.entries.len() > MAX_LINES_PER_SET || self.occupancy(info) > SET_BYTES
+                }
+            };
+            if !over {
+                break;
+            }
+            let victim_idx = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.line != line)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("the new line alone always fits");
+            let v = self.entries.swap_remove(victim_idx);
+            evicted.push(Evicted { line: v.line, dirty: v.dirty });
+        }
+        evicted
+    }
+
+    /// Removes `line` if resident.
+    pub fn remove(&mut self, line: LineAddr) -> Option<Entry> {
+        let idx = self.entries.iter().position(|e| e.line == line)?;
+        Some(self.entries.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Scriptable size oracle for tests.
+    struct FakeSizes {
+        default_single: u32,
+        single: HashMap<LineAddr, u32>,
+        pair: HashMap<LineAddr, u32>,
+    }
+
+    impl FakeSizes {
+        fn with_all(size: u32) -> Self {
+            Self { default_single: size, single: HashMap::new(), pair: HashMap::new() }
+        }
+    }
+
+    impl SizeInfo for FakeSizes {
+        fn single_size(&mut self, line: LineAddr) -> u32 {
+            self.single.get(&line).copied().unwrap_or(self.default_single)
+        }
+        fn pair_size(&mut self, even: LineAddr) -> u32 {
+            if let Some(&p) = self.pair.get(&even) {
+                return p;
+            }
+            // Default: no sharing benefit.
+            self.single_size(even) + self.single_size(even | 1)
+        }
+    }
+
+    #[test]
+    fn uncompressed_mode_holds_one_line() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(64);
+        assert!(set.insert(10, false, IndexScheme::Tsi, 1, SetMode::Uncompressed, &mut info).is_empty());
+        let ev = set.insert(20, false, IndexScheme::Tsi, 2, SetMode::Uncompressed, &mut info);
+        assert_eq!(ev, vec![Evicted { line: 10, dirty: false }]);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn two_half_lines_fit_compressed() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(32);
+        set.insert(10, false, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
+        let ev = set.insert(1000, false, IndexScheme::Tsi, 2, SetMode::Compressed, &mut info);
+        assert!(ev.is_empty(), "4+32 + 4+32 = 72 fits");
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn thirtysix_byte_lines_do_not_fit_unshared() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(36);
+        set.insert(10, false, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
+        // 4+36 + 4+36 = 80 > 72: distant lines at 36 B thrash...
+        let ev = set.insert(1000, false, IndexScheme::Tsi, 2, SetMode::Compressed, &mut info);
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn paired_36b_lines_fit_via_sharing() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(36);
+        info.pair.insert(10, 68); // shared base: 68 B joint
+        set.insert(10, false, IndexScheme::Bai, 1, SetMode::Compressed, &mut info);
+        // ...but the spatial pair shares tag and base: 4 + 68 = 72 fits.
+        let ev = set.insert(11, false, IndexScheme::Bai, 2, SetMode::Compressed, &mut info);
+        assert!(ev.is_empty(), "paired 36 B lines share tag+base");
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_spares_newcomer() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(20);
+        set.insert(1, false, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
+        set.insert(3, false, IndexScheme::Tsi, 2, SetMode::Compressed, &mut info);
+        set.insert(5, true, IndexScheme::Tsi, 3, SetMode::Compressed, &mut info);
+        // 3 × 24 = 72 full. Touch 1 so 3 is LRU.
+        set.touch(1, 4, false);
+        let ev = set.insert(7, false, IndexScheme::Tsi, 5, SetMode::Compressed, &mut info);
+        assert_eq!(ev, vec![Evicted { line: 3, dirty: false }]);
+        assert!(set.get(7).is_some());
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(64);
+        set.insert(1, true, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
+        let ev = set.insert(2, false, IndexScheme::Tsi, 2, SetMode::Compressed, &mut info);
+        assert_eq!(ev, vec![Evicted { line: 1, dirty: true }]);
+    }
+
+    #[test]
+    fn zero_heavy_set_caps_at_28_lines() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(1); // everything compresses to 1 B
+        // Use odd spacing so no pairs form (pair accounting would halve tags).
+        for i in 0..40u64 {
+            set.insert(i * 2, false, IndexScheme::Tsi, i, SetMode::Compressed, &mut info);
+        }
+        assert!(set.len() <= MAX_LINES_PER_SET, "len {} > 28", set.len());
+        // 28 × (4+1) = 140 > 72, so the byte budget binds first: 14 lines.
+        assert_eq!(set.len(), 72 / 5);
+    }
+
+    #[test]
+    fn touch_updates_dirty_and_recency() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(10);
+        set.insert(9, false, IndexScheme::Bai, 1, SetMode::Compressed, &mut info);
+        assert!(set.touch(9, 5, true).is_some());
+        let e = set.get(9).expect("resident");
+        assert!(e.dirty);
+        assert_eq!(e.stamp, 5);
+        assert!(set.touch(10, 6, false).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(10);
+        set.insert(9, false, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
+        set.insert(9, true, IndexScheme::Bai, 2, SetMode::Compressed, &mut info);
+        assert_eq!(set.len(), 1);
+        let e = set.get(9).expect("resident");
+        assert!(e.dirty);
+        assert_eq!(e.scheme, IndexScheme::Bai);
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(10);
+        set.insert(4, true, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
+        let e = set.remove(4).expect("present");
+        assert!(e.dirty);
+        assert!(set.remove(4).is_none());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn occupancy_counts_pairs_once() {
+        let mut set = CompressedSet::default();
+        let mut info = FakeSizes::with_all(30);
+        info.pair.insert(6, 40);
+        set.insert(6, false, IndexScheme::Bai, 1, SetMode::Compressed, &mut info);
+        set.insert(7, false, IndexScheme::Bai, 2, SetMode::Compressed, &mut info);
+        assert_eq!(set.occupancy(&mut info), 4 + 40);
+    }
+}

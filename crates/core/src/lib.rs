@@ -1,0 +1,74 @@
+//! DICE: Dynamic-Indexing Cache comprEssion — the primary contribution of
+//! *"DICE: Compressing DRAM Caches for Bandwidth and Capacity"* (Young,
+//! Nair, Qureshi; ISCA 2017), reproduced from scratch.
+//!
+//! A gigabyte-scale stacked-DRAM cache stores tags inside the DRAM array
+//! (Alloy Cache: one 72 B tag-and-data unit per direct-mapped set), which
+//! makes compression nearly free — any bit can be a tag bit or a data bit.
+//! The catch is *what compression buys*:
+//!
+//! * with **traditional set indexing** (TSI), compression only increases
+//!   capacity (≈7% speedup on the paper's workloads);
+//! * with **spatial indexing**, one access can return two *adjacent* — and
+//!   therefore soon-useful — lines, doubling effective bandwidth, but
+//!   incompressible data then thrashes.
+//!
+//! DICE gets both: its [`Indexer`] provides **Bandwidth-Aware Indexing**
+//! (BAI), constructed so every line's BAI location is its TSI set or the
+//! adjacent set; the [`DramCacheController`] chooses per line at insertion
+//! (compressed size ≤ 36 B ⇒ BAI, else TSI) and predicts the location on
+//! reads with a 256-byte [`CachePredictor`] (CIP). The controller also
+//! implements the paper's baselines: uncompressed Alloy, static
+//! TSI/NSI/BAI compressed caches, the KNL no-neighbor-tag variant, and SCC
+//! mapped onto DRAM.
+//!
+//! Timing is delegated: every operation reports its physical set
+//! [`Probe`]s, which `dice-sim` replays against the `dice-dram` model.
+//!
+//! # Example
+//!
+//! ```
+//! use dice_core::{DramCacheConfig, DramCacheController, Organization, SizeInfo};
+//!
+//! /// All lines compress to 24 B; pairs share a base.
+//! struct Sizes;
+//! impl SizeInfo for Sizes {
+//!     fn single_size(&mut self, _line: u64) -> u32 { 24 }
+//!     fn pair_size(&mut self, _even: u64) -> u32 { 44 }
+//! }
+//!
+//! let cfg = DramCacheConfig::with_capacity(Organization::Dice { threshold: 36 }, 1 << 20);
+//! let mut l4 = DramCacheController::new(cfg);
+//! let mut sizes = Sizes;
+//!
+//! // Install a spatial pair; a read of one returns the other for free.
+//! let line = l4.num_sets(); // a line whose TSI and BAI locations differ
+//! l4.fill(line, false, None, &mut sizes);
+//! l4.fill(line ^ 1, false, None, &mut sizes);
+//! let hit = l4.read(line);
+//! assert!(hit.hit);
+//! assert_eq!(hit.free_lines, vec![line ^ 1]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod cip;
+mod cset;
+mod indexing;
+mod mapi;
+mod stats;
+
+pub use cache::{
+    DramCacheConfig, DramCacheController, Organization, Probe, ReadOutcome, TagVariant,
+    WriteOutcome,
+};
+pub use cip::CachePredictor;
+pub use cset::{CompressedSet, Entry, Evicted, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES};
+pub use indexing::{IndexScheme, Indexer, SetIndex};
+pub use mapi::HitPredictor;
+pub use stats::L4Stats;
+
+/// A line address (byte address divided by the 64 B line size).
+pub type LineAddr = u64;

@@ -1,0 +1,113 @@
+//! MAP-I–style hit/miss predictor for the DRAM cache.
+//!
+//! The Alloy Cache paper pairs its direct-mapped design with a *Memory
+//! Access Predictor* (MAP-I): when a cache access is predicted to miss, the
+//! main-memory read is launched in parallel with the cache probe, hiding the
+//! serialization latency. The original indexes 2-bit counters by instruction
+//! address; our traces are address streams, so we index by page — the same
+//! spatial-correlation substitution the CIP makes (documented in DESIGN.md).
+
+use crate::LineAddr;
+
+const LINES_PER_PAGE: u64 = 64;
+
+/// A page-indexed table of 2-bit saturating hit/miss counters.
+#[derive(Debug, Clone)]
+pub struct HitPredictor {
+    counters: Vec<u8>,
+    predictions: u64,
+    correct: u64,
+}
+
+impl HitPredictor {
+    /// Creates a predictor with `entries` counters (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        // Start weakly predicting "hit" (2): misfiring extra memory reads on
+        // a cold cache is the conservative direction for bandwidth.
+        Self { counters: vec![2; entries], predictions: 0, correct: 0 }
+    }
+
+    fn slot(&self, line: LineAddr) -> usize {
+        let page = line / LINES_PER_PAGE;
+        let h = page.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        (h >> (64 - self.counters.len().trailing_zeros())) as usize
+    }
+
+    /// Predicts whether a read of `line` will hit the DRAM cache.
+    #[must_use]
+    pub fn predict_hit(&self, line: LineAddr) -> bool {
+        self.counters[self.slot(line)] >= 2
+    }
+
+    /// Records the actual outcome and scores the previous prediction.
+    pub fn update(&mut self, line: LineAddr, hit: bool) {
+        let slot = self.slot(line);
+        let predicted = self.counters[slot] >= 2;
+        self.predictions += 1;
+        if predicted == hit {
+            self.correct += 1;
+        }
+        let c = &mut self.counters[slot];
+        if hit {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Fraction of correct predictions (1.0 when idle).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_predicting_hit() {
+        assert!(HitPredictor::new(1024).predict_hit(0));
+    }
+
+    #[test]
+    fn learns_a_missing_page() {
+        let mut p = HitPredictor::new(1024);
+        p.update(0, false);
+        p.update(0, false);
+        assert!(!p.predict_hit(0));
+        assert!(!p.predict_hit(63), "same page shares the counter");
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut p = HitPredictor::new(64);
+        for _ in 0..10 {
+            p.update(0, false);
+        }
+        // Two hits flip it back over the threshold.
+        p.update(0, true);
+        p.update(0, true);
+        assert!(p.predict_hit(0));
+    }
+
+    #[test]
+    fn accuracy_on_stable_stream() {
+        let mut p = HitPredictor::new(64);
+        for _ in 0..100 {
+            p.update(0, true);
+        }
+        assert_eq!(p.accuracy(), 1.0);
+    }
+}

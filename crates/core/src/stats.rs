@@ -1,0 +1,111 @@
+//! Statistics for the DRAM-cache controller.
+
+/// Counters accumulated by [`DramCacheController`](crate::DramCacheController).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L4Stats {
+    /// Demand reads received from the L3.
+    pub reads: u64,
+    /// Demand reads that hit (in either index location).
+    pub read_hits: u64,
+    /// Reads that needed a second set probe (CIP misprediction with the
+    /// line in the alternate set, or a KNL-style both-location miss check).
+    pub second_probes: u64,
+    /// Installs from main memory.
+    pub fills: u64,
+    /// Dirty writebacks received from the L3.
+    pub writebacks: u64,
+    /// Extra adjacent lines delivered free with a compressed-pair hit.
+    pub free_lines: u64,
+    /// Install decisions where TSI and BAI coincide (no choice needed).
+    pub installs_invariant: u64,
+    /// Installs placed at the TSI index (incompressible side).
+    pub installs_tsi: u64,
+    /// Installs placed at the BAI index (compressible side).
+    pub installs_bai: u64,
+    /// Dirty victims evicted to main memory.
+    pub memory_writebacks: u64,
+    /// Write-index predictions scored (non-invariant resident lines).
+    pub wpred_scored: u64,
+    /// Of those, predictions that found the line on the first probe.
+    pub wpred_correct: u64,
+}
+
+impl L4Stats {
+    /// Read hit rate in [0, 1] (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / self.reads as f64
+        }
+    }
+
+    /// Write-predictor accuracy (1.0 when nothing was scored).
+    #[must_use]
+    pub fn write_prediction_accuracy(&self) -> f64 {
+        if self.wpred_scored == 0 {
+            1.0
+        } else {
+            self.wpred_correct as f64 / self.wpred_scored as f64
+        }
+    }
+
+    /// Total install decisions.
+    #[must_use]
+    pub fn installs(&self) -> u64 {
+        self.installs_invariant + self.installs_tsi + self.installs_bai
+    }
+
+    /// Counter-wise difference `self - earlier`.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &L4Stats) -> L4Stats {
+        L4Stats {
+            reads: self.reads - earlier.reads,
+            read_hits: self.read_hits - earlier.read_hits,
+            second_probes: self.second_probes - earlier.second_probes,
+            fills: self.fills - earlier.fills,
+            writebacks: self.writebacks - earlier.writebacks,
+            free_lines: self.free_lines - earlier.free_lines,
+            installs_invariant: self.installs_invariant - earlier.installs_invariant,
+            installs_tsi: self.installs_tsi - earlier.installs_tsi,
+            installs_bai: self.installs_bai - earlier.installs_bai,
+            memory_writebacks: self.memory_writebacks - earlier.memory_writebacks,
+            wpred_scored: self.wpred_scored - earlier.wpred_scored,
+            wpred_correct: self.wpred_correct - earlier.wpred_correct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_when_idle() {
+        let s = L4Stats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.write_prediction_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn installs_sum() {
+        let s = L4Stats {
+            installs_invariant: 5,
+            installs_tsi: 3,
+            installs_bai: 2,
+            ..L4Stats::default()
+        };
+        assert_eq!(s.installs(), 10);
+    }
+
+    #[test]
+    fn delta_subtracts_all_fields() {
+        let a = L4Stats { reads: 1, read_hits: 1, fills: 1, ..L4Stats::default() };
+        let b = L4Stats { reads: 5, read_hits: 3, fills: 2, ..L4Stats::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.reads, 4);
+        assert_eq!(d.read_hits, 2);
+        assert_eq!(d.fills, 1);
+    }
+}

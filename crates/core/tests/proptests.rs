@@ -1,0 +1,189 @@
+//! Property-based tests for the DRAM-cache core: indexing algebra, set
+//! format accounting, and controller state invariants under arbitrary
+//! operation sequences.
+
+use dice_core::{
+    DramCacheConfig, DramCacheController, IndexScheme, Indexer, Organization, SizeInfo,
+    TagVariant, MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES,
+};
+use proptest::prelude::*;
+
+/// A deterministic, address-derived size oracle (sizes in 1..=64).
+struct HashSizes;
+
+impl SizeInfo for HashSizes {
+    fn single_size(&mut self, line: u64) -> u32 {
+        let h = line.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40;
+        1 + (h % 64) as u32
+    }
+    fn pair_size(&mut self, even: u64) -> u32 {
+        let a = self.single_size(even & !1);
+        let b = self.single_size(even | 1);
+        // Shared base saves up to 4 bytes, never negative.
+        (a + b).saturating_sub((even >> 3) as u32 % 5).max(2)
+    }
+}
+
+fn arb_sets() -> impl Strategy<Value = u64> {
+    (2u32..16).prop_map(|k| 1u64 << k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bai_pairs_and_stays_adjacent(sets in arb_sets(), line in any::<u64>()) {
+        let line = line >> 1 << 1; // even
+        let ix = Indexer::new(sets);
+        prop_assert_eq!(ix.bai(line), ix.bai(line + 1));
+        prop_assert_eq!(ix.tsi(line) & !1, ix.bai(line) & !1);
+        prop_assert!(ix.tsi(line).abs_diff(ix.bai(line)) <= 1);
+    }
+
+    #[test]
+    fn exactly_one_pair_member_is_invariant(sets in arb_sets(), pair in any::<u32>()) {
+        let ix = Indexer::new(sets);
+        let a = u64::from(pair) * 2;
+        let kept = u32::from(ix.invariant(a)) + u32::from(ix.invariant(a + 1));
+        prop_assert_eq!(kept, 1);
+    }
+
+    #[test]
+    fn nsi_maps_pairs_together(sets in arb_sets(), line in any::<u64>()) {
+        let ix = Indexer::new(sets);
+        prop_assert_eq!(ix.nsi(line & !1), ix.nsi(line | 1));
+        prop_assert!(ix.nsi(line) < sets);
+    }
+
+    #[test]
+    fn index_dispatch_matches_named_functions(sets in arb_sets(), line in any::<u64>()) {
+        let ix = Indexer::new(sets);
+        prop_assert_eq!(ix.index(line, IndexScheme::Tsi), ix.tsi(line));
+        prop_assert_eq!(ix.index(line, IndexScheme::Bai), ix.bai(line));
+    }
+
+    #[test]
+    fn bai_is_balanced_over_aligned_windows(sets in (2u32..10).prop_map(|k| 1u64 << k)) {
+        let ix = Indexer::new(sets);
+        let mut counts = vec![0u32; sets as usize];
+        for line in 0..(2 * sets) {
+            counts[ix.bai(line) as usize] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == 2));
+    }
+}
+
+/// Arbitrary operation stream for the controller.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u16),
+    Fill(u16, bool),
+    Writeback(u16),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u16>().prop_map(Op::Read),
+            (any::<u16>(), any::<bool>()).prop_map(|(l, d)| Op::Fill(l, d)),
+            any::<u16>().prop_map(Op::Writeback),
+        ],
+        1..400,
+    )
+}
+
+fn run_ops(org: Organization, variant: TagVariant, ops: &[Op]) -> DramCacheController {
+    let mut cfg = DramCacheConfig::with_capacity(org, 256 * 64);
+    cfg.tag_variant = variant;
+    let mut l4 = DramCacheController::new(cfg);
+    let mut sizes = HashSizes;
+    for op in ops {
+        match *op {
+            Op::Read(l) => {
+                let _ = l4.read(u64::from(l));
+            }
+            Op::Fill(l, d) => {
+                let _ = l4.fill(u64::from(l), d, None, &mut sizes);
+            }
+            Op::Writeback(l) => {
+                let _ = l4.writeback(u64::from(l), &mut sizes);
+            }
+        }
+    }
+    l4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn controller_state_invariants_hold(ops in arb_ops()) {
+        for org in [
+            Organization::UncompressedAlloy,
+            Organization::CompressedTsi,
+            Organization::CompressedNsi,
+            Organization::CompressedBai,
+            Organization::Dice { threshold: 36 },
+            Organization::Scc,
+        ] {
+            let l4 = run_ops(org, TagVariant::Alloy, &ops);
+            let s = l4.stats();
+            prop_assert!(s.read_hits <= s.reads);
+            prop_assert!(s.wpred_correct <= s.wpred_scored);
+            prop_assert!(l4.valid_lines() <= l4.num_sets() * MAX_LINES_PER_SET as u64);
+            prop_assert!(l4.occupied_sets() <= l4.num_sets());
+            prop_assert!(l4.valid_lines() >= l4.occupied_sets());
+            if org == Organization::UncompressedAlloy {
+                prop_assert!(l4.valid_lines() <= l4.num_sets());
+            }
+            prop_assert!(l4.cip_accuracy() >= 0.0 && l4.cip_accuracy() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fill_then_read_always_hits(ops in arb_ops(), line in any::<u16>()) {
+        // Whatever happened before, a fill immediately followed by a read of
+        // the same line must hit (nothing evicts between the two).
+        for org in [Organization::CompressedTsi, Organization::Dice { threshold: 36 }] {
+            let mut l4 = run_ops(org, TagVariant::Alloy, &ops);
+            let mut sizes = HashSizes;
+            l4.fill(u64::from(line), false, None, &mut sizes);
+            prop_assert!(l4.read(u64::from(line)).hit, "{org:?} lost a just-filled line");
+        }
+    }
+
+    #[test]
+    fn knl_and_alloy_agree_on_contents(ops in arb_ops()) {
+        // The tag variant changes probe counts, never hit/miss outcomes.
+        let ops_reads: Vec<u16> = (0..64).collect();
+        let a = run_ops(Organization::Dice { threshold: 36 }, TagVariant::Alloy, &ops);
+        let k = run_ops(Organization::Dice { threshold: 36 }, TagVariant::Knl, &ops);
+        let mut a = a;
+        let mut k = k;
+        for l in ops_reads {
+            prop_assert_eq!(a.read(u64::from(l)).hit, k.read(u64::from(l)).hit);
+        }
+    }
+
+    #[test]
+    fn probes_stay_within_bounds(ops in arb_ops()) {
+        let mut cfg = DramCacheConfig::with_capacity(Organization::Dice { threshold: 36 }, 256 * 64);
+        cfg.tag_variant = TagVariant::Knl;
+        let mut l4 = DramCacheController::new(cfg);
+        let mut sizes = HashSizes;
+        for op in &ops {
+            let n = match *op {
+                Op::Read(l) => l4.read(u64::from(l)).probes.len(),
+                Op::Fill(l, d) => l4.fill(u64::from(l), d, None, &mut sizes).probes.len(),
+                Op::Writeback(l) => l4.writeback(u64::from(l), &mut sizes).probes.len(),
+            };
+            prop_assert!(n >= 1 && n <= 4, "probe count {n} out of range");
+        }
+    }
+
+    #[test]
+    fn format_constants_are_consistent(_x in 0u8..1) {
+        prop_assert!(TAG_BYTES * MAX_LINES_PER_SET as u32 >= SET_BYTES,
+            "28 lines only fit via tag sharing — the cap must exceed the byte budget");
+    }
+}

@@ -1,0 +1,180 @@
+//! DRAM organization and timing parameters (paper Table 2).
+
+use crate::Cycle;
+
+/// Static description of one DRAM device: geometry, timing and queue depth.
+///
+/// All timings are in CPU cycles at the paper's 3.2 GHz core clock. The two
+/// stock configurations — [`DramConfig::stacked_l4`] and
+/// [`DramConfig::ddr_main`] — reproduce Table 2; the `with_*` adjusters
+/// build the sensitivity configurations of Table 8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Human-readable name used in stats output.
+    pub name: String,
+    /// Number of independent channels.
+    pub channels: u32,
+    /// Banks per channel.
+    pub banks_per_channel: u32,
+    /// Data-bus width per channel in bytes (16 for the stacked L4's 128-bit
+    /// bus, 8 for DDR's 64-bit bus).
+    pub bus_bytes: u32,
+    /// CPU cycles per data beat (one bus-width transfer). At 3.2 GHz CPU and
+    /// 1.6 GT/s DDR signalling this is 2.
+    pub cycles_per_beat: Cycle,
+    /// Column access latency.
+    pub t_cas: Cycle,
+    /// Row-to-column (activate-to-read) delay.
+    pub t_rcd: Cycle,
+    /// Precharge latency.
+    pub t_rp: Cycle,
+    /// Minimum time a row stays open after activation.
+    pub t_ras: Cycle,
+    /// Row-buffer size in bytes (2 KB in the paper's Alloy layout).
+    pub row_bytes: u32,
+    /// Per-channel request-queue depth (96 in Table 2); further requests
+    /// stall at issue.
+    pub queue_depth: usize,
+}
+
+impl DramConfig {
+    /// The paper's stacked-DRAM L4: 4 channels × 128-bit bus, 16 banks per
+    /// channel, 800 MHz (DDR 1.6 GT/s) — ~102 GB/s peak, 8× the DDR main
+    /// memory.
+    #[must_use]
+    pub fn stacked_l4() -> Self {
+        Self {
+            name: "stacked-l4".to_owned(),
+            channels: 4,
+            banks_per_channel: 16,
+            bus_bytes: 16,
+            cycles_per_beat: 2,
+            t_cas: 44,
+            t_rcd: 44,
+            t_rp: 44,
+            t_ras: 112,
+            row_bytes: 2048,
+            queue_depth: 96,
+        }
+    }
+
+    /// The paper's DDR main memory: 1 channel × 64-bit bus, 16 banks,
+    /// identical latency to the stacked DRAM (per stacked-memory specs) but
+    /// 1/8 the bandwidth.
+    #[must_use]
+    pub fn ddr_main() -> Self {
+        Self {
+            name: "ddr-main".to_owned(),
+            channels: 1,
+            banks_per_channel: 16,
+            bus_bytes: 8,
+            cycles_per_beat: 2,
+            t_cas: 44,
+            t_rcd: 44,
+            t_rp: 44,
+            t_ras: 112,
+            row_bytes: 2048,
+            queue_depth: 96,
+        }
+    }
+
+    /// Doubles the channel count (Table 8's "2x BW" configuration).
+    #[must_use]
+    pub fn with_double_channels(mut self) -> Self {
+        self.channels *= 2;
+        self.name.push_str("+2xbw");
+        self
+    }
+
+    /// Halves all access latencies (Table 8's "50% latency" configuration).
+    #[must_use]
+    pub fn with_half_latency(mut self) -> Self {
+        self.t_cas /= 2;
+        self.t_rcd /= 2;
+        self.t_rp /= 2;
+        self.t_ras /= 2;
+        self.name.push_str("+halflat");
+        self
+    }
+
+    /// CPU cycles a `bytes`-sized transfer occupies the channel data bus.
+    #[must_use]
+    pub fn burst_cycles(&self, bytes: u32) -> Cycle {
+        let beats = bytes.div_ceil(self.bus_bytes);
+        Cycle::from(beats) * self.cycles_per_beat
+    }
+
+    /// Peak bandwidth across all channels, in bytes per CPU cycle.
+    #[must_use]
+    pub fn peak_bytes_per_cycle(&self) -> f64 {
+        f64::from(self.channels) * f64::from(self.bus_bytes) / self.cycles_per_beat as f64
+    }
+
+    /// Latency of a row-buffer hit (CAS only).
+    #[must_use]
+    pub fn row_hit_latency(&self) -> Cycle {
+        self.t_cas
+    }
+
+    /// Latency of a row-buffer miss (precharge + activate + CAS).
+    #[must_use]
+    pub fn row_miss_latency(&self) -> Cycle {
+        self.t_rp + self.t_rcd + self.t_cas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacked_is_eight_times_ddr_bandwidth() {
+        let l4 = DramConfig::stacked_l4();
+        let mem = DramConfig::ddr_main();
+        let ratio = l4.peak_bytes_per_cycle() / mem.peak_bytes_per_cycle();
+        assert!((ratio - 8.0).abs() < 1e-9, "bandwidth ratio {ratio} != 8");
+    }
+
+    #[test]
+    fn peak_bandwidth_matches_paper() {
+        // 4 ch × 16 B per beat × 1.6e9 beats/s = 102.4 GB/s at 3.2 GHz:
+        // bytes/cycle × 3.2e9 = bytes/s.
+        let l4 = DramConfig::stacked_l4();
+        let gbps = l4.peak_bytes_per_cycle() * 3.2e9 / 1e9;
+        assert!((gbps - 102.4).abs() < 0.1, "L4 peak {gbps} GB/s");
+        let mem = DramConfig::ddr_main();
+        let gbps = mem.peak_bytes_per_cycle() * 3.2e9 / 1e9;
+        assert!((gbps - 12.8).abs() < 0.1, "DDR peak {gbps} GB/s");
+    }
+
+    #[test]
+    fn tad_transfer_is_five_bursts() {
+        // An 80 B Alloy TAD (+neighbor tag) on a 16 B bus = 5 beats.
+        let l4 = DramConfig::stacked_l4();
+        assert_eq!(l4.burst_cycles(80), 10);
+        assert_eq!(l4.burst_cycles(72), 10); // rounds up to 5 beats too
+        assert_eq!(l4.burst_cycles(64), 8);
+    }
+
+    #[test]
+    fn ddr_line_transfer_is_eight_bursts() {
+        let mem = DramConfig::ddr_main();
+        assert_eq!(mem.burst_cycles(64), 16);
+    }
+
+    #[test]
+    fn adjusters_compose() {
+        let c = DramConfig::stacked_l4().with_double_channels().with_half_latency();
+        assert_eq!(c.channels, 8);
+        assert_eq!(c.t_cas, 22);
+        assert_eq!(c.t_ras, 56);
+        assert!(c.name.contains("2xbw") && c.name.contains("halflat"));
+    }
+
+    #[test]
+    fn latencies_match_table2() {
+        let c = DramConfig::stacked_l4();
+        assert_eq!(c.row_hit_latency(), 44);
+        assert_eq!(c.row_miss_latency(), 132);
+    }
+}

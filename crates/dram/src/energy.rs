@@ -1,0 +1,96 @@
+//! Per-event DRAM energy model feeding the paper's Figure 14 (energy/EDP).
+//!
+//! The paper reports *normalized* L4+memory power, energy and
+//! energy-delay-product. Its deltas come from changes in access counts and
+//! runtime, so any monotone per-event model reproduces the direction and
+//! approximate magnitude. We use representative per-event energies:
+//! stacked DRAM transfers cost ~4 pJ/bit and DDR off-package transfers
+//! ~20 pJ/bit, plus per-activate row energy and a constant background power.
+
+use crate::stats::DramStats;
+use crate::Cycle;
+
+/// Energy in joules.
+pub type Joules = f64;
+
+/// Per-event energy coefficients for one DRAM device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per row activation.
+    pub activate_j: Joules,
+    /// Energy per transferred byte (array access + I/O).
+    pub per_byte_j: Joules,
+    /// Background (standby/refresh) power in watts.
+    pub background_w: f64,
+    /// CPU clock in Hz, to convert cycles to seconds.
+    pub cpu_hz: f64,
+}
+
+impl EnergyModel {
+    /// Stacked-DRAM (HBM-like) coefficients: ~4 pJ/bit transfer,
+    /// 1 nJ per activate, 0.5 W background.
+    #[must_use]
+    pub fn stacked() -> Self {
+        Self { activate_j: 1.0e-9, per_byte_j: 32.0e-12, background_w: 0.5, cpu_hz: 3.2e9 }
+    }
+
+    /// DDR DIMM coefficients: ~20 pJ/bit transfer (off-package I/O),
+    /// 2 nJ per activate, 1 W background.
+    #[must_use]
+    pub fn ddr() -> Self {
+        Self { activate_j: 2.0e-9, per_byte_j: 160.0e-12, background_w: 1.0, cpu_hz: 3.2e9 }
+    }
+
+    /// Dynamic energy for the events counted in `stats`.
+    #[must_use]
+    pub fn dynamic_energy(&self, stats: &DramStats) -> Joules {
+        stats.activates as f64 * self.activate_j + stats.bytes as f64 * self.per_byte_j
+    }
+
+    /// Background energy over `elapsed` CPU cycles.
+    #[must_use]
+    pub fn background_energy(&self, elapsed: Cycle) -> Joules {
+        self.background_w * elapsed as f64 / self.cpu_hz
+    }
+
+    /// Total energy: dynamic plus background over `elapsed` cycles.
+    #[must_use]
+    pub fn total_energy(&self, stats: &DramStats, elapsed: Cycle) -> Joules {
+        self.dynamic_energy(stats) + self.background_energy(elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr_bytes_cost_more_than_stacked() {
+        let s = DramStats { bytes: 1_000_000, ..DramStats::default() };
+        assert!(EnergyModel::ddr().dynamic_energy(&s) > EnergyModel::stacked().dynamic_energy(&s));
+    }
+
+    #[test]
+    fn background_scales_with_time() {
+        let m = EnergyModel::stacked();
+        let e1 = m.background_energy(3_200_000_000); // 1 second
+        assert!((e1 - 0.5).abs() < 1e-12);
+        assert!((m.background_energy(6_400_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let m = EnergyModel::stacked();
+        let s = DramStats { activates: 10, bytes: 100, ..DramStats::default() };
+        let total = m.total_energy(&s, 1000);
+        assert!((total - (m.dynamic_energy(&s) + m.background_energy(1000))).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fewer_accesses_less_energy() {
+        let m = EnergyModel::ddr();
+        let many = DramStats { activates: 100, bytes: 64_000, ..DramStats::default() };
+        let few = DramStats { activates: 10, bytes: 6_400, ..DramStats::default() };
+        assert!(m.dynamic_energy(&few) < m.dynamic_energy(&many));
+    }
+}

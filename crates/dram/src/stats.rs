@@ -1,0 +1,103 @@
+//! Access statistics for one DRAM device.
+
+use crate::Cycle;
+
+/// Counters accumulated by [`DramDevice`](crate::DramDevice).
+///
+/// All counters are cumulative from device creation; the simulator snapshots
+/// them at warm-up boundaries and subtracts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read accesses serviced.
+    pub reads: u64,
+    /// Write accesses serviced.
+    pub writes: u64,
+    /// Row activations (row-buffer misses).
+    pub activates: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Total bytes transferred on the data buses.
+    pub bytes: u64,
+    /// Cycles any data bus was transferring (summed over channels).
+    pub busy_cycles: Cycle,
+    /// Requests delayed by a full per-channel queue.
+    pub queue_stalls: u64,
+    /// Sum of request latencies (submission to data completion).
+    pub latency_sum: Cycle,
+    /// Completion time of the latest request.
+    pub last_done: Cycle,
+    /// Cycles spent waiting for the bank's command pipeline (row cycles,
+    /// tCCD, tRAS) summed over requests.
+    pub bank_wait_sum: Cycle,
+    /// Cycles data waited for a free data bus, summed over requests.
+    pub bus_wait_sum: Cycle,
+}
+
+impl DramStats {
+    /// Total accesses (reads + writes).
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of accesses that hit an open row, or 0 if idle.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Mean access latency in cycles, or 0 if idle.
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (for warm-up exclusion).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            activates: self.activates - earlier.activates,
+            row_hits: self.row_hits - earlier.row_hits,
+            bytes: self.bytes - earlier.bytes,
+            busy_cycles: self.busy_cycles - earlier.busy_cycles,
+            queue_stalls: self.queue_stalls - earlier.queue_stalls,
+            latency_sum: self.latency_sum - earlier.latency_sum,
+            last_done: self.last_done,
+            bank_wait_sum: self.bank_wait_sum - earlier.bank_wait_sum,
+            bus_wait_sum: self.bus_wait_sum - earlier.bus_wait_sum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_idle_device() {
+        let s = DramStats::default();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn delta_subtracts_counters() {
+        let early = DramStats { reads: 10, writes: 5, bytes: 100, ..DramStats::default() };
+        let late = DramStats { reads: 30, writes: 15, bytes: 400, ..DramStats::default() };
+        let d = late.delta_since(&early);
+        assert_eq!(d.reads, 20);
+        assert_eq!(d.writes, 10);
+        assert_eq!(d.bytes, 300);
+    }
+}

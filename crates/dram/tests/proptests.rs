@@ -1,0 +1,146 @@
+//! Property-based tests for the DRAM timing model: causality, conservation
+//! and bus-exclusivity under arbitrary access patterns.
+
+use dice_dram::{AccessKind, DramConfig, DramDevice, Location};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Req {
+    dt: u16,
+    channel: u8,
+    bank: u8,
+    row: u16,
+    write: bool,
+    bytes_sel: u8,
+}
+
+fn arb_reqs() -> impl Strategy<Value = Vec<Req>> {
+    proptest::collection::vec(
+        (any::<u16>(), any::<u8>(), any::<u8>(), any::<u16>(), any::<bool>(), any::<u8>())
+            .prop_map(|(dt, channel, bank, row, write, bytes_sel)| Req {
+                dt: dt % 200,
+                channel,
+                bank,
+                row,
+                write,
+                bytes_sel,
+            }),
+        1..300,
+    )
+}
+
+fn bytes_of(sel: u8) -> u32 {
+    [64u32, 72, 80][usize::from(sel) % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn accesses_are_causal_and_accounted(reqs in arb_reqs()) {
+        let cfg = DramConfig::stacked_l4();
+        let mut dev = DramDevice::new(cfg.clone());
+        let mut now = 0u64;
+        let mut total_bytes = 0u64;
+        for r in &reqs {
+            now += u64::from(r.dt);
+            let loc = Location {
+                channel: u32::from(r.channel) % cfg.channels,
+                bank: u32::from(r.bank) % cfg.banks_per_channel,
+                row: u64::from(r.row),
+            };
+            let kind = if r.write { AccessKind::Write } else { AccessKind::Read };
+            let bytes = bytes_of(r.bytes_sel);
+            total_bytes += u64::from(bytes);
+            let res = dev.access(now, kind, loc, bytes);
+            // Causality: service starts no earlier than submission and
+            // completes after at least one row-hit latency + burst.
+            prop_assert!(res.start >= now);
+            prop_assert!(res.done >= res.start + cfg.row_hit_latency());
+            prop_assert!(res.latency_from(now) >= cfg.row_hit_latency());
+        }
+        let s = dev.stats();
+        prop_assert_eq!(s.accesses(), reqs.len() as u64);
+        prop_assert_eq!(s.bytes, total_bytes);
+        prop_assert!(s.row_hits + s.activates >= s.accesses());
+        prop_assert!(s.row_hits <= s.accesses());
+        prop_assert!(s.busy_cycles <= s.last_done * u64::from(cfg.channels));
+    }
+
+    #[test]
+    fn same_bank_same_row_accesses_never_regress(reqs in arb_reqs()) {
+        // Back-to-back accesses to one location complete in submission
+        // order (FIFO per resource).
+        let mut dev = DramDevice::new(DramConfig::ddr_main());
+        let loc = Location { channel: 0, bank: 0, row: 7 };
+        let mut now = 0u64;
+        let mut last_done = 0u64;
+        for r in &reqs {
+            now += u64::from(r.dt);
+            let res = dev.access(now, AccessKind::Read, loc, 64);
+            prop_assert!(res.done > last_done, "completion regressed");
+            last_done = res.done;
+        }
+    }
+
+    #[test]
+    fn single_channel_throughput_is_bus_bounded(n in 10u64..200) {
+        // n back-to-back 80 B reads of one row cannot finish faster than
+        // the bus can stream them.
+        let cfg = DramConfig::stacked_l4();
+        let mut dev = DramDevice::new(cfg.clone());
+        let loc = Location { channel: 0, bank: 0, row: 3 };
+        let mut done = 0;
+        for _ in 0..n {
+            done = dev.access(0, AccessKind::Read, loc, 80).done;
+        }
+        let min_stream = n * u64::from(cfg.burst_cycles(80));
+        prop_assert!(done >= min_stream, "done {done} < bus floor {min_stream}");
+    }
+
+    #[test]
+    fn half_latency_config_is_never_slower(reqs in arb_reqs()) {
+        let base_cfg = DramConfig::stacked_l4();
+        let fast_cfg = DramConfig::stacked_l4().with_half_latency();
+        let mut base = DramDevice::new(base_cfg.clone());
+        let mut fast = DramDevice::new(fast_cfg);
+        let mut now = 0u64;
+        for r in &reqs {
+            now += u64::from(r.dt);
+            let loc = Location {
+                channel: u32::from(r.channel) % base_cfg.channels,
+                bank: u32::from(r.bank) % base_cfg.banks_per_channel,
+                row: u64::from(r.row) % 16,
+            };
+            let b = base.access(now, AccessKind::Read, loc, 80);
+            let f = fast.access(now, AccessKind::Read, loc, 80);
+            prop_assert!(f.done <= b.done, "half-latency device slower: {} > {}", f.done, b.done);
+        }
+    }
+
+    #[test]
+    fn interleave_is_always_in_range(row in any::<u64>()) {
+        let cfg = DramConfig::stacked_l4();
+        let loc = Location::interleave(&cfg, row);
+        prop_assert!(loc.channel < cfg.channels);
+        prop_assert!(loc.bank < cfg.banks_per_channel);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_traffic(extra in 1u32..100) {
+        use dice_dram::EnergyModel;
+        let mut a = DramDevice::new(DramConfig::ddr_main());
+        let mut b = DramDevice::new(DramConfig::ddr_main());
+        for i in 0..50u64 {
+            let loc = Location { channel: 0, bank: (i % 16) as u32, row: i };
+            a.access(i * 10, AccessKind::Read, loc, 64);
+            b.access(i * 10, AccessKind::Read, loc, 64);
+        }
+        for i in 0..u64::from(extra) {
+            let loc = Location { channel: 0, bank: (i % 16) as u32, row: 500 + i };
+            b.access(1_000_000 + i * 10, AccessKind::Write, loc, 64);
+        }
+        let m = EnergyModel::ddr();
+        prop_assert!(m.dynamic_energy(b.stats()) > m.dynamic_energy(a.stats()));
+    }
+}

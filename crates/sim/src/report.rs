@@ -1,0 +1,195 @@
+//! Measurement output of one simulation run.
+
+use dice_cache::CacheStats;
+use dice_core::L4Stats;
+use dice_dram::{DramStats, EnergyModel};
+
+use crate::Cycle;
+
+/// Energy accounting for the off-chip system (L4 + memory), the quantities
+/// behind Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Stacked-DRAM (L4) energy in joules over the measured window.
+    pub l4_joules: f64,
+    /// DDR main-memory energy in joules.
+    pub mem_joules: f64,
+    /// Measured window length in cycles.
+    pub cycles: Cycle,
+}
+
+impl EnergyReport {
+    /// Total off-chip energy.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.l4_joules + self.mem_joules
+    }
+
+    /// Average power in watts (3.2 GHz clock).
+    #[must_use]
+    pub fn power_watts(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_joules() / (self.cycles as f64 / 3.2e9)
+        }
+    }
+
+    /// Energy-delay product in joule-seconds.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.total_joules() * self.cycles as f64 / 3.2e9
+    }
+}
+
+/// Everything measured in one run's post-warm-up window.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Cycles to complete the measured window (max over cores).
+    pub cycles: Cycle,
+    /// Instructions retired per core.
+    pub core_instructions: Vec<u64>,
+    /// Finish cycle per core.
+    pub core_cycles: Vec<Cycle>,
+    /// Shared L3 statistics.
+    pub l3: CacheStats,
+    /// DRAM-cache controller statistics.
+    pub l4: L4Stats,
+    /// Stacked-DRAM device statistics.
+    pub l4_dram: DramStats,
+    /// Main-memory device statistics.
+    pub mem_dram: DramStats,
+    /// CIP read-predictor accuracy over the whole run.
+    pub cip_accuracy: f64,
+    /// Number of scored CIP predictions.
+    pub cip_predictions: u64,
+    /// MAP-I accuracy over the whole run.
+    pub mapi_accuracy: f64,
+    /// Mean resident lines (sampled), for Table 5's effective capacity.
+    pub avg_valid_lines: f64,
+    /// Mean number of sets holding at least one line (sampled).
+    pub avg_occupied_sets: f64,
+    /// Baseline line capacity (number of sets).
+    pub baseline_lines: u64,
+    /// Off-chip energy.
+    pub energy: EnergyReport,
+}
+
+impl RunReport {
+    /// Per-core IPC over the measured window.
+    #[must_use]
+    pub fn core_ipc(&self) -> Vec<f64> {
+        self.core_instructions
+            .iter()
+            .zip(&self.core_cycles)
+            .map(|(&i, &c)| if c == 0 { 0.0 } else { i as f64 / c as f64 })
+            .collect()
+    }
+
+    /// Weighted speedup relative to `base` (§3.2): the mean of per-core
+    /// IPC ratios.
+    #[must_use]
+    pub fn weighted_speedup(&self, base: &RunReport) -> f64 {
+        let a = self.core_ipc();
+        let b = base.core_ipc();
+        let n = a.len().min(b.len());
+        a.iter()
+            .zip(&b)
+            .take(n)
+            .map(|(x, y)| if *y == 0.0 { 1.0 } else { x / y })
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Effective capacity ratio (Table 5): mean resident lines per
+    /// *occupied* set. The paper samples valid lines of a fully warm 1 GB
+    /// cache; at simulation scale not every set has been touched yet, so
+    /// normalizing by occupied sets estimates the same steady-state packing
+    /// density without the fill-progress bias.
+    #[must_use]
+    pub fn capacity_ratio(&self) -> f64 {
+        if self.avg_occupied_sets <= 0.0 {
+            0.0
+        } else {
+            self.avg_valid_lines / self.avg_occupied_sets
+        }
+    }
+
+    /// Builds the energy report from device stats and models.
+    pub(crate) fn energy_of(
+        l4_stats: &DramStats,
+        mem_stats: &DramStats,
+        cycles: Cycle,
+    ) -> EnergyReport {
+        EnergyReport {
+            l4_joules: EnergyModel::stacked().total_energy(l4_stats, cycles),
+            mem_joules: EnergyModel::ddr().total_energy(mem_stats, cycles),
+            cycles,
+        }
+    }
+}
+
+/// Geometric mean of a slice of ratios (the paper's averaging rule).
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(instr: u64, cycles: Cycle) -> RunReport {
+        RunReport {
+            workload: "t".into(),
+            cycles,
+            core_instructions: vec![instr; 4],
+            core_cycles: vec![cycles; 4],
+            l3: CacheStats::default(),
+            l4: L4Stats::default(),
+            l4_dram: DramStats::default(),
+            mem_dram: DramStats::default(),
+            cip_accuracy: 1.0,
+            cip_predictions: 0,
+            mapi_accuracy: 1.0,
+            avg_valid_lines: 0.0,
+            avg_occupied_sets: 1.0,
+            baseline_lines: 100,
+            energy: EnergyReport { l4_joules: 1.0, mem_joules: 2.0, cycles },
+        }
+    }
+
+    #[test]
+    fn weighted_speedup_of_identical_runs_is_one() {
+        let r = report(1000, 500);
+        assert!((r.weighted_speedup(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_run_speeds_up() {
+        let slow = report(1000, 1000);
+        let fast = report(1000, 500);
+        assert!((fast.weighted_speedup(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_totals_and_edp() {
+        let e = EnergyReport { l4_joules: 1.0, mem_joules: 2.0, cycles: 3_200_000_000 };
+        assert!((e.total_joules() - 3.0).abs() < 1e-12);
+        assert!((e.power_watts() - 3.0).abs() < 1e-12);
+        assert!((e.edp() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! The deterministic event loop tying cores, L3, L4 and memory together.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dice_cache::{HierarchyConfig, SramHierarchy};
+use dice_core::{DramCacheController, Probe, SetIndex};
+use dice_dram::{AccessKind, DramDevice, Location};
+use dice_workloads::{MixDataModel, RecordSource, TraceGen, TraceRecord};
+
+use crate::config::{SimConfig, WorkloadSet};
+use crate::core_model::CoreModel;
+use crate::report::RunReport;
+use crate::Cycle;
+
+/// Lines per 2 KB main-memory row.
+const MEM_LINES_PER_ROW: u64 = 32;
+/// Sample the resident-line count every this many demand records.
+const CAPACITY_SAMPLE_EVERY: u64 = 2048;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A core is ready to dispatch its next trace record.
+    Dispatch { core: usize },
+    /// Install a memory fetch into the L4.
+    Fill { line: u64, probed: Option<SetIndex> },
+    /// A dirty L3 victim arrives at the L4.
+    L4Writeback { line: u64 },
+    /// An L3-side prefetch request (Table 7 policies).
+    Prefetch { line: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Cycle,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct CoreState {
+    gen: Box<dyn RecordSource>,
+    model: CoreModel,
+    records_done: u64,
+    target: u64,
+}
+
+/// One simulated machine.
+///
+/// Deterministic: a given `(SimConfig, WorkloadSet)` always produces the
+/// same [`RunReport`].
+pub struct System {
+    cfg: SimConfig,
+    hierarchy: SramHierarchy,
+    l4: DramCacheController,
+    l4dram: DramDevice,
+    mem: DramDevice,
+    cores: Vec<CoreState>,
+    data: MixDataModel,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    workload_name: String,
+    valid_sum: f64,
+    occupied_sum: f64,
+    valid_samples: u64,
+    records_since_sample: u64,
+    sampling: bool,
+}
+
+impl System {
+    /// Builds a cold system running `workload` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload.specs` is neither 1 nor `cfg.cores` entries.
+    #[must_use]
+    pub fn new(cfg: SimConfig, workload: &WorkloadSet) -> Self {
+        let specs: Vec<_> = if workload.specs.len() == 1 {
+            vec![workload.specs[0].clone(); cfg.cores]
+        } else {
+            assert_eq!(workload.specs.len(), cfg.cores, "one spec per core (or one for all)");
+            workload.specs.clone()
+        };
+        let cores = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Box::new(TraceGen::with_scale(s, i as u32, workload.seed, cfg.scale))
+                    as Box<dyn RecordSource>
+            })
+            .collect();
+        let data =
+            MixDataModel::new(specs.iter().map(|s| s.values).collect(), workload.seed ^ 0xda7a);
+        Self::with_sources(cfg, &workload.name, cores, data)
+    }
+
+    /// Builds a system from explicit per-core record sources and a size
+    /// oracle — the entry point for replaying recorded traces
+    /// ([`dice_workloads::ReplaySource`]) instead of synthesizing streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len() != cfg.cores`.
+    #[must_use]
+    pub fn with_sources(
+        cfg: SimConfig,
+        name: &str,
+        sources: Vec<Box<dyn RecordSource>>,
+        data: MixDataModel,
+    ) -> Self {
+        assert_eq!(sources.len(), cfg.cores, "one record source per core");
+        let hcfg = HierarchyConfig {
+            cores: cfg.cores,
+            l3_bytes: cfg.l3_bytes,
+            l3_ways: cfg.l3_ways,
+            ..HierarchyConfig::paper_8core()
+        };
+        let cores = sources
+            .into_iter()
+            .map(|gen| CoreState {
+                gen,
+                model: CoreModel::new(cfg.mlp, cfg.base_cpi),
+                records_done: 0,
+                target: 0,
+            })
+            .collect();
+
+        Self {
+            hierarchy: SramHierarchy::new(&hcfg),
+            l4: DramCacheController::new(cfg.l4),
+            l4dram: DramDevice::new(cfg.l4_dram.clone()),
+            mem: DramDevice::new(cfg.mem_dram.clone()),
+            cores,
+            data,
+            events: BinaryHeap::new(),
+            seq: 0,
+            workload_name: name.to_owned(),
+            valid_sum: 0.0,
+            occupied_sum: 0.0,
+            valid_samples: 0,
+            records_since_sample: 0,
+            sampling: false,
+            cfg,
+        }
+    }
+
+    fn push(&mut self, time: Cycle, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq: self.seq, kind }));
+    }
+
+    fn l4_loc(&self, set: SetIndex) -> Location {
+        Location::interleave(self.l4dram.config(), self.l4.row_of(set))
+    }
+
+    fn mem_loc(&self, line: u64) -> Location {
+        Location::interleave(self.mem.config(), line / MEM_LINES_PER_ROW)
+    }
+
+    /// Executes dependent probes back to back; returns the final data time.
+    fn run_probes(&mut self, start: Cycle, probes: &[Probe]) -> Cycle {
+        let mut t = start;
+        for p in probes {
+            let kind = if p.write { AccessKind::Write } else { AccessKind::Read };
+            let loc = self.l4_loc(p.set);
+            t = self.l4dram.access(t, kind, loc, p.bytes).done;
+        }
+        t
+    }
+
+    /// The L4 demand-read path; returns when the requester sees data.
+    fn l4_demand(&mut self, t: Cycle, line: u64) -> Cycle {
+        let out = self.l4.read(line);
+        let data_time = self.run_probes(t, &out.probes);
+        let probed = out.probes.last().map(|p| p.set);
+
+        if out.hit {
+            // When MAP-I predicted a miss, a speculative memory read was
+            // enqueued alongside the cache probe. The tag check resolves in
+            // ~100-200 cycles, well inside DDR's queueing delay, so the
+            // controller dequeues the speculative request before it issues
+            // — a hit costs no memory bandwidth (matching MAP-I's design:
+            // mispredictions waste latency headroom, not DDR throughput).
+            if self.cfg.install_pair_in_l3 {
+                for f in out.free_lines {
+                    self.hierarchy.l3_fill(f, false);
+                }
+                self.drain_l3_writebacks(data_time);
+            }
+            data_time
+        } else {
+            // On a predicted miss, memory was accessed in parallel with the
+            // cache probe; otherwise it serializes behind tag resolution.
+            let mem_start = if out.predicted_hit { data_time } else { t };
+            let done = self.mem.access(mem_start, AccessKind::Read, self.mem_loc(line), 64).done;
+            self.push(done, EventKind::Fill { line, probed });
+            done
+        }
+    }
+
+    fn drain_l3_writebacks(&mut self, t: Cycle) {
+        for wb in self.hierarchy.take_writebacks() {
+            self.push(t, EventKind::L4Writeback { line: wb });
+        }
+    }
+
+    fn mem_writes(&mut self, t: Cycle, lines: &[u64]) {
+        for &l in lines {
+            let loc = self.mem_loc(l);
+            self.mem.access(t, AccessKind::Write, loc, 64);
+        }
+    }
+
+    fn handle_record(&mut self, rec: TraceRecord, t: Cycle) -> Cycle {
+        if self.sampling {
+            self.records_since_sample += 1;
+            if self.records_since_sample >= CAPACITY_SAMPLE_EVERY {
+                self.records_since_sample = 0;
+                self.valid_sum += self.l4.valid_lines() as f64;
+                self.occupied_sum += self.l4.occupied_sets().max(1) as f64;
+                self.valid_samples += 1;
+            }
+        }
+
+        if self.hierarchy.l3_access(rec.line, rec.write) {
+            return t + self.cfg.l3_hit_latency;
+        }
+        let completion = self.l4_demand(t, rec.line);
+        self.hierarchy.l3_fill(rec.line, rec.write);
+        self.drain_l3_writebacks(completion);
+        // Prefetch policies issue their extra fetches as independent
+        // requests (paying full bandwidth — the contrast of Table 7).
+        // Like a real next-line prefetcher, they have no notion of the
+        // workload's footprint; useless prefetches simply pollute.
+        for e in self.cfg.l3_fetch.extra_fetches(rec.line) {
+            self.push(t, EventKind::Prefetch { line: e });
+        }
+        completion + self.cfg.l3_hit_latency
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Dispatch { core } => {
+                if self.cores[core].records_done >= self.cores[core].target {
+                    return;
+                }
+                let rec = self.cores[core].gen.next_record();
+                let t = self.cores[core].model.advance(rec.gap);
+                let completion = self.handle_record(rec, t);
+                let c = &mut self.cores[core];
+                c.model.complete(completion);
+                c.records_done += 1;
+                if c.records_done < c.target {
+                    let next = c.model.next_dispatch();
+                    self.push(next, EventKind::Dispatch { core });
+                }
+            }
+            EventKind::Fill { line, probed } => {
+                let out = self.l4.fill(line, false, probed, &mut self.data);
+                let end = self.run_probes(ev.time, &out.probes);
+                self.mem_writes(end, &out.memory_writebacks);
+            }
+            EventKind::L4Writeback { line } => {
+                let out = self.l4.writeback(line, &mut self.data);
+                let end = self.run_probes(ev.time, &out.probes);
+                self.mem_writes(end, &out.memory_writebacks);
+            }
+            EventKind::Prefetch { line } => {
+                // Prefetches use the demand path for timing/bandwidth but
+                // install into the shared L3 only. They are throttled:
+                // a prefetch the MAP-I expects to miss the L4 would spend
+                // DDR bandwidth on speculation and is dropped instead.
+                if self.hierarchy.l3_contains(line) || !self.l4.predicts_hit(line) {
+                    return;
+                }
+                let done = self.l4_demand(ev.time, line);
+                self.hierarchy.l3_fill(line, false);
+                self.drain_l3_writebacks(done);
+            }
+        }
+    }
+
+    fn run_phase(&mut self, records_per_core: u64) {
+        for core in 0..self.cores.len() {
+            self.cores[core].target += records_per_core;
+            let t = self.cores[core].model.next_dispatch();
+            self.push(t, EventKind::Dispatch { core });
+        }
+        while let Some(Reverse(ev)) = self.events.pop() {
+            self.handle_event(ev);
+        }
+    }
+
+    /// Runs warm-up then the measured window and reports the measurement.
+    pub fn run(mut self) -> RunReport {
+        self.run_phase(self.cfg.warmup_records);
+
+        // Snapshot at the measurement boundary.
+        self.hierarchy.reset_stats();
+        let l4_snap = *self.l4.stats();
+        let l4d_snap = *self.l4dram.stats();
+        let mem_snap = *self.mem.stats();
+        let t0: Vec<Cycle> = self.cores.iter().map(|c| c.model.next_dispatch()).collect();
+        for c in &mut self.cores {
+            c.model.reset_instructions();
+        }
+        self.sampling = true;
+
+        self.run_phase(self.cfg.measure_records);
+
+        let core_cycles: Vec<Cycle> = self
+            .cores
+            .iter()
+            .zip(&t0)
+            .map(|(c, &s)| c.model.finish_time().saturating_sub(s))
+            .collect();
+        let cycles = *core_cycles.iter().max().unwrap_or(&0);
+        let l4_dram = self.l4dram.stats().delta_since(&l4d_snap);
+        let mem_dram = self.mem.stats().delta_since(&mem_snap);
+        let (avg_valid_lines, avg_occupied_sets) = if self.valid_samples == 0 {
+            (self.l4.valid_lines() as f64, self.l4.occupied_sets().max(1) as f64)
+        } else {
+            (
+                self.valid_sum / self.valid_samples as f64,
+                self.occupied_sum / self.valid_samples as f64,
+            )
+        };
+
+        RunReport {
+            workload: self.workload_name.clone(),
+            cycles,
+            core_instructions: self.cores.iter().map(|c| c.model.instructions()).collect(),
+            core_cycles,
+            l3: *self.hierarchy.l3_stats(),
+            l4: self.l4.stats().delta_since(&l4_snap),
+            l4_dram,
+            mem_dram,
+            cip_accuracy: self.l4.cip_accuracy(),
+            cip_predictions: self.l4.cip_predictions(),
+            mapi_accuracy: self.l4.mapi_accuracy(),
+            avg_valid_lines,
+            avg_occupied_sets,
+            baseline_lines: self.l4.num_sets(),
+            energy: RunReport::energy_of(&l4_dram, &mem_dram, cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_core::Organization;
+    use dice_workloads::{spec_table, WorkloadSpec};
+
+    fn spec(name: &str) -> WorkloadSpec {
+        spec_table().into_iter().find(|w| w.name == name).unwrap()
+    }
+
+    fn quick(org: Organization, wl: &str) -> RunReport {
+        let cfg = SimConfig::scaled(org, 256).with_records(4_000, 8_000);
+        System::new(cfg, &WorkloadSet::rate(spec(wl), 7)).run()
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = quick(Organization::Dice { threshold: 36 }, "gcc");
+        let b = quick(Organization::Dice { threshold: 36 }, "gcc");
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l4.reads, b.l4.reads);
+        assert_eq!(a.mem_dram.reads, b.mem_dram.reads);
+    }
+
+    #[test]
+    fn caches_actually_hit() {
+        let r = quick(Organization::UncompressedAlloy, "gcc");
+        assert!(r.l3.hit_rate() > 0.05, "L3 hit rate {}", r.l3.hit_rate());
+        assert!(r.l4.hit_rate() > 0.2, "L4 hit rate {}", r.l4.hit_rate());
+        assert!(r.cycles > 0);
+        assert!(r.core_instructions.iter().all(|&i| i > 0));
+    }
+
+    #[test]
+    fn compression_increases_effective_capacity() {
+        // Longer window on a smaller cache so the L4 actually fills.
+        let run = |org| {
+            let cfg = SimConfig::scaled(org, 1024).with_records(6_000, 12_000);
+            System::new(cfg, &WorkloadSet::rate(spec("cc_twi"), 7)).run()
+        };
+        let base = run(Organization::UncompressedAlloy);
+        let tsi = run(Organization::CompressedTsi);
+        assert!(tsi.capacity_ratio() > base.capacity_ratio());
+        assert!(tsi.capacity_ratio() > 1.1, "tsi ratio {}", tsi.capacity_ratio());
+    }
+
+    #[test]
+    fn dice_beats_baseline_on_compressible_spatial_workload() {
+        let base = quick(Organization::UncompressedAlloy, "cc_twi");
+        let dice = quick(Organization::Dice { threshold: 36 }, "cc_twi");
+        let s = dice.weighted_speedup(&base);
+        assert!(s > 1.0, "DICE speedup on cc_twi = {s}");
+    }
+
+    #[test]
+    fn dice_does_not_tank_incompressible_workload() {
+        let base = quick(Organization::UncompressedAlloy, "lbm");
+        let dice = quick(Organization::Dice { threshold: 36 }, "lbm");
+        let s = dice.weighted_speedup(&base);
+        assert!(s > 0.93, "DICE must not degrade lbm: {s}");
+    }
+
+    #[test]
+    fn free_lines_flow_on_dice() {
+        let dice = quick(Organization::Dice { threshold: 36 }, "cc_twi");
+        assert!(dice.l4.free_lines > 0, "compressed pairs should deliver free lines");
+    }
+
+    #[test]
+    fn energy_is_positive_and_memory_dominated_for_misses() {
+        let r = quick(Organization::UncompressedAlloy, "mcf");
+        assert!(r.energy.total_joules() > 0.0);
+        assert!(r.energy.l4_joules > 0.0);
+        assert!(r.energy.mem_joules > 0.0);
+    }
+
+    #[test]
+    fn mix_workloads_run() {
+        let cfg =
+            SimConfig::scaled(Organization::Dice { threshold: 36 }, 256).with_records(2_000, 4_000);
+        let specs = vec![
+            spec("mcf"),
+            spec("lbm"),
+            spec("gcc"),
+            spec("libq"),
+            spec("astar"),
+            spec("wrf"),
+            spec("milc"),
+            spec("xalanc"),
+        ];
+        let r = System::new(cfg, &WorkloadSet::mix("mixT", specs, 3)).run();
+        assert!(r.cycles > 0);
+        assert_eq!(r.core_instructions.len(), 8);
+    }
+}

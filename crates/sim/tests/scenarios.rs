@@ -1,0 +1,149 @@
+//! Scenario tests for the system simulator: configuration sensitivity,
+//! fetch policies and organization coverage, each on a small fast system.
+
+use dice_cache::L3FetchPolicy;
+use dice_core::{DramCacheConfig, Organization, TagVariant};
+use dice_sim::{geomean, RunReport, SimConfig, System, WorkloadSet};
+use dice_workloads::spec_table;
+
+fn spec(name: &str) -> dice_workloads::WorkloadSpec {
+    spec_table().into_iter().find(|w| w.name == name).unwrap()
+}
+
+fn base_cfg(org: Organization) -> SimConfig {
+    SimConfig::scaled(org, 1024).with_records(3_000, 6_000)
+}
+
+fn run(cfg: SimConfig, wl: &str) -> RunReport {
+    System::new(cfg, &WorkloadSet::rate(spec(wl), 11)).run()
+}
+
+#[test]
+fn all_organizations_complete() {
+    for org in [
+        Organization::UncompressedAlloy,
+        Organization::CompressedTsi,
+        Organization::CompressedNsi,
+        Organization::CompressedBai,
+        Organization::Dice { threshold: 36 },
+        Organization::Scc,
+    ] {
+        let r = run(base_cfg(org), "soplex");
+        assert!(r.cycles > 0, "{org:?}");
+        assert!(r.l4.reads > 0, "{org:?}");
+    }
+}
+
+#[test]
+fn half_latency_l4_is_faster() {
+    let base = run(base_cfg(Organization::UncompressedAlloy), "gcc");
+    let fast = run(base_cfg(Organization::UncompressedAlloy).with_half_l4_latency(), "gcc");
+    assert!(fast.weighted_speedup(&base) > 1.0);
+}
+
+#[test]
+fn more_bandwidth_never_hurts() {
+    for wl in ["gcc", "mcf"] {
+        let base = run(base_cfg(Organization::UncompressedAlloy), wl);
+        let wide = run(base_cfg(Organization::UncompressedAlloy).with_double_l4_bandwidth(), wl);
+        assert!(wide.weighted_speedup(&base) > 0.99, "{wl}");
+    }
+}
+
+#[test]
+fn double_capacity_helps_capacity_bound_workloads() {
+    // omnetpp's footprint exceeds the cache → extra capacity pays.
+    let base = run(base_cfg(Organization::UncompressedAlloy), "omnetpp");
+    let big = run(base_cfg(Organization::UncompressedAlloy).with_double_l4_capacity(), "omnetpp");
+    assert!(big.weighted_speedup(&base) > 1.0);
+}
+
+#[test]
+fn prefetch_policies_generate_extra_traffic() {
+    let demand = run(base_cfg(Organization::UncompressedAlloy), "gcc");
+    let mut cfg = base_cfg(Organization::UncompressedAlloy);
+    cfg.l3_fetch = L3FetchPolicy::NextLine;
+    let nl = run(cfg, "gcc");
+    assert!(
+        nl.l4.reads > demand.l4.reads,
+        "next-line prefetch must add L4 reads: {} vs {}",
+        nl.l4.reads,
+        demand.l4.reads
+    );
+    let mut cfg = base_cfg(Organization::UncompressedAlloy);
+    cfg.l3_fetch = L3FetchPolicy::Wide128;
+    let wide = run(cfg, "gcc");
+    assert!(wide.l4.reads > demand.l4.reads);
+}
+
+#[test]
+fn knl_variant_issues_more_probes_than_alloy() {
+    let mk = |variant| {
+        let mut cfg = base_cfg(Organization::Dice { threshold: 36 });
+        cfg.l4 = DramCacheConfig { tag_variant: variant, ..cfg.l4 };
+        cfg
+    };
+    // mcf misses a lot; KNL pays both-location checks on those misses.
+    let alloy = run(mk(TagVariant::Alloy), "mcf");
+    let knl = run(mk(TagVariant::Knl), "mcf");
+    assert!(knl.l4.second_probes > alloy.l4.second_probes);
+    // ...but contents and hit behaviour stay comparable.
+    let dh = (knl.l4.hit_rate() - alloy.l4.hit_rate()).abs();
+    assert!(dh < 0.05, "hit rates diverged by {dh}");
+}
+
+#[test]
+fn nsi_is_spatial_but_fragile() {
+    // NSI delivers free pair lines like BAI...
+    let nsi = run(base_cfg(Organization::CompressedNsi), "gcc");
+    assert!(nsi.l4.free_lines > 0);
+    // ...but on incompressible data it thrashes harder than the baseline.
+    let base = run(base_cfg(Organization::UncompressedAlloy), "lbm");
+    let nsi_lbm = run(base_cfg(Organization::CompressedNsi), "lbm");
+    assert!(nsi_lbm.weighted_speedup(&base) < 1.0);
+}
+
+#[test]
+fn threshold_extremes_degenerate_correctly() {
+    // Threshold 0 → always TSI; threshold 64 → always BAI (§6.2).
+    let t0 = run(base_cfg(Organization::Dice { threshold: 0 }), "soplex");
+    assert_eq!(t0.l4.installs_bai, 0, "threshold 0 must never choose BAI");
+    let t64 = run(base_cfg(Organization::Dice { threshold: 64 }), "soplex");
+    assert_eq!(t64.l4.installs_tsi, 0, "threshold 64 must never choose TSI");
+}
+
+#[test]
+fn ltt_size_trades_accuracy(/* §5.3 */) {
+    let mut small = base_cfg(Organization::Dice { threshold: 36 });
+    small.l4.ltt_entries = 64;
+    let mut big = base_cfg(Organization::Dice { threshold: 36 });
+    big.l4.ltt_entries = 8192;
+    let rs = System::new(small, &WorkloadSet::rate(spec("soplex"), 11)).run();
+    let rb = System::new(big, &WorkloadSet::rate(spec("soplex"), 11)).run();
+    assert!(rb.cip_accuracy >= rs.cip_accuracy - 0.02, "bigger LTT should not predict much worse");
+}
+
+#[test]
+fn geomean_helper_matches_manual_math() {
+    assert!((geomean(&[1.1, 1.2, 0.9]) - (1.1f64 * 1.2 * 0.9).powf(1.0 / 3.0)).abs() < 1e-12);
+}
+
+#[test]
+fn per_core_reports_are_complete_for_mixes() {
+    let specs = vec![
+        spec("mcf"),
+        spec("lbm"),
+        spec("soplex"),
+        spec("milc"),
+        spec("gcc"),
+        spec("libq"),
+        spec("Gems"),
+        spec("omnetpp"),
+    ];
+    let cfg = base_cfg(Organization::Dice { threshold: 36 });
+    let r = System::new(cfg, &WorkloadSet::mix("testmix", specs, 5)).run();
+    assert_eq!(r.core_ipc().len(), 8);
+    // Cores run different programs: their IPCs should not all be equal.
+    let ipc = r.core_ipc();
+    assert!(ipc.iter().any(|&x| (x - ipc[0]).abs() > 1e-6));
+}

@@ -1,0 +1,177 @@
+//! The per-workload data-value oracle.
+//!
+//! [`DataModel`] binds a workload's [`ValueProfile`] to concrete bytes and
+//! implements `dice-core`'s [`SizeInfo`], so the DRAM-cache controller's
+//! capacity accounting runs on *real* FPC+BDI compressed sizes of
+//! synthesized data — the actual compression code path, not a size model.
+//! Sizes are memoized (they are pure functions of the address).
+
+use std::collections::HashMap;
+
+use crate::spec::{WorkloadSpec, LINES_PER_PAGE};
+use crate::value::{line_data, ValueProfile};
+use crate::LineAddr;
+use dice_compress::{compressed_size, pair_compressed_size, LineData};
+use dice_core::SizeInfo;
+
+/// Deterministic value model + memoized compressed sizes for one workload.
+#[derive(Debug, Clone)]
+pub struct DataModel {
+    profile: ValueProfile,
+    seed: u64,
+    singles: HashMap<LineAddr, u8>,
+    pairs: HashMap<LineAddr, u8>,
+}
+
+impl DataModel {
+    /// Builds the oracle for `spec` with the given value seed.
+    #[must_use]
+    pub fn new(spec: &WorkloadSpec, seed: u64) -> Self {
+        Self::from_profile(spec.values, seed)
+    }
+
+    /// Builds the oracle directly from a profile (used by mixes, where each
+    /// core has its own workload but one oracle serves the whole machine —
+    /// addresses disambiguate because cores occupy disjoint regions).
+    #[must_use]
+    pub fn from_profile(profile: ValueProfile, seed: u64) -> Self {
+        Self { profile, seed, singles: HashMap::new(), pairs: HashMap::new() }
+    }
+
+    /// The 64 bytes currently at `line`.
+    #[must_use]
+    pub fn line_data(&self, line: LineAddr) -> LineData {
+        let class = self.profile.class_of(self.seed, line / LINES_PER_PAGE);
+        line_data(self.seed, class, line)
+    }
+
+    /// Number of memoized single-line sizes (introspection for tests).
+    #[must_use]
+    pub fn cached_sizes(&self) -> usize {
+        self.singles.len()
+    }
+}
+
+impl SizeInfo for DataModel {
+    fn single_size(&mut self, line: LineAddr) -> u32 {
+        if let Some(&s) = self.singles.get(&line) {
+            return u32::from(s);
+        }
+        let s = compressed_size(&self.line_data(line)) as u8;
+        self.singles.insert(line, s);
+        u32::from(s)
+    }
+
+    fn pair_size(&mut self, even_line: LineAddr) -> u32 {
+        let even_line = even_line & !1;
+        if let Some(&s) = self.pairs.get(&even_line) {
+            return u32::from(s);
+        }
+        let joint = pair_compressed_size(&self.line_data(even_line), &self.line_data(even_line | 1));
+        // Joint sizes can reach 128 (two raw lines); saturate into u8 — any
+        // value above one TAD is equally "does not fit".
+        let stored = joint.min(200) as u8;
+        self.pairs.insert(even_line, stored);
+        u32::from(stored)
+    }
+}
+
+/// A multi-region oracle for mixed workloads: region `r` (core `r`) uses
+/// profile `profiles[r]`.
+#[derive(Debug, Clone)]
+pub struct MixDataModel {
+    models: Vec<DataModel>,
+    region_shift: u32,
+}
+
+impl MixDataModel {
+    /// One profile per core region (region = line >> 34, matching
+    /// [`crate::trace::CORE_REGION_LINES`]).
+    #[must_use]
+    pub fn new(profiles: Vec<ValueProfile>, seed: u64) -> Self {
+        let models =
+            profiles.into_iter().map(|p| DataModel::from_profile(p, seed)).collect();
+        Self { models, region_shift: 34 }
+    }
+
+    fn model_mut(&mut self, line: LineAddr) -> &mut DataModel {
+        let r = (line >> self.region_shift) as usize;
+        let n = self.models.len();
+        &mut self.models[r.min(n - 1)]
+    }
+}
+
+impl SizeInfo for MixDataModel {
+    fn single_size(&mut self, line: LineAddr) -> u32 {
+        self.model_mut(line).single_size(line)
+    }
+
+    fn pair_size(&mut self, even_line: LineAddr) -> u32 {
+        self.model_mut(even_line).pair_size(even_line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec_table;
+
+    fn spec(name: &str) -> WorkloadSpec {
+        spec_table().into_iter().find(|w| w.name == name).unwrap()
+    }
+
+    #[test]
+    fn sizes_are_memoized_and_stable() {
+        let mut m = DataModel::new(&spec("gcc"), 5);
+        let a = m.single_size(1234);
+        assert_eq!(m.cached_sizes(), 1);
+        assert_eq!(m.single_size(1234), a);
+        assert_eq!(m.cached_sizes(), 1);
+    }
+
+    #[test]
+    fn pair_size_normalizes_odd_addresses() {
+        let mut m = DataModel::new(&spec("gcc"), 5);
+        assert_eq!(m.pair_size(100), m.pair_size(101));
+    }
+
+    #[test]
+    fn sizes_match_direct_compression() {
+        let mut m = DataModel::new(&spec("soplex"), 5);
+        for line in (0..2000u64).step_by(37) {
+            let direct = compressed_size(&m.line_data(line)) as u32;
+            assert_eq!(m.single_size(line), direct, "line {line}");
+        }
+    }
+
+    #[test]
+    fn incompressible_workload_yields_big_sizes() {
+        let mut lbm = DataModel::new(&spec("lbm"), 5);
+        let big = (0..500u64).filter(|&l| lbm.single_size(l * 64) > 36).count();
+        assert!(big > 350, "lbm should be mostly incompressible, got {big}/500 big");
+    }
+
+    #[test]
+    fn compressible_workload_yields_small_sizes() {
+        let mut gap = DataModel::new(&spec("cc_twi"), 5);
+        let small = (0..500u64).filter(|&l| gap.single_size(l * 64) <= 36).count();
+        assert!(small > 350, "cc_twi should be mostly compressible, got {small}/500 small");
+    }
+
+    #[test]
+    fn mix_model_routes_by_region() {
+        let zeros = ValueProfile {
+            zero: 1,
+            small_int: 0,
+            strided: 0,
+            pointer: 0,
+            half16: 0,
+            loose16: 0,
+            float: 0,
+            random: 0,
+        };
+        let mut m = MixDataModel::new(vec![zeros, ValueProfile::incompressible()], 1);
+        assert_eq!(m.single_size(5), 1, "region 0 is all zeros");
+        assert_eq!(m.single_size((1 << 34) + 5), 64, "region 1 is incompressible");
+    }
+}

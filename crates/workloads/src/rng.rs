@@ -1,0 +1,126 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Everything in the workload layer must be bit-reproducible from a seed,
+//! across platforms and crate versions, so we implement SplitMix64 directly
+//! instead of depending on an external generator whose stream might change.
+
+/// SplitMix64: a tiny, high-quality, splittable PRNG (Steele et al., 2014).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. Returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            // Multiply-shift range reduction (Lemire); bias is negligible
+            // for simulation purposes.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Geometric-ish draw with the given mean (≥ 0): an exponential sample
+    /// rounded down, cheap and adequate for inter-arrival gaps.
+    pub fn geometric(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        let u = self.unit().max(1e-12);
+        (-mean * u.ln()) as u64
+    }
+
+    /// A stateless hash of `x` (useful for per-page derivations).
+    #[must_use]
+    pub fn hash(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn unit_in_range_and_roughly_uniform() {
+        let mut r = SplitMix64::new(4);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut r = SplitMix64::new(5);
+        let mean = 50.0;
+        let total: u64 = (0..20_000).map(|_| r.geometric(mean)).sum();
+        let got = total as f64 / 20_000.0;
+        assert!((got - mean).abs() < 2.0, "mean {got}");
+    }
+
+    #[test]
+    fn hash_is_stable_and_spreads() {
+        assert_eq!(SplitMix64::hash(42), SplitMix64::hash(42));
+        assert_ne!(SplitMix64::hash(1), SplitMix64::hash(2));
+    }
+}

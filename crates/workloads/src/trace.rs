@@ -1,0 +1,298 @@
+//! The address-stream generator.
+//!
+//! Produces the post-L2 access stream one core feeds the shared L3: a
+//! sequence of `(instruction gap, line address, read/write)` records.
+//! The structure is the standard synthetic decomposition of program
+//! locality:
+//!
+//! * **sequential runs** — with probability governed by `seq_run`, the next
+//!   access continues at `line + 1` (stream/stencil behaviour; this is what
+//!   spatial indexing monetizes);
+//! * **hot/cold working sets** — a `hot_fraction` prefix of the footprint
+//!   absorbs `hot_prob` of the non-sequential jumps (temporal reuse, which
+//!   sets the baseline L3/L4 hit rates);
+//! * **Zipf page popularity** — graph workloads draw cold pages with a
+//!   power-law skew instead of uniformly.
+
+use crate::rng::SplitMix64;
+use crate::spec::WorkloadSpec;
+use crate::LineAddr;
+
+/// Address-space stride between per-core regions (in lines): 2^34 lines =
+/// 1 TB per core, comfortably larger than any footprint.
+pub const CORE_REGION_LINES: u64 = 1 << 34;
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Instructions executed since the previous record.
+    pub gap: u64,
+    /// The 64 B line accessed.
+    pub line: LineAddr,
+    /// Write (dirty the line) vs read.
+    pub write: bool,
+}
+
+/// Deterministic per-core trace generator.
+#[derive(Debug, Clone)]
+pub struct TraceGen {
+    rng: SplitMix64,
+    base: LineAddr,
+    footprint: u64,
+    hot_lines: u64,
+    gap_mean: f64,
+    seq_run: f64,
+    hot_prob: f64,
+    zipf: Option<f64>,
+    write_fraction: f64,
+    pos: u64,
+    run_left: u64,
+    reuse_prob: f64,
+    /// Ring of recent jump targets (short-range temporal reuse).
+    recent: Vec<u64>,
+    recent_cap: usize,
+    recent_next: usize,
+    /// Seed of the per-core page-table scattering.
+    page_seed: u64,
+}
+
+impl TraceGen {
+    /// Generator for `core`'s copy of `spec` at full scale.
+    #[must_use]
+    pub fn new(spec: &WorkloadSpec, core: u32, seed: u64) -> Self {
+        Self::with_scale(spec, core, seed, 1)
+    }
+
+    /// Generator with the footprint divided by `scale` (the experiment
+    /// harness runs scaled-down systems, 1/256 by default; see DESIGN.md §3).
+    #[must_use]
+    pub fn with_scale(spec: &WorkloadSpec, core: u32, seed: u64, scale: u64) -> Self {
+        let footprint = spec.core_footprint_lines(scale);
+        let hot_lines = ((footprint as f64 * spec.hot_fraction) as u64).max(1);
+        // Page-aligned per-core stagger, emulating the OS placing each
+        // copy's pages at unrelated physical addresses. Without it, rate
+        // copies would alias perfectly in every power-of-two-indexed cache.
+        let stagger =
+            SplitMix64::hash(seed ^ (u64::from(core) + 1).wrapping_mul(0x51_7cc1)) & 0xffff_ffc0;
+        Self {
+            rng: SplitMix64::new(seed ^ SplitMix64::hash(u64::from(core) * 31 + 7)),
+            base: u64::from(core) * CORE_REGION_LINES + stagger,
+            footprint,
+            hot_lines,
+            gap_mean: spec.gap_mean,
+            seq_run: spec.seq_run,
+            hot_prob: spec.hot_prob,
+            zipf: spec.zipf,
+            write_fraction: spec.write_fraction,
+            pos: 0,
+            run_left: 0,
+            reuse_prob: spec.reuse_prob,
+            recent: Vec::new(),
+            // Each remembered target drags a sequential run behind it, so
+            // divide the line budget by the run length to keep the reuse
+            // set at roughly one per-core L3 share of *lines*.
+            recent_cap: ((spec.reuse_window as f64 / scale as f64 / spec.seq_run.max(1.0)) as usize)
+                .clamp(16, 1 << 20),
+            recent_next: 0,
+            page_seed: SplitMix64::hash(seed ^ 0x9a9e ^ (u64::from(core) << 17)),
+        }
+    }
+
+    /// Footprint in lines this generator walks.
+    #[must_use]
+    pub fn footprint_lines(&self) -> u64 {
+        self.footprint
+    }
+
+    /// First line of this core's (staggered) region.
+    #[must_use]
+    pub fn region_base(&self) -> LineAddr {
+        self.base
+    }
+
+    /// Produces the next access.
+    pub fn next_record(&mut self) -> TraceRecord {
+        let gap = self.rng.geometric(self.gap_mean);
+        if self.run_left > 0 && self.pos + 1 < self.footprint {
+            self.pos += 1;
+            self.run_left -= 1;
+        } else {
+            self.pos = self.jump_target();
+            // seq_run is the mean *total* run length; the continuation
+            // count after the first access is one less.
+            self.run_left = self.rng.geometric((self.seq_run - 1.0).max(0.0));
+        }
+        let write = self.rng.chance(self.write_fraction);
+        TraceRecord { gap, line: self.base + self.phys(self.pos), write }
+    }
+
+    /// Virtual-to-physical page scattering (§3.1 models address
+    /// translation): positions keep their in-page offset — so sequential
+    /// runs and spatial pairs survive within a page — but pages land at
+    /// hash-scattered frames. Without this, a contiguous hot region would
+    /// artificially alias (e.g. BAI's injected index bit would be constant
+    /// across the whole hot set).
+    fn phys(&self, pos: u64) -> u64 {
+        const FRAME_MASK: u64 = (1 << 26) - 1; // 2^26 frames per core region
+        let page = pos / 64;
+        let frame = SplitMix64::hash(self.page_seed ^ page) & FRAME_MASK;
+        frame * 64 + pos % 64
+    }
+
+    fn jump_target(&mut self) -> u64 {
+        // Short-range temporal reuse first: revisit a recent jump target
+        // (the locality tier the shared L3 captures).
+        if !self.recent.is_empty() && self.rng.chance(self.reuse_prob) {
+            let idx = self.rng.below(self.recent.len() as u64) as usize;
+            return self.recent[idx];
+        }
+        let target = if self.rng.chance(self.hot_prob) {
+            self.rng.below(self.hot_lines)
+        } else {
+            match self.zipf {
+                Some(e) => {
+                    let u = self.rng.unit();
+                    ((self.footprint as f64) * u.powf(e)) as u64
+                }
+                None => self.rng.below(self.footprint),
+            }
+        }
+        .min(self.footprint - 1);
+        if self.recent.len() < self.recent_cap {
+            self.recent.push(target);
+        } else {
+            self.recent[self.recent_next] = target;
+            self.recent_next = (self.recent_next + 1) % self.recent_cap;
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec_table;
+
+    fn spec(name: &str) -> WorkloadSpec {
+        spec_table().into_iter().find(|w| w.name == name).unwrap()
+    }
+
+    #[test]
+    fn records_stay_in_core_region() {
+        let s = spec("gcc");
+        let mut g = TraceGen::with_scale(&s, 3, 1, 16);
+        for _ in 0..10_000 {
+            let r = g.next_record();
+            assert_eq!(r.line / CORE_REGION_LINES, 3, "line outside core 3's region");
+        }
+    }
+
+    #[test]
+    fn cores_are_staggered_within_their_regions() {
+        let s = spec("gcc");
+        let bases: Vec<u64> = (0..8)
+            .map(|c| TraceGen::with_scale(&s, c, 1, 16).region_base() % CORE_REGION_LINES)
+            .collect();
+        // Staggers are page-aligned and distinct, so rate copies do not
+        // alias in power-of-two-indexed caches.
+        assert!(bases.iter().all(|b| b % 64 == 0), "staggers not page aligned: {bases:?}");
+        let distinct: std::collections::HashSet<_> = bases.iter().collect();
+        assert_eq!(distinct.len(), 8, "staggers should differ: {bases:?}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let s = spec("mcf");
+        let mut a = TraceGen::with_scale(&s, 0, 9, 16);
+        let mut b = TraceGen::with_scale(&s, 0, 9, 16);
+        for _ in 0..1000 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    #[test]
+    fn cores_get_distinct_streams() {
+        let s = spec("mcf");
+        let mut a = TraceGen::with_scale(&s, 0, 9, 16);
+        let mut b = TraceGen::with_scale(&s, 1, 9, 16);
+        let same = (0..100)
+            .filter(|_| {
+                let (ra, rb) = (a.next_record(), b.next_record());
+                ra.line - 0 * CORE_REGION_LINES == rb.line - CORE_REGION_LINES
+            })
+            .count();
+        assert!(same < 100, "streams should differ");
+    }
+
+    #[test]
+    fn mean_gap_tracks_spec() {
+        let s = spec("zeusmp"); // low MPKI → large gaps
+        let mut g = TraceGen::with_scale(&s, 0, 1, 16);
+        let total: u64 = (0..50_000).map(|_| g.next_record().gap).sum();
+        let mean = total as f64 / 50_000.0;
+        assert!((mean / s.gap_mean - 1.0).abs() < 0.1, "mean {mean} vs {}", s.gap_mean);
+    }
+
+    #[test]
+    fn sequential_runs_occur() {
+        let s = spec("lbm"); // seq_run = 8
+        let mut g = TraceGen::with_scale(&s, 0, 1, 16);
+        let mut seq = 0;
+        let mut prev = g.next_record().line;
+        for _ in 0..20_000 {
+            let r = g.next_record();
+            if r.line == prev + 1 {
+                seq += 1;
+            }
+            prev = r.line;
+        }
+        assert!(seq > 15_000, "lbm should be highly sequential, got {seq}/20000");
+    }
+
+    #[test]
+    fn pointer_chasers_are_not_sequential() {
+        let s = spec("mcf"); // seq_run = 1.2
+        let mut g = TraceGen::with_scale(&s, 0, 1, 16);
+        let mut seq = 0;
+        let mut prev = g.next_record().line;
+        for _ in 0..20_000 {
+            let r = g.next_record();
+            if r.line == prev + 1 {
+                seq += 1;
+            }
+            prev = r.line;
+        }
+        assert!(seq < 6_000, "mcf should jump around, got {seq}/20000");
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let s = spec("lbm");
+        let expected = s.write_fraction;
+        let mut g = TraceGen::with_scale(&s, 0, 1, 16);
+        let writes = (0..50_000).filter(|_| g.next_record().write).count();
+        let frac = writes as f64 / 50_000.0;
+        assert!((frac - expected).abs() < 0.02, "write fraction {frac} vs {expected}");
+    }
+
+    #[test]
+    fn zipf_skews_page_popularity() {
+        use std::collections::HashMap;
+        let zipfy = spec("pr_twi"); // zipf-skewed
+        let flat = spec("milc"); // uniform cold region
+        let concentration = |s: &WorkloadSpec| {
+            let mut g = TraceGen::with_scale(s, 0, 1, 16);
+            let mut freq: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..50_000 {
+                *freq.entry(g.next_record().line / 64).or_insert(0) += 1;
+            }
+            // Mass captured by the top 1% most popular pages.
+            let mut counts: Vec<u64> = freq.into_values().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let top = counts.len().div_ceil(100);
+            counts.iter().take(top).sum::<u64>() as f64 / 50_000.0
+        };
+        let (cz, cf) = (concentration(&zipfy), concentration(&flat));
+        assert!(cz > cf, "zipf page popularity should be more concentrated: {cz} vs {cf}");
+    }
+}

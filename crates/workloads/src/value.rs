@@ -1,0 +1,360 @@
+//! Value models: what bytes live at each address.
+//!
+//! Compressibility in real programs is strongly *page*-correlated (the LCP
+//! observation §5.2 leans on): a page of floats stays floats, a page of
+//! pointers stays pointers. We therefore assign each 4 KB page a
+//! [`PageClass`] drawn from the workload's [`ValueProfile`] by a stable hash
+//! of the page number, and synthesize line bytes deterministically from
+//! `(class, line address)`. The classes are chosen so their FPC+BDI
+//! outcomes span the paper's Figure 4 spectrum:
+//!
+//! | class      | typical single size | pairs share a base? |
+//! |------------|---------------------|---------------------|
+//! | `Zero`     | 1 B                 | trivially           |
+//! | `SmallInt` | ~20–22 B            | yes (B4D1)          |
+//! | `Strided`  | 20–36 B (B4D1/D2)   | yes                 |
+//! | `Pointer`  | 16–24 B (B8D1/D2)   | yes                 |
+//! | `Half16`   | 34–38 B             | yes (B2D1: 66 B)    |
+//! | `Float`    | 64 B (incompressible) | no                |
+//! | `Random`   | 64 B                | no                  |
+
+use crate::rng::SplitMix64;
+use crate::LineAddr;
+use dice_compress::{LineData, LINE_BYTES};
+
+/// The kind of data occupying a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageClass {
+    /// Zero-filled (bss, freshly mapped, sparse matrices' empty regions).
+    Zero,
+    /// Small signed integers (counters, indices, booleans, enum tags).
+    SmallInt,
+    /// Monotone strided 32-bit values (array indices, offsets); the stride
+    /// is derived per page.
+    Strided,
+    /// 64-bit pointers into a per-page arena.
+    Pointer,
+    /// 16-bit-ish values (shorts, unicode text, quantized data).
+    Half16,
+    /// Unclustered 15-bit values: FPC compresses a single line to ~38 B,
+    /// but two such lines cannot share a BDI base, so a pair (76 B) never
+    /// fits one TAD. Workloads rich in this class are the ones static BAI
+    /// *hurts* (mcf, sphinx in Fig 7): spatial pairing halves their
+    /// effective capacity. DICE's 36 B threshold routes them to TSI.
+    Loose16,
+    /// Floating-point data with high-entropy mantissas.
+    Float,
+    /// Uniformly random bytes (encrypted/compressed payloads).
+    Random,
+}
+
+impl PageClass {
+    /// All classes, in the order [`ValueProfile`] weights them.
+    pub const ALL: [PageClass; 8] = [
+        PageClass::Zero,
+        PageClass::SmallInt,
+        PageClass::Strided,
+        PageClass::Pointer,
+        PageClass::Half16,
+        PageClass::Loose16,
+        PageClass::Float,
+        PageClass::Random,
+    ];
+}
+
+/// Per-workload distribution over page classes (weights need not sum to
+/// anything in particular; they are normalized internally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueProfile {
+    /// Weight of zero pages.
+    pub zero: u32,
+    /// Weight of small-integer pages.
+    pub small_int: u32,
+    /// Weight of strided-integer pages.
+    pub strided: u32,
+    /// Weight of pointer pages.
+    pub pointer: u32,
+    /// Weight of halfword pages.
+    pub half16: u32,
+    /// Weight of loose 15-bit pages (single-compressible, pair-hostile).
+    pub loose16: u32,
+    /// Weight of float pages.
+    pub float: u32,
+    /// Weight of random pages.
+    pub random: u32,
+}
+
+impl ValueProfile {
+    /// A profile that makes (almost) every line incompressible.
+    #[must_use]
+    pub fn incompressible() -> Self {
+        Self {
+            zero: 0,
+            small_int: 0,
+            strided: 0,
+            pointer: 0,
+            half16: 0,
+            loose16: 0,
+            float: 60,
+            random: 40,
+        }
+    }
+
+    /// A highly compressible profile (graph-analytics-like).
+    #[must_use]
+    pub fn highly_compressible() -> Self {
+        Self {
+            zero: 25,
+            small_int: 30,
+            strided: 20,
+            pointer: 15,
+            half16: 5,
+            loose16: 0,
+            float: 3,
+            random: 2,
+        }
+    }
+
+    fn weights(&self) -> [u32; 8] {
+        [
+            self.zero,
+            self.small_int,
+            self.strided,
+            self.pointer,
+            self.half16,
+            self.loose16,
+            self.float,
+            self.random,
+        ]
+    }
+
+    /// The stable class of `page` under this profile for a given seed.
+    #[must_use]
+    pub fn class_of(&self, seed: u64, page: u64) -> PageClass {
+        let w = self.weights();
+        let total: u64 = w.iter().map(|&x| u64::from(x)).sum();
+        if total == 0 {
+            return PageClass::Random;
+        }
+        let h = SplitMix64::hash(seed ^ page.wrapping_mul(0xa076_1d64_78bd_642f));
+        let mut pick = h % total;
+        for (class, &weight) in PageClass::ALL.iter().zip(w.iter()) {
+            let weight = u64::from(weight);
+            if pick < weight {
+                return *class;
+            }
+            pick -= weight;
+        }
+        PageClass::Random
+    }
+}
+
+/// Synthesizes the 64 bytes at `line` for a page of class `class`.
+///
+/// Deterministic in `(seed, class, line)`. Lines within a page share bases
+/// and strides, so spatially adjacent lines pair-compress the way real data
+/// does.
+#[must_use]
+pub fn line_data(seed: u64, class: PageClass, line: LineAddr) -> LineData {
+    let page = line / 64;
+    let mut out = [0u8; LINE_BYTES];
+    match class {
+        PageClass::Zero => {}
+        PageClass::SmallInt => {
+            let mut r = SplitMix64::new(seed ^ SplitMix64::hash(line));
+            for chunk in out.chunks_exact_mut(4) {
+                let v = (r.below(256) as i32 - 128) as u32;
+                chunk.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        PageClass::Strided => {
+            let h = SplitMix64::hash(seed ^ page);
+            let base = (h as u32) & 0x0fff_ffff;
+            let stride = 1 + ((h >> 32) as u32 % 900);
+            let line_in_page = (line % 64) as u32;
+            for (i, chunk) in out.chunks_exact_mut(4).enumerate() {
+                let idx = line_in_page * 16 + i as u32;
+                let v = base.wrapping_add(idx.wrapping_mul(stride));
+                chunk.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        PageClass::Pointer => {
+            let h = SplitMix64::hash(seed ^ page ^ 0x5151);
+            let arena = 0x7f00_0000_0000u64 | (u64::from(h as u32) << 8);
+            let mut r = SplitMix64::new(seed ^ SplitMix64::hash(line ^ 0x9999));
+            for chunk in out.chunks_exact_mut(8) {
+                // Pointers span a 16 KB object: deltas fit B8D2 (24 B).
+                let v = arena + r.below(2048) * 8;
+                chunk.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        PageClass::Half16 => {
+            // Halfwords clustered within ±127 of a per-page base: B2D1
+            // (34 B) singles, 66 B shared-base pairs — data that *only*
+            // fits a TAD when the pair shares its base.
+            let base = (SplitMix64::hash(seed ^ page ^ 0x1616) & 0x3f80) as u16;
+            let mut r = SplitMix64::new(seed ^ SplitMix64::hash(line ^ 0x1616));
+            for chunk in out.chunks_exact_mut(2) {
+                let v = base + r.below(128) as u16;
+                chunk.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        PageClass::Loose16 => {
+            // Seven full-entropy words + nine tiny words per line: FPC
+            // packs this into exactly 39 B (7×35 + 9×7 = 308 bits), no BDI
+            // encoding applies (the raw words share no base), so a single
+            // line is "half-line-ish" but a pair (78 B) never fits one TAD.
+            let mut r = SplitMix64::new(seed ^ SplitMix64::hash(line ^ 0x1055));
+            let raw_mask: u16 = {
+                // Choose 7 of 16 word positions pseudo-randomly.
+                let mut m: u16 = 0;
+                while m.count_ones() < 7 {
+                    m |= 1 << r.below(16);
+                }
+                m
+            };
+            for (i, chunk) in out.chunks_exact_mut(4).enumerate() {
+                let v = if raw_mask & (1 << i) != 0 {
+                    // High-entropy word, kept away from compressible shapes.
+                    (r.next_u64() as u32) | 0x4000_0100
+                } else {
+                    1 + r.below(7) as u32
+                };
+                chunk.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        PageClass::Float => {
+            let mut r = SplitMix64::new(seed ^ SplitMix64::hash(line ^ 0xf10a));
+            for chunk in out.chunks_exact_mut(8) {
+                // Doubles in [1, 2): fixed sign/exponent, random mantissa.
+                let bits = 0x3ff0_0000_0000_0000u64 | (r.next_u64() >> 12);
+                chunk.copy_from_slice(&bits.to_le_bytes());
+            }
+        }
+        PageClass::Random => {
+            let mut r = SplitMix64::new(seed ^ SplitMix64::hash(line ^ 0xdead));
+            for chunk in out.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&r.next_u64().to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_compress::{compressed_size, pair_compressed_size};
+
+    #[test]
+    fn class_assignment_is_stable() {
+        let p = ValueProfile::highly_compressible();
+        assert_eq!(p.class_of(1, 42), p.class_of(1, 42));
+    }
+
+    #[test]
+    fn class_distribution_follows_weights() {
+        let p = ValueProfile {
+            zero: 50,
+            small_int: 0,
+            strided: 0,
+            pointer: 0,
+            half16: 0,
+            loose16: 0,
+            float: 0,
+            random: 50,
+        };
+        let zeros = (0..10_000).filter(|&pg| p.class_of(7, pg) == PageClass::Zero).count();
+        assert!((4_500..5_500).contains(&zeros), "zeros {zeros}");
+    }
+
+    #[test]
+    fn line_data_is_deterministic() {
+        for class in PageClass::ALL {
+            assert_eq!(line_data(9, class, 1234), line_data(9, class, 1234), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn zero_lines_compress_to_one_byte() {
+        assert_eq!(compressed_size(&line_data(1, PageClass::Zero, 5)), 1);
+    }
+
+    #[test]
+    fn small_int_lines_compress_small() {
+        let s = compressed_size(&line_data(1, PageClass::SmallInt, 5));
+        assert!(s <= 24, "small ints got {s}");
+    }
+
+    #[test]
+    fn strided_lines_hit_b4_encodings() {
+        for line in 0..64 {
+            let s = compressed_size(&line_data(1, PageClass::Strided, line));
+            assert!(s <= 36, "strided line {line} got {s}");
+        }
+    }
+
+    #[test]
+    fn pointer_lines_hit_b8_encodings() {
+        let s = compressed_size(&line_data(1, PageClass::Pointer, 5));
+        assert!(s <= 24, "pointers got {s}");
+    }
+
+    #[test]
+    fn half16_lines_land_near_the_threshold() {
+        let s = compressed_size(&line_data(1, PageClass::Half16, 5));
+        assert!((30..=40).contains(&s), "half16 got {s}");
+    }
+
+    #[test]
+    fn loose16_is_single_compressible_but_pair_hostile() {
+        let mut sum = 0usize;
+        for i in 0..20u64 {
+            let a = line_data(1, PageClass::Loose16, 64 * 5 + 2 * i);
+            let b = line_data(1, PageClass::Loose16, 64 * 5 + 2 * i + 1);
+            let sa = compressed_size(&a);
+            assert!((36..=40).contains(&sa), "loose16 single got {sa}");
+            sum += sa;
+            let joint = pair_compressed_size(&a, &b);
+            assert!(joint > 68, "loose16 pair must not fit a TAD, got {joint}");
+        }
+        assert!(sum >= 20 * 37, "typical loose16 line should exceed the 36 B threshold");
+    }
+
+    #[test]
+    fn float_and_random_lines_are_incompressible() {
+        assert_eq!(compressed_size(&line_data(1, PageClass::Float, 5)), 64);
+        assert_eq!(compressed_size(&line_data(1, PageClass::Random, 5)), 64);
+    }
+
+    #[test]
+    fn strided_pairs_fit_a_tad() {
+        // Adjacent strided lines continue the same sequence → shared base.
+        let a = line_data(1, PageClass::Strided, 64 * 3);
+        let b = line_data(1, PageClass::Strided, 64 * 3 + 1);
+        let joint = pair_compressed_size(&a, &b);
+        assert!(joint <= 68, "strided pair {joint} > 68");
+    }
+
+    #[test]
+    fn half16_pairs_fit_only_via_sharing() {
+        let a = line_data(1, PageClass::Half16, 64 * 3);
+        let b = line_data(1, PageClass::Half16, 64 * 3 + 1);
+        let joint = pair_compressed_size(&a, &b);
+        assert!(joint <= 68, "half16 pair {joint} > 68 (B2D1 shared base = 66)");
+    }
+
+    #[test]
+    fn incompressible_profile_is_incompressible() {
+        let p = ValueProfile::incompressible();
+        let mut big = 0;
+        for page in 0..200u64 {
+            let class = p.class_of(3, page);
+            let line = page * 64 + 7;
+            if compressed_size(&line_data(3, class, line)) > 36 {
+                big += 1;
+            }
+        }
+        assert!(big >= 195, "only {big}/200 incompressible");
+    }
+}

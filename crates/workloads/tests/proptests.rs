@@ -1,0 +1,126 @@
+//! Property-based tests for the workload layer: determinism, bounds and
+//! calibration-invariants across the whole workload table.
+
+use dice_core::SizeInfo;
+use dice_workloads::{
+    line_data, mix_table, nonmem_table, spec_table, DataModel, PageClass, TraceGen,
+    ValueProfile,
+};
+use proptest::prelude::*;
+
+fn arb_spec_index() -> impl Strategy<Value = usize> {
+    0..spec_table().len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn traces_are_deterministic_per_seed(idx in arb_spec_index(), seed in any::<u64>(), core in 0u32..8) {
+        let spec = spec_table().swap_remove(idx);
+        let mut a = TraceGen::with_scale(&spec, core, seed, 256);
+        let mut b = TraceGen::with_scale(&spec, core, seed, 256);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    #[test]
+    fn records_stay_in_their_region(idx in arb_spec_index(), seed in any::<u64>(), core in 0u32..8) {
+        let spec = spec_table().swap_remove(idx);
+        let mut g = TraceGen::with_scale(&spec, core, seed, 256);
+        for _ in 0..500 {
+            let r = g.next_record();
+            prop_assert_eq!(r.line >> 34, u64::from(core), "line escaped its core region");
+        }
+    }
+
+    #[test]
+    fn data_model_sizes_are_valid(idx in arb_spec_index(), line in any::<u64>()) {
+        let line = line >> 16; // stay in a plausible range
+        let spec = spec_table().swap_remove(idx);
+        let mut m = DataModel::new(&spec, 1);
+        let s = m.single_size(line);
+        prop_assert!((1..=64).contains(&s), "single size {s}");
+        let p = m.pair_size(line);
+        prop_assert!(p >= 2 && p <= 200, "pair size {p}");
+        prop_assert!(p <= 2 * 64 || p == 200, "pair size cap");
+        // Pair is never better than two bytes and never worse than concat.
+        let concat = m.single_size(line & !1) + m.single_size(line | 1);
+        prop_assert!(p <= concat, "pair {p} worse than concat {concat}");
+    }
+
+    #[test]
+    fn line_data_matches_cached_size(idx in arb_spec_index(), line in 0u64..1_000_000) {
+        let spec = spec_table().swap_remove(idx);
+        let mut m = DataModel::new(&spec, 7);
+        let expected = dice_compress::compressed_size(&m.line_data(line)) as u32;
+        prop_assert_eq!(m.single_size(line), expected);
+        prop_assert_eq!(m.single_size(line), expected, "memoized value differs");
+    }
+
+    #[test]
+    fn every_class_round_trips_through_compression(line in any::<u64>(), seed in any::<u64>()) {
+        for class in PageClass::ALL {
+            let data = line_data(seed, class, line >> 8);
+            let c = dice_compress::compress(&data);
+            prop_assert_eq!(dice_compress::decompress(&c), data, "{:?}", class);
+        }
+    }
+
+    #[test]
+    fn profile_class_assignment_is_total(z in 0u32..50, si in 0u32..50, f in 0u32..50, page in any::<u64>()) {
+        let p = ValueProfile {
+            zero: z,
+            small_int: si,
+            strided: 0,
+            pointer: 0,
+            half16: 0,
+            loose16: 0,
+            float: f,
+            random: 0,
+        };
+        // Never panics, even for all-zero weights.
+        let _ = p.class_of(3, page);
+    }
+}
+
+#[test]
+fn whole_table_has_consistent_calibration_columns() {
+    for w in spec_table().iter().chain(nonmem_table().iter()) {
+        assert!(w.table3_mpki > 0.0, "{}", w.name);
+        assert!(w.gap_mean > 0.0, "{}", w.name);
+        assert!(w.footprint_bytes >= 1 << 20, "{}", w.name);
+        assert!((0.0..=1.0).contains(&w.write_fraction), "{}", w.name);
+        assert!((0.0..=1.0).contains(&w.hot_prob), "{}", w.name);
+        assert!((0.0..=1.0).contains(&w.reuse_prob), "{}", w.name);
+        assert!(w.seq_run >= 1.0, "{}", w.name);
+        assert!(w.hot_fraction > 0.0 && w.hot_fraction < 1.0, "{}", w.name);
+    }
+}
+
+#[test]
+fn higher_mpki_means_denser_access_stream() {
+    let t = spec_table();
+    for pair in t.windows(2) {
+        if pair[0].suite == pair[1].suite && pair[0].table3_mpki > pair[1].table3_mpki {
+            assert!(
+                pair[0].gap_mean <= pair[1].gap_mean,
+                "{} vs {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+}
+
+#[test]
+fn mixes_are_distinct_and_well_formed() {
+    let mixes = mix_table();
+    assert_eq!(mixes.len(), 4);
+    for (name, members) in &mixes {
+        assert!(name.starts_with("mix"));
+        let set: std::collections::HashSet<_> = members.iter().collect();
+        assert_eq!(set.len(), 8, "{name} repeats a member");
+    }
+}

@@ -1,0 +1,53 @@
+//! Capacity study: fills DRAM caches of each organization with a scattered
+//! working set and reports packing density — a standalone, simulation-free
+//! view of Table 5's effective-capacity mechanism (dynamic tags, pair
+//! sharing, the 28-line ceiling).
+//!
+//! ```text
+//! cargo run --release --example capacity_study [workload]
+//! ```
+
+use dice::core::{DramCacheConfig, DramCacheController, Organization};
+use dice::workloads::{spec_table, DataModel, SplitMix64};
+
+fn fill_density(org: Organization, data: &mut DataModel) -> (f64, u64) {
+    let sets = 1u64 << 14;
+    let mut l4 = DramCacheController::new(DramCacheConfig::with_capacity(org, sets * 64));
+    let mut rng = SplitMix64::new(1);
+    // 25 installs per set, page-scattered addresses with in-page adjacency.
+    for _ in 0..25 * sets {
+        let pos = rng.below(40 * sets);
+        let page = SplitMix64::hash(pos / 64) & ((1 << 26) - 1);
+        l4.fill(page * 64 + pos % 64, false, None, data);
+    }
+    let density = l4.valid_lines() as f64 / l4.occupied_sets().max(1) as f64;
+    (density, l4.valid_lines())
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cc_twi".to_owned());
+    let spec = spec_table()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("unknown workload '{name}'"));
+    println!("workload {name} — steady-state lines per set (baseline = 1.0):\n");
+
+    for org in [
+        Organization::UncompressedAlloy,
+        Organization::CompressedTsi,
+        Organization::CompressedNsi,
+        Organization::CompressedBai,
+        Organization::Dice { threshold: 36 },
+    ] {
+        let mut data = DataModel::new(&spec, 0xd1ce ^ 0xda7a);
+        let (density, lines) = fill_density(org, &mut data);
+        println!("{org:?}: {density:.2} lines/set ({lines} resident lines)");
+    }
+
+    println!();
+    println!(
+        "Spatially indexed organizations (BAI, DICE) pack same-page pairs\n\
+         with one shared 4 B tag — and a shared BDI base when it applies —\n\
+         so they exceed TSI's density whenever neighboring lines compress."
+    );
+}

@@ -1,0 +1,60 @@
+//! Graph-analytics scenario: the workloads the paper's introduction
+//! motivates. GAP-style graph kernels have huge footprints (14–25 GB),
+//! power-law page popularity and highly compressible CSR data — the regime
+//! where compressed DRAM caches shine, because effective capacity can
+//! exceed even a hypothetical doubled cache.
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use dice::core::Organization;
+use dice::sim::{SimConfig, System, WorkloadSet};
+use dice::workloads::{spec_table, Suite};
+
+fn main() {
+    let gap: Vec<_> =
+        spec_table().into_iter().filter(|w| w.suite == Suite::Gap).collect();
+    println!(
+        "{:<8} {:>9} {:>10} | {:>7} {:>7} {:>7} | {:>8}",
+        "kernel", "MPKI", "footprint", "TSI", "DICE", "2xCache", "capacity"
+    );
+    println!("{}", "-".repeat(70));
+
+    for spec in gap {
+        let name = spec.name;
+        let mpki = spec.table3_mpki;
+        let gb = spec.footprint_bytes as f64 / (1u64 << 30) as f64;
+        let wl = WorkloadSet::rate(spec, 0xd1ce);
+        let cfg =
+            |org: Organization| SimConfig::scaled(org, 256).with_records(40_000, 60_000);
+
+        let base = System::new(cfg(Organization::UncompressedAlloy), &wl).run();
+        let tsi = System::new(cfg(Organization::CompressedTsi), &wl).run();
+        let dice = System::new(cfg(Organization::Dice { threshold: 36 }), &wl).run();
+        let double = System::new(
+            cfg(Organization::UncompressedAlloy).with_double_l4_capacity().with_double_l4_bandwidth(),
+            &wl,
+        )
+        .run();
+
+        println!(
+            "{:<8} {:>9.1} {:>8.1}GB | {:>7.3} {:>7.3} {:>7.3} | {:>7.2}x",
+            name,
+            mpki,
+            gb,
+            tsi.weighted_speedup(&base),
+            dice.weighted_speedup(&base),
+            double.weighted_speedup(&base),
+            dice.capacity_ratio(),
+        );
+    }
+
+    println!();
+    println!(
+        "Note how the compressed organizations rival or beat the idealized\n\
+         double-capacity double-bandwidth cache on graph kernels: CSR offset\n\
+         and property arrays compress well past 2x (paper Table 5: up to\n\
+         5.6x on GAP), and a 1 GB cache is small against a 20 GB graph."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: simulate one workload on the baseline Alloy Cache and on
+//! DICE, and report the headline metrics the paper's evaluation is built
+//! from (weighted speedup, hit rates, DRAM traffic, energy-delay product).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [scale]
+//! ```
+//!
+//! `workload` defaults to `gcc` (compressible, bandwidth-hungry);
+//! `scale` is the 1/N system-scale divisor (default 256 → 4 MB L4).
+
+use dice::core::Organization;
+use dice::sim::{RunReport, SimConfig, System, WorkloadSet};
+use dice::workloads::spec_table;
+
+fn describe(label: &str, r: &RunReport, base: &RunReport) {
+    println!("--- {label}");
+    println!("  weighted speedup : {:.3}", r.weighted_speedup(base));
+    println!("  L3 hit rate      : {:.1}%", 100.0 * r.l3.hit_rate());
+    println!("  L4 hit rate      : {:.1}%", 100.0 * r.l4.hit_rate());
+    println!("  L4 reads         : {}", r.l4.reads);
+    println!("  free pair lines  : {}", r.l4.free_lines);
+    println!("  memory reads     : {}", r.mem_dram.reads);
+    println!("  effective capacity: {:.2}x", r.capacity_ratio());
+    println!(
+        "  off-chip energy  : {:.2} mJ (EDP ratio vs base: {:.2})",
+        1e3 * r.energy.total_joules(),
+        r.energy.edp() / base.energy.edp()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("gcc", String::as_str);
+    let scale: u64 = args.get(1).map_or(256, |s| s.parse().expect("scale must be a number"));
+
+    let spec = spec_table()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("unknown workload '{name}'; see dice::workloads::spec_table()"));
+    println!(
+        "workload {name}: Table-3 MPKI {:.1}, footprint {:.1} GB, 8 cores, 1/{scale} scale",
+        spec.table3_mpki,
+        spec.footprint_bytes as f64 / (1u64 << 30) as f64
+    );
+    let workload = WorkloadSet::rate(spec, 0xd1ce);
+
+    let cfg = |org| SimConfig::scaled(org, scale).with_records(40_000, 80_000);
+    println!("simulating baseline (uncompressed Alloy Cache)...");
+    let base = System::new(cfg(Organization::UncompressedAlloy), &workload).run();
+    println!("simulating DICE (36 B threshold)...");
+    let dice = System::new(cfg(Organization::Dice { threshold: 36 }), &workload).run();
+
+    describe("baseline Alloy", &base, &base);
+    describe("DICE", &dice, &base);
+    println!();
+    println!(
+        "DICE delivered {} extra lines free with compressed-pair hits and an\n\
+         index-predictor accuracy of {:.1}% ({} predictions).",
+        dice.l4.free_lines,
+        100.0 * dice.cip_accuracy,
+        dice.cip_predictions
+    );
+}

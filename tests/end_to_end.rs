@@ -1,0 +1,145 @@
+//! End-to-end integration tests: build whole systems from the public API
+//! and check the cross-crate invariants the paper's story depends on.
+
+use dice::core::Organization;
+use dice::sim::{RunReport, SimConfig, System, WorkloadSet};
+use dice::workloads::spec_table;
+
+fn spec(name: &str) -> dice::workloads::WorkloadSpec {
+    spec_table().into_iter().find(|w| w.name == name).unwrap_or_else(|| panic!("{name}?"))
+}
+
+fn run(org: Organization, wl: &str, seed: u64) -> RunReport {
+    let cfg = SimConfig::scaled(org, 512).with_records(4_000, 8_000);
+    System::new(cfg, &WorkloadSet::rate(spec(wl), seed)).run()
+}
+
+const DICE: Organization = Organization::Dice { threshold: 36 };
+
+#[test]
+fn whole_system_is_deterministic() {
+    let a = run(DICE, "soplex", 7);
+    let b = run(DICE, "soplex", 7);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.l4.reads, b.l4.reads);
+    assert_eq!(a.l4.free_lines, b.l4.free_lines);
+    assert_eq!(a.mem_dram.bytes, b.mem_dram.bytes);
+    assert_eq!(a.energy.total_joules(), b.energy.total_joules());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(DICE, "soplex", 7);
+    let b = run(DICE, "soplex", 8);
+    assert_ne!(a.cycles, b.cycles);
+}
+
+#[test]
+fn dice_helps_compressible_spatial_workloads() {
+    let base = run(Organization::UncompressedAlloy, "gcc", 7);
+    let dice = run(DICE, "gcc", 7);
+    assert!(
+        dice.weighted_speedup(&base) > 1.02,
+        "DICE on gcc should win: {:.3}",
+        dice.weighted_speedup(&base)
+    );
+    assert!(dice.l4.free_lines > 0);
+    assert!(dice.l3.hit_rate() > base.l3.hit_rate(), "free pair lines should lift L3 hit rate");
+}
+
+#[test]
+fn dice_never_collapses_on_incompressible_data() {
+    for wl in ["lbm", "libq"] {
+        let base = run(Organization::UncompressedAlloy, wl, 7);
+        let dice = run(DICE, wl, 7);
+        let s = dice.weighted_speedup(&base);
+        assert!(s > 0.9, "DICE must not tank {wl}: {s:.3}");
+    }
+}
+
+#[test]
+fn bai_thrashes_where_dice_does_not() {
+    let base = run(Organization::UncompressedAlloy, "libq", 7);
+    let bai = run(Organization::CompressedBai, "libq", 7);
+    let dice = run(DICE, "libq", 7);
+    let s_bai = bai.weighted_speedup(&base);
+    let s_dice = dice.weighted_speedup(&base);
+    assert!(s_bai < 0.9, "static BAI should hurt libq: {s_bai:.3}");
+    assert!(s_dice > s_bai + 0.1, "DICE must avoid BAI's thrash: {s_dice:.3} vs {s_bai:.3}");
+}
+
+#[test]
+fn tsi_compression_never_delivers_pair_lines() {
+    let tsi = run(Organization::CompressedTsi, "gcc", 7);
+    assert_eq!(tsi.l4.free_lines, 0, "TSI separates spatial pairs by construction");
+}
+
+#[test]
+fn dice_installs_split_between_schemes() {
+    let dice = run(DICE, "soplex", 7);
+    let s = &dice.l4;
+    assert!(s.installs_invariant > 0);
+    assert!(s.installs_tsi > 0, "soplex has incompressible pages");
+    assert!(s.installs_bai > 0, "soplex has compressible pages");
+    // Roughly half of installs need no decision (TSI == BAI).
+    let inv_frac = s.installs_invariant as f64 / s.installs() as f64;
+    assert!((0.40..0.60).contains(&inv_frac), "invariant fraction {inv_frac:.2}");
+}
+
+#[test]
+fn cip_predicts_well_on_page_correlated_data() {
+    let dice = run(DICE, "soplex", 7);
+    assert!(dice.cip_predictions > 100);
+    assert!(dice.cip_accuracy > 0.80, "CIP accuracy {:.3}", dice.cip_accuracy);
+}
+
+#[test]
+fn scc_burns_bandwidth() {
+    let base = run(Organization::UncompressedAlloy, "gcc", 7);
+    let scc = run(Organization::Scc, "gcc", 7);
+    let dice = run(DICE, "gcc", 7);
+    // SCC needs ~4x the probes per request; it must not beat DICE.
+    assert!(scc.l4_dram.reads > 2 * base.l4_dram.reads);
+    assert!(dice.weighted_speedup(&base) > scc.weighted_speedup(&base));
+}
+
+#[test]
+fn doubling_capacity_and_bandwidth_helps() {
+    let wl = WorkloadSet::rate(spec("gcc"), 7);
+    let cfg = SimConfig::scaled(Organization::UncompressedAlloy, 512).with_records(4_000, 8_000);
+    let base = System::new(cfg.clone(), &wl).run();
+    let double = System::new(
+        cfg.with_double_l4_capacity().with_double_l4_bandwidth(),
+        &wl,
+    )
+    .run();
+    assert!(double.weighted_speedup(&base) > 1.0);
+}
+
+#[test]
+fn energy_tracks_traffic() {
+    let base = run(Organization::UncompressedAlloy, "cc_twi", 7);
+    let tsi = run(Organization::CompressedTsi, "cc_twi", 7);
+    // TSI's higher hit rate must reduce memory reads and hence DDR energy
+    // per unit of work (absolute joules depend on runtime, so compare
+    // traffic directly).
+    assert!(tsi.mem_dram.reads < base.mem_dram.reads);
+}
+
+#[test]
+fn weighted_speedup_is_one_against_self() {
+    let r = run(DICE, "wrf", 3);
+    assert!((r.weighted_speedup(&r) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn report_counters_are_consistent() {
+    let r = run(DICE, "milc", 9);
+    assert_eq!(r.core_instructions.len(), 8);
+    assert_eq!(r.core_cycles.len(), 8);
+    assert!(r.core_instructions.iter().all(|&i| i > 0));
+    assert!(r.l4.read_hits <= r.l4.reads);
+    assert!(r.l4.second_probes <= r.l4.reads + r.l4.writebacks);
+    assert!(r.l4_dram.row_hits <= r.l4_dram.accesses());
+    assert!(r.capacity_ratio() > 0.0);
+}

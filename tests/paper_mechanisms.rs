@@ -1,0 +1,174 @@
+//! Mechanism-level integration tests: drive the DRAM-cache controller with
+//! the *real* compression pipeline (synthesized values → FPC/BDI sizes) and
+//! verify the specific mechanisms each paper section describes.
+
+use dice::compress::{compressed_size, pair_compressed_size};
+use dice::core::{
+    DramCacheConfig, DramCacheController, Indexer, Organization, SizeInfo, TagVariant,
+};
+use dice::workloads::{line_data, spec_table, DataModel, PageClass, SplitMix64};
+
+fn controller(org: Organization) -> DramCacheController {
+    DramCacheController::new(DramCacheConfig::with_capacity(org, 1 << 20)) // 16k sets
+}
+
+fn oracle(wl: &str) -> DataModel {
+    let spec = spec_table().into_iter().find(|w| w.name == wl).unwrap();
+    DataModel::new(&spec, 99)
+}
+
+/// §4.2/§6.2 — the 36 B threshold is exactly BDI's B4D2 plus base sharing.
+#[test]
+fn b4d2_pairs_motivate_the_threshold() {
+    let mut found = false;
+    for page in 0..64u64 {
+        let a = line_data(5, PageClass::Strided, page * 64 + 6);
+        let b = line_data(5, PageClass::Strided, page * 64 + 7);
+        if compressed_size(&a) == 36 {
+            found = true;
+            assert!(
+                pair_compressed_size(&a, &b) <= 68,
+                "a 36 B B4D2 line must pair into <= 68 B via base sharing"
+            );
+        }
+    }
+    assert!(found, "expected at least one 36 B strided line");
+}
+
+/// §5.2 — insertion routes by compressed size against the threshold.
+#[test]
+fn insertion_routes_by_real_compressed_size() {
+    let mut l4 = controller(Organization::Dice { threshold: 36 });
+    let mut data = oracle("soplex");
+    let sets = l4.num_sets();
+    let mut routed_bai = 0u64;
+    let mut routed_tsi = 0u64;
+    for i in 0..4_000u64 {
+        // Non-invariant lines only: even line addresses with the bit just
+        // above the index field set (so TSI != BAI), varied pages.
+        let line = ((i << 1) | 1) * sets * 2 + sets + (i % (sets / 2)) * 2;
+        let size = data.single_size(line);
+        let before = (l4.stats().installs_bai, l4.stats().installs_tsi);
+        l4.fill(line, false, None, &mut data);
+        let after = (l4.stats().installs_bai, l4.stats().installs_tsi);
+        if size <= 36 {
+            assert_eq!(after.0, before.0 + 1, "size {size} must go BAI");
+            routed_bai += 1;
+        } else {
+            assert_eq!(after.1, before.1 + 1, "size {size} must go TSI");
+            routed_tsi += 1;
+        }
+    }
+    assert!(routed_bai > 100 && routed_tsi > 100, "soplex should exercise both routes");
+}
+
+/// §5.1 — a compressed pair read returns both lines in one probe.
+#[test]
+fn pair_read_is_one_probe_two_lines() {
+    let mut l4 = controller(Organization::Dice { threshold: 36 });
+    let mut data = oracle("gcc");
+    // Find a compressible page (zero class compresses to 1 B).
+    let mut line = None;
+    for page in 0..512u64 {
+        let l = (1 << 14) + page * 64; // non-invariant region
+        if data.single_size(l) <= 36 && data.single_size(l + 1) <= 36 {
+            line = Some(l);
+            break;
+        }
+    }
+    let line = line.expect("gcc has compressible pages");
+    l4.fill(line, false, None, &mut data);
+    l4.fill(line + 1, false, None, &mut data);
+    let r = l4.read(line);
+    assert!(r.hit);
+    assert_eq!(r.probes.len(), 1, "one 80 B TAD transfer");
+    assert_eq!(r.free_lines, vec![line + 1], "partner delivered free");
+}
+
+/// §5.1 — the Alloy neighbor tag avoids second probes on misses; §6.6 —
+/// KNL pays them.
+#[test]
+fn neighbor_tag_versus_knl_probe_counts() {
+    let mut data = oracle("gcc");
+    let mk = |variant: TagVariant| {
+        let mut cfg =
+            DramCacheConfig::with_capacity(Organization::Dice { threshold: 36 }, 1 << 20);
+        cfg.tag_variant = variant;
+        DramCacheController::new(cfg)
+    };
+    let mut alloy = mk(TagVariant::Alloy);
+    let mut knl = mk(TagVariant::Knl);
+    let sets = alloy.num_sets();
+    let mut alloy_probes = 0;
+    let mut knl_probes = 0;
+    for i in 0..1_000u64 {
+        // Even lines with the bit above the index field set: TSI != BAI.
+        let line = ((i << 1) | 1) * sets * 2 + sets + (i % (sets / 2)) * 2;
+        alloy_probes += alloy.read(line).probes.len();
+        knl_probes += knl.read(line).probes.len();
+    }
+    assert_eq!(alloy_probes, 1_000, "Alloy misses need one probe");
+    assert_eq!(knl_probes, 2_000, "KNL misses must check both candidate sets");
+    let _ = data.single_size(0);
+}
+
+/// §4.3 — dynamic tags: a set holds many tiny lines, up to the format caps.
+#[test]
+fn compressed_sets_pack_many_tiny_lines() {
+    let mut l4 = controller(Organization::CompressedTsi);
+    let mut data = oracle("cc_twi");
+    let sets = l4.num_sets();
+    // Hammer one TSI set with zero-class lines from many pages.
+    let mut packed = 0u64;
+    for i in 0..200u64 {
+        let line = i * sets; // all map to set 0 under TSI
+        if data.single_size(line) <= 8 {
+            l4.fill(line, false, None, &mut data);
+            packed += 1;
+        }
+    }
+    assert!(packed > 10, "cc_twi should supply tiny lines");
+    let resident = l4.valid_lines();
+    assert!(resident >= 5, "set 0 should pack several tiny lines, got {resident}");
+    assert!(resident as usize <= dice::core::MAX_LINES_PER_SET);
+}
+
+/// Figure 6 invariants hold for the production indexer at cache scale.
+#[test]
+fn bai_invariants_at_scale() {
+    let ix = Indexer::new(1 << 24); // 1 GB worth of sets
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..100_000 {
+        let line = rng.next_u64() >> 8;
+        assert_eq!(ix.bai(line & !1), ix.bai(line | 1));
+        assert_eq!(ix.tsi(line) & !1, ix.bai(line) & !1);
+        assert_eq!(ix.tsi(line) / 28, ix.bai(line) / 28, "same DRAM row");
+    }
+}
+
+/// §7.3 — SCC pays 4 probes per hit, 3 per miss.
+#[test]
+fn scc_probe_accounting() {
+    let mut l4 = controller(Organization::Scc);
+    let mut data = oracle("gcc");
+    l4.fill(1234, false, None, &mut data);
+    assert_eq!(l4.read(1234).probes.len(), 4);
+    assert_eq!(l4.read(999_999).probes.len(), 3);
+}
+
+/// The write path: dirty evictions reach memory exactly once.
+#[test]
+fn dirty_lines_write_back_to_memory_once() {
+    let mut l4 = controller(Organization::UncompressedAlloy);
+    let mut data = oracle("lbm"); // mostly incompressible
+    let sets = l4.num_sets();
+    let out = l4.writeback(42, &mut data);
+    assert!(out.memory_writebacks.is_empty());
+    // Conflict evicts the dirty line.
+    let out = l4.fill(42 + sets, false, None, &mut data);
+    assert_eq!(out.memory_writebacks, vec![42]);
+    // Re-dirtying the line re-installs it, displacing the clean conflict
+    // line without any further memory write.
+    let out = l4.writeback(42, &mut data);
+    assert!(out.memory_writebacks.is_empty(), "clean victims never reach memory");
+}

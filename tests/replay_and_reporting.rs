@@ -1,0 +1,115 @@
+//! Integration tests for the trace-replay path and the reporting layer —
+//! the public surfaces downstream users touch first.
+
+use dice::core::Organization;
+use dice::sim::{SimConfig, System, WorkloadSet};
+use dice::workloads::{
+    load_trace, save_trace, MixDataModel, RecordSource, ReplaySource, TraceGen, TraceRecord,
+    spec_table,
+};
+
+fn spec(name: &str) -> dice::workloads::WorkloadSpec {
+    spec_table().into_iter().find(|w| w.name == name).unwrap()
+}
+
+fn small_cfg(org: Organization) -> SimConfig {
+    SimConfig::scaled(org, 1024).with_records(2_000, 4_000)
+}
+
+/// Recording a generator and replaying it must reproduce the generated
+/// run exactly: same cycles, same cache behaviour.
+#[test]
+fn replayed_trace_matches_generated_run() {
+    let s = spec("gcc");
+    let cfg = small_cfg(Organization::Dice { threshold: 36 });
+
+    // Reference: the generator-driven system.
+    let reference = System::new(cfg.clone(), &WorkloadSet::rate(s.clone(), 9)).run();
+
+    // Record exactly the records the run consumed (warmup + measure), then
+    // replay them through `with_sources`.
+    let total = cfg.warmup_records + cfg.measure_records;
+    let sources: Vec<Box<dyn RecordSource>> = (0..8)
+        .map(|core| {
+            let mut g = TraceGen::with_scale(&s, core, 9, cfg.scale);
+            let records: Vec<TraceRecord> = (0..total).map(|_| g.next_record()).collect();
+            Box::new(ReplaySource::new(records)) as Box<dyn RecordSource>
+        })
+        .collect();
+    let data = MixDataModel::new(vec![s.values; 8], 9 ^ 0xda7a);
+    let replayed = System::with_sources(cfg, "gcc", sources, data).run();
+
+    assert_eq!(replayed.cycles, reference.cycles);
+    assert_eq!(replayed.l4.reads, reference.l4.reads);
+    assert_eq!(replayed.l4.free_lines, reference.l4.free_lines);
+    assert_eq!(replayed.mem_dram.bytes, reference.mem_dram.bytes);
+}
+
+/// Traces survive a trip through the text file format.
+#[test]
+fn trace_files_round_trip_through_disk() {
+    let dir = std::env::temp_dir().join("dice-integration-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.trace");
+
+    let mut g = TraceGen::with_scale(&spec("mcf"), 2, 77, 512);
+    let records: Vec<TraceRecord> = (0..5_000).map(|_| g.next_record()).collect();
+    save_trace(&path, &records).unwrap();
+    let loaded = load_trace(&path).unwrap();
+    assert_eq!(loaded, records);
+
+    let mut replay = ReplaySource::new(loaded);
+    for r in &records {
+        assert_eq!(replay.next_record(), *r);
+    }
+}
+
+/// The reporting layer's energy composition is self-consistent across
+/// organizations: energy = L4 + memory, EDP = energy × delay.
+#[test]
+fn energy_report_identities_hold() {
+    for org in [Organization::UncompressedAlloy, Organization::Dice { threshold: 36 }] {
+        let r = System::new(small_cfg(org), &WorkloadSet::rate(spec("milc"), 3)).run();
+        let e = &r.energy;
+        assert!((e.total_joules() - (e.l4_joules + e.mem_joules)).abs() < 1e-15);
+        let expected_edp = e.total_joules() * r.cycles as f64 / 3.2e9;
+        assert!((e.edp() - expected_edp).abs() < 1e-12);
+        assert!(e.power_watts() > 0.0);
+    }
+}
+
+/// Weighted speedup is symmetric-consistent: s(a,b) ≈ 1 / s(b,a) for
+/// uniform per-core ratios, and transitive orderings agree with cycles.
+#[test]
+fn weighted_speedup_sanity() {
+    let wl = WorkloadSet::rate(spec("soplex"), 5);
+    let base = System::new(small_cfg(Organization::UncompressedAlloy), &wl).run();
+    let dice = System::new(small_cfg(Organization::Dice { threshold: 36 }), &wl).run();
+    let forward = dice.weighted_speedup(&base);
+    let backward = base.weighted_speedup(&dice);
+    // Rate-mode cores are near-uniform, so the product is close to 1.
+    assert!((forward * backward - 1.0).abs() < 0.05, "{forward} * {backward}");
+    // Direction agrees with total cycles.
+    assert_eq!(forward > 1.0, dice.cycles < base.cycles);
+}
+
+/// Capacity sampling reports coherent numbers for every organization.
+#[test]
+fn capacity_reporting_is_coherent() {
+    for org in [
+        Organization::UncompressedAlloy,
+        Organization::CompressedTsi,
+        Organization::Dice { threshold: 36 },
+    ] {
+        let r = System::new(small_cfg(org), &WorkloadSet::rate(spec("cc_twi"), 5)).run();
+        assert!(r.avg_valid_lines > 0.0, "{org:?}");
+        assert!(r.avg_occupied_sets > 0.0, "{org:?}");
+        assert!(r.avg_valid_lines >= r.avg_occupied_sets - 1e-9, "{org:?}");
+        let ratio = r.capacity_ratio();
+        if org == Organization::UncompressedAlloy {
+            assert!((ratio - 1.0).abs() < 1e-9, "uncompressed ratio {ratio}");
+        } else {
+            assert!(ratio >= 1.0, "{org:?} ratio {ratio}");
+        }
+    }
+}
