@@ -41,7 +41,10 @@ fn ablate(label: &str, make: impl Fn() -> SimConfig) {
         let test = run(make(), &w);
         speedups.push(test.weighted_speedup(&base));
     }
-    println!("{label:<34} gmean speedup {:+.1}%", (gmean(&speedups) - 1.0) * 100.0);
+    println!(
+        "{label:<34} gmean speedup {:+.1}%",
+        (gmean(&speedups) - 1.0) * 100.0
+    );
 }
 
 fn main() {
@@ -57,10 +60,15 @@ fn main() {
     }
 
     // 2. Neighbor tag (Alloy) vs KNL-style both-location miss checks.
-    ablate("dice alloy neighbor-tag", || cfg(Organization::Dice { threshold: 36 }));
+    ablate("dice alloy neighbor-tag", || {
+        cfg(Organization::Dice { threshold: 36 })
+    });
     ablate("dice knl no-neighbor-tag", || {
         let mut c = cfg(Organization::Dice { threshold: 36 });
-        c.l4 = DramCacheConfig { tag_variant: TagVariant::Knl, ..c.l4 };
+        c.l4 = DramCacheConfig {
+            tag_variant: TagVariant::Knl,
+            ..c.l4
+        };
         c
     });
 
@@ -74,7 +82,9 @@ fn main() {
     }
 
     // 4. Free-pair-line installation into L3 (§6.4) on/off.
-    ablate("dice with L3 pair install", || cfg(Organization::Dice { threshold: 36 }));
+    ablate("dice with L3 pair install", || {
+        cfg(Organization::Dice { threshold: 36 })
+    });
     ablate("dice without L3 pair install", || {
         let mut c = cfg(Organization::Dice { threshold: 36 });
         c.install_pair_in_l3 = false;

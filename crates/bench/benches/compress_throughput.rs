@@ -14,7 +14,10 @@ fn sample_lines() -> Vec<(&'static str, LineData)> {
         ("float", PageClass::Float),
         ("random", PageClass::Random),
     ];
-    classes.into_iter().map(|(name, class)| (name, line_data(7, class, 12_345))).collect()
+    classes
+        .into_iter()
+        .map(|(name, class)| (name, line_data(7, class, 12_345)))
+        .collect()
 }
 
 fn bench_compress(c: &mut Criterion) {

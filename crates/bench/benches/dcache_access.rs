@@ -10,7 +10,10 @@ fn controller(org: Organization) -> DramCacheController {
 }
 
 fn oracle() -> DataModel {
-    let spec = spec_table().into_iter().find(|w| w.name == "soplex").unwrap();
+    let spec = spec_table()
+        .into_iter()
+        .find(|w| w.name == "soplex")
+        .unwrap();
     DataModel::new(&spec, 7)
 }
 
@@ -26,7 +29,7 @@ fn bench_reads(c: &mut Criterion) {
         for i in 0..100_000u64 {
             l4.fill(i * 3, false, None, &mut data);
         }
-        c.bench_function(&format!("dcache/read/{name}"), |b| {
+        c.bench_function(format!("dcache/read/{name}"), |b| {
             b.iter(|| std::hint::black_box(l4.read(rng.below(300_000)).hit))
         });
     }

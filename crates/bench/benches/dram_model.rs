@@ -9,7 +9,16 @@ fn bench_row_hits(c: &mut Criterion) {
     let mut now = 0;
     c.bench_function("dram/row_hit_access", |b| {
         b.iter(|| {
-            let r = dev.access(now, AccessKind::Read, Location { channel: 0, bank: 0, row: 1 }, 80);
+            let r = dev.access(
+                now,
+                AccessKind::Read,
+                Location {
+                    channel: 0,
+                    bank: 0,
+                    row: 1,
+                },
+                80,
+            );
             now = r.done;
             std::hint::black_box(r.done)
         })
@@ -23,7 +32,16 @@ fn bench_row_conflicts(c: &mut Criterion) {
     c.bench_function("dram/row_conflict_access", |b| {
         b.iter(|| {
             row = row.wrapping_add(1);
-            let r = dev.access(now, AccessKind::Read, Location { channel: 0, bank: 0, row }, 80);
+            let r = dev.access(
+                now,
+                AccessKind::Read,
+                Location {
+                    channel: 0,
+                    bank: 0,
+                    row,
+                },
+                80,
+            );
             now = r.done;
             std::hint::black_box(r.done)
         })
@@ -46,5 +64,10 @@ fn bench_spread_traffic(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_row_hits, bench_row_conflicts, bench_spread_traffic);
+criterion_group!(
+    benches,
+    bench_row_hits,
+    bench_row_conflicts,
+    bench_spread_traffic
+);
 criterion_main!(benches);

@@ -7,7 +7,10 @@ use dice_sim::{SimConfig, System, WorkloadSet};
 use dice_workloads::spec_table;
 
 fn run_once(org: Organization, wl_name: &str) -> u64 {
-    let spec = spec_table().into_iter().find(|w| w.name == wl_name).unwrap();
+    let spec = spec_table()
+        .into_iter()
+        .find(|w| w.name == wl_name)
+        .unwrap();
     let cfg = SimConfig::scaled(org, 1024).with_records(1_000, 2_000);
     let r = System::new(cfg, &WorkloadSet::rate(spec, 7)).run();
     r.cycles

@@ -12,6 +12,10 @@
 //!        --measure N    measured records per core (default 80000)
 //!        --seed N       workload seed
 //!        --quiet        suppress per-run progress on stderr
+//!        --json PATH    write every run's full report (counters, per-class
+//!                       latency quantiles, interval time series) as JSON
+//!        --trace PATH   capture per-run transaction traces and write them
+//!                       as one Chrome trace_event file (open in Perfetto)
 //! ```
 //!
 //! Absolute numbers differ from the paper (different substrate, synthetic
@@ -22,6 +26,7 @@ use dice_bench::workloads::{all26, group_geomeans, nonmem, Group};
 use dice_bench::{Ctx, Table};
 use dice_compress::{compressed_size, pair_compressed_size};
 use dice_core::{DramCacheConfig, Organization, TagVariant};
+use dice_obs::{export_chrome, Json};
 use dice_sim::{SimConfig, WorkloadSet};
 use dice_workloads::{spec_table, DataModel, TraceGen};
 
@@ -44,7 +49,11 @@ struct Variant {
 
 impl Variant {
     fn org(label: &'static str, tag: &'static str, org: Organization) -> Self {
-        Self { label, tag, cfg: Box::new(move |ctx| ctx.cfg(org)) }
+        Self {
+            label,
+            tag,
+            cfg: Box::new(move |ctx| ctx.cfg(org)),
+        }
     }
 
     fn with(
@@ -52,7 +61,11 @@ impl Variant {
         tag: &'static str,
         f: impl Fn(&Ctx) -> SimConfig + 'static,
     ) -> Self {
-        Self { label, tag, cfg: Box::new(f) }
+        Self {
+            label,
+            tag,
+            cfg: Box::new(f),
+        }
     }
 }
 
@@ -98,10 +111,12 @@ fn fig1f(ctx: &Ctx) -> String {
          Paper: 2x Capacity ~ +10%, 2x Both ~ +22% on average.",
         &[
             Variant::with("2xCap", "2xcap", |c| {
-                c.cfg(Organization::UncompressedAlloy).with_double_l4_capacity()
+                c.cfg(Organization::UncompressedAlloy)
+                    .with_double_l4_capacity()
             }),
             Variant::with("2xBW", "2xbw", |c| {
-                c.cfg(Organization::UncompressedAlloy).with_double_l4_bandwidth()
+                c.cfg(Organization::UncompressedAlloy)
+                    .with_double_l4_bandwidth()
             }),
             Variant::with("2xBoth", "2xboth", |c| {
                 c.cfg(Organization::UncompressedAlloy)
@@ -167,7 +182,8 @@ fn fig7(ctx: &Ctx) -> String {
             Variant::org("TSI", "tsi", Organization::CompressedTsi),
             Variant::org("BAI", "bai", Organization::CompressedBai),
             Variant::with("2xCap", "2xcap", |c| {
-                c.cfg(Organization::UncompressedAlloy).with_double_l4_capacity()
+                c.cfg(Organization::UncompressedAlloy)
+                    .with_double_l4_capacity()
             }),
             Variant::with("2xCap2xBW", "2xboth", |c| {
                 c.cfg(Organization::UncompressedAlloy)
@@ -239,7 +255,10 @@ fn fig11(ctx: &Ctx) -> String {
 fn fig12(ctx: &Ctx) -> String {
     let knl = |org: Organization, ctx: &Ctx| {
         let mut cfg = ctx.cfg(org);
-        cfg.l4 = DramCacheConfig { tag_variant: TagVariant::Knl, ..cfg.l4 };
+        cfg.l4 = DramCacheConfig {
+            tag_variant: TagVariant::Knl,
+            ..cfg.l4
+        };
         cfg
     };
     let sets = all26(ctx.seed);
@@ -365,7 +384,12 @@ fn tab4(ctx: &Ctx) -> String {
         cols.push([r, g, all]);
     }
     for (label, idx) in [("SPEC RATE", 0usize), ("GAP", 1), ("GMEAN26", 2)] {
-        t.row(&[label.into(), pct(cols[0][idx]), pct(cols[1][idx]), pct(cols[2][idx])]);
+        t.row(&[
+            label.into(),
+            pct(cols[0][idx]),
+            pct(cols[1][idx]),
+            pct(cols[2][idx]),
+        ]);
     }
     format!(
         "Table 4: DICE threshold sensitivity\n\
@@ -496,7 +520,11 @@ fn tab8(ctx: &Ctx) -> String {
     let mut per: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for (_, wl) in &sets {
         for (i, (base_tag, dice_tag, adjust)) in variants.iter().enumerate() {
-            let base = ctx.run_cfg(base_tag, adjust(ctx.cfg(Organization::UncompressedAlloy)), wl);
+            let base = ctx.run_cfg(
+                base_tag,
+                adjust(ctx.cfg(Organization::UncompressedAlloy)),
+                wl,
+            );
             let dice = ctx.run_cfg(dice_tag, adjust(ctx.cfg(DICE)), wl);
             per[i].push(dice.weighted_speedup(&base));
         }
@@ -530,7 +558,9 @@ fn cip(ctx: &Ctx) -> String {
     let mut t = Table::new(&["LTT entries", "storage", "read accuracy", "write accuracy"]);
     // A representative subset keeps this sweep fast; accuracy is averaged
     // over workloads, weighted by prediction count.
-    let subset = ["mcf", "soplex", "gcc", "sphinx", "zeusmp", "astar", "cc_twi", "pr_web"];
+    let subset = [
+        "mcf", "soplex", "gcc", "sphinx", "zeusmp", "astar", "cc_twi", "pr_web",
+    ];
     for entries in [512usize, 1024, 2048, 4096, 8192] {
         let mut correct_w = 0.0;
         let mut total = 0.0;
@@ -631,10 +661,56 @@ fn all(ctx: &Ctx) -> String {
     parts.join("\n\n================================================================\n\n")
 }
 
+/// Serializes every memoized run plus invocation metadata.
+fn json_dump(ctx: &Ctx, id: &str) -> Json {
+    Json::Obj(vec![
+        (
+            "meta".into(),
+            Json::Obj(vec![
+                ("experiment".into(), Json::str(id)),
+                ("scale".into(), Json::u64(ctx.scale)),
+                ("warmup_records".into(), Json::u64(ctx.warmup)),
+                ("measure_records".into(), Json::u64(ctx.measure)),
+                ("seed".into(), Json::u64(ctx.seed)),
+            ]),
+        ),
+        (
+            "runs".into(),
+            Json::Arr(
+                ctx.reports()
+                    .iter()
+                    .map(|(tag, wl, r)| {
+                        Json::Obj(vec![
+                            ("tag".into(), Json::str(tag)),
+                            ("workload".into(), Json::str(wl)),
+                            ("report".into(), r.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Merges every memoized run's trace into one Chrome trace_event array,
+/// one process row per run.
+fn trace_dump(ctx: &Ctx) -> Json {
+    let mut events = Vec::new();
+    for (pid, (tag, wl, r)) in ctx.reports().iter().enumerate() {
+        let label = format!("{tag}/{wl}");
+        if let Json::Arr(evs) = export_chrome(&r.trace, &label, pid as u32 + 1, 3.2) {
+            events.extend(evs);
+        }
+    }
+    Json::Arr(events)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ctx = Ctx::standard();
     let mut id: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -655,6 +731,16 @@ fn main() {
                 ctx.seed = args[i].parse().expect("--seed N");
             }
             "--quiet" => ctx.verbose = false,
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json PATH").clone());
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).expect("--trace PATH").clone());
+                // 64k events ≈ a few MB of JSON; the ring keeps the newest.
+                ctx.obs.trace_capacity = 65_536;
+            }
             other => {
                 assert!(id.is_none(), "unexpected argument {other}");
                 id = Some(other.to_owned());
@@ -663,6 +749,13 @@ fn main() {
         i += 1;
     }
     let id = id.unwrap_or_else(|| "all".to_owned());
+    // Fail on an unwritable output path now, not after a long run.
+    for path in [&json_path, &trace_path].into_iter().flatten() {
+        if let Err(e) = std::fs::write(path, "") {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
     let started = std::time::Instant::now();
     let out = match id.as_str() {
         "fig1f" => fig1f(&ctx),
@@ -693,6 +786,17 @@ fn main() {
         }
     };
     println!("{out}");
+    if let Some(path) = json_path {
+        std::fs::write(&path, json_dump(&ctx, &id).render()).expect("writing --json output");
+        eprintln!(
+            "[experiments] wrote {} run reports to {path}",
+            ctx.cached_runs()
+        );
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(&path, trace_dump(&ctx).render()).expect("writing --trace output");
+        eprintln!("[experiments] wrote Chrome trace to {path} (open in ui.perfetto.dev)");
+    }
     eprintln!(
         "[experiments] {id} done in {:.1}s (scale 1/{}, {}+{} records/core)",
         started.elapsed().as_secs_f64(),

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use dice_core::Organization;
+use dice_obs::ObsConfig;
 use dice_sim::{RunReport, SimConfig, System, WorkloadSet};
 
 /// Shared settings for one harness invocation plus a cache of completed
@@ -23,6 +24,10 @@ pub struct Ctx {
     pub seed: u64,
     /// Print progress lines to stderr as runs complete.
     pub verbose: bool,
+    /// Observability knobs applied to every run built through [`cfg`].
+    ///
+    /// [`cfg`]: Ctx::cfg
+    pub obs: ObsConfig,
     cache: RefCell<HashMap<(String, String), Rc<RunReport>>>,
 }
 
@@ -38,6 +43,7 @@ impl Ctx {
             measure: 100_000,
             seed: 0xd1ce,
             verbose: true,
+            obs: ObsConfig::default(),
             cache: RefCell::new(HashMap::new()),
         }
     }
@@ -51,6 +57,7 @@ impl Ctx {
             measure: 5_000,
             seed: 0xd1ce,
             verbose: false,
+            obs: ObsConfig::default(),
             cache: RefCell::new(HashMap::new()),
         }
     }
@@ -58,7 +65,9 @@ impl Ctx {
     /// Baseline [`SimConfig`] for `org` at this context's scale/windows.
     #[must_use]
     pub fn cfg(&self, org: Organization) -> SimConfig {
-        SimConfig::scaled(org, self.scale).with_records(self.warmup, self.measure)
+        SimConfig::scaled(org, self.scale)
+            .with_records(self.warmup, self.measure)
+            .with_obs(self.obs)
     }
 
     /// Runs (or recalls) `cfg` on `wl`. `tag` must uniquely identify the
@@ -95,6 +104,19 @@ impl Ctx {
     #[must_use]
     pub fn cached_runs(&self) -> usize {
         self.cache.borrow().len()
+    }
+
+    /// Every memoized run as `(tag, workload, report)`, sorted by key for
+    /// deterministic export.
+    #[must_use]
+    pub fn reports(&self) -> Vec<(String, String, Rc<RunReport>)> {
+        let cache = self.cache.borrow();
+        let mut out: Vec<_> = cache
+            .iter()
+            .map(|((tag, wl), r)| (tag.clone(), wl.clone(), Rc::clone(r)))
+            .collect();
+        out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        out
     }
 }
 

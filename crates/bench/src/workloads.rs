@@ -1,7 +1,7 @@
 //! Workload lists in the paper's presentation order.
 
-use dice_workloads::{mix_table, nonmem_table, spec_table, WorkloadSpec};
 use dice_sim::WorkloadSet;
+use dice_workloads::{mix_table, nonmem_table, spec_table, WorkloadSpec};
 
 /// Grouping used for the paper's summary columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,18 +20,28 @@ pub enum Group {
 pub fn all26(seed: u64) -> Vec<(Group, WorkloadSet)> {
     let table = spec_table();
     let by_name = |n: &str| -> WorkloadSpec {
-        table.iter().find(|w| w.name == n).expect("known workload").clone()
+        table
+            .iter()
+            .find(|w| w.name == n)
+            .expect("known workload")
+            .clone()
     };
 
     let mut out = Vec::with_capacity(26);
-    for w in table.iter().filter(|w| w.suite == dice_workloads::Suite::SpecRate) {
+    for w in table
+        .iter()
+        .filter(|w| w.suite == dice_workloads::Suite::SpecRate)
+    {
         out.push((Group::Rate, WorkloadSet::rate(w.clone(), seed)));
     }
     for (name, members) in mix_table() {
         let specs = members.iter().map(|m| by_name(m)).collect();
         out.push((Group::Mix, WorkloadSet::mix(name, specs, seed)));
     }
-    for w in table.iter().filter(|w| w.suite == dice_workloads::Suite::Gap) {
+    for w in table
+        .iter()
+        .filter(|w| w.suite == dice_workloads::Suite::Gap)
+    {
         out.push((Group::Gap, WorkloadSet::rate(w.clone(), seed)));
     }
     out
@@ -40,7 +50,10 @@ pub fn all26(seed: u64) -> Vec<(Group, WorkloadSet)> {
 /// The 13 non-memory-intensive workloads (Figure 13).
 #[must_use]
 pub fn nonmem(seed: u64) -> Vec<WorkloadSet> {
-    nonmem_table().into_iter().map(|w| WorkloadSet::rate(w, seed)).collect()
+    nonmem_table()
+        .into_iter()
+        .map(|w| WorkloadSet::rate(w, seed))
+        .collect()
 }
 
 /// Group-wise and overall geometric means in the paper's reporting order:
@@ -56,7 +69,12 @@ pub fn group_geomeans(groups: &[Group], values: &[f64]) -> (f64, f64, f64, f64) 
             .collect()
     };
     let gm = dice_sim::geomean;
-    (gm(&pick(Group::Rate)), gm(&pick(Group::Mix)), gm(&pick(Group::Gap)), gm(values))
+    (
+        gm(&pick(Group::Rate)),
+        gm(&pick(Group::Mix)),
+        gm(&pick(Group::Gap)),
+        gm(values),
+    )
 }
 
 #[cfg(test)]

@@ -53,7 +53,10 @@ impl HierarchyConfig {
     /// power-of-two set counts.
     #[must_use]
     pub fn paper_8core_scaled(factor: usize) -> Self {
-        assert!(factor > 0 && factor.is_power_of_two(), "scale factor must be a power of two");
+        assert!(
+            factor > 0 && factor.is_power_of_two(),
+            "scale factor must be a power of two"
+        );
         let base = Self::paper_8core();
         Self {
             l1_bytes: base.l1_bytes / factor,
@@ -90,8 +93,12 @@ impl SramHierarchy {
     #[must_use]
     pub fn new(cfg: &HierarchyConfig) -> Self {
         Self {
-            l1: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways)).collect(),
-            l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2_bytes, cfg.l2_ways)).collect(),
+            l1: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways))
+                .collect(),
+            l2: (0..cfg.cores)
+                .map(|_| SetAssocCache::new(cfg.l2_bytes, cfg.l2_ways))
+                .collect(),
             l3: SetAssocCache::new(cfg.l3_bytes, cfg.l3_ways),
             pending_writebacks: Vec::new(),
         }
@@ -245,7 +252,6 @@ mod tests {
             l2_ways: 2,
             l3_bytes: 64 * 64,
             l3_ways: 4,
-            ..HierarchyConfig::paper_8core()
         })
     }
 
@@ -288,7 +294,10 @@ mod tests {
             h.fill(0, i * 16, false);
         }
         let wbs = h.take_writebacks();
-        assert!(wbs.contains(&0), "dirty line 0 should be written back, got {wbs:?}");
+        assert!(
+            wbs.contains(&0),
+            "dirty line 0 should be written back, got {wbs:?}"
+        );
         assert!(h.take_writebacks().is_empty(), "drain empties the queue");
     }
 
@@ -312,7 +321,10 @@ mod tests {
             h.fill(0, 3 + i * 2, false);
         }
         let wbs = h.take_writebacks();
-        assert!(wbs.contains(&3), "written line must eventually write back, got {wbs:?}");
+        assert!(
+            wbs.contains(&3),
+            "written line must eventually write back, got {wbs:?}"
+        );
     }
 
     #[test]

@@ -43,9 +43,15 @@ impl SetAssocCache {
     #[must_use]
     pub fn new(capacity_bytes: usize, ways: usize) -> Self {
         let lines = capacity_bytes / 64;
-        assert!(ways > 0 && lines >= ways, "cache too small for associativity");
+        assert!(
+            ways > 0 && lines >= ways,
+            "cache too small for associativity"
+        );
         let sets = lines / ways;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         Self {
             ways,
             set_mask: sets as u64 - 1,
@@ -96,7 +102,9 @@ impl SetAssocCache {
     /// Checks residency without touching recency or statistics.
     #[must_use]
     pub fn contains(&self, addr: LineAddr) -> bool {
-        self.entries[self.set_of(addr)].iter().any(|w| w.addr == addr)
+        self.entries[self.set_of(addr)]
+            .iter()
+            .any(|w| w.addr == addr)
     }
 
     /// Installs `addr` (evicting the LRU way if the set is full). If the
@@ -123,11 +131,18 @@ impl SetAssocCache {
             if v.dirty {
                 self.stats.dirty_evictions += 1;
             }
-            Some(Eviction { addr: v.addr, dirty: v.dirty })
+            Some(Eviction {
+                addr: v.addr,
+                dirty: v.dirty,
+            })
         } else {
             None
         };
-        set_entries.push(Way { addr, dirty, stamp: clock });
+        set_entries.push(Way {
+            addr,
+            dirty,
+            stamp: clock,
+        });
         victim
     }
 
@@ -137,7 +152,10 @@ impl SetAssocCache {
         let set_entries = &mut self.entries[set];
         let idx = set_entries.iter().position(|w| w.addr == addr)?;
         let v = set_entries.swap_remove(idx);
-        Some(Eviction { addr: v.addr, dirty: v.dirty })
+        Some(Eviction {
+            addr: v.addr,
+            dirty: v.dirty,
+        })
     }
 
     /// Number of valid lines currently resident.
@@ -195,7 +213,13 @@ mod tests {
         c.access(2, false);
         c.access(2, false);
         let v = c.install(3, false).expect("eviction");
-        assert_eq!(v, Eviction { addr: 1, dirty: true });
+        assert_eq!(
+            v,
+            Eviction {
+                addr: 1,
+                dirty: true
+            }
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Hit/miss statistics shared by all SRAM cache levels.
 
+use dice_obs::{impl_snapshot, ratio};
+
 /// Counters for one cache (cumulative; snapshot-and-subtract for warm-up).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -13,6 +15,13 @@ pub struct CacheStats {
     pub dirty_evictions: u64,
 }
 
+impl_snapshot!(CacheStats {
+    hits: Monotonic,
+    misses: Monotonic,
+    evictions: Monotonic,
+    dirty_evictions: Monotonic,
+});
+
 impl CacheStats {
     /// Total demand accesses.
     #[must_use]
@@ -23,32 +32,19 @@ impl CacheStats {
     /// Hit rate in [0, 1]; 0 for an idle cache.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        if self.accesses() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.accesses() as f64
-        }
+        ratio(self.hits, self.accesses())
     }
 
     /// Misses per kilo-instruction given an instruction count.
     #[must_use]
     pub fn mpki(&self, instructions: u64) -> f64 {
-        if instructions == 0 {
-            0.0
-        } else {
-            self.misses as f64 * 1000.0 / instructions as f64
-        }
+        ratio(self.misses * 1000, instructions)
     }
 
     /// Counter-wise difference `self - earlier`.
     #[must_use]
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
-        CacheStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            evictions: self.evictions - earlier.evictions,
-            dirty_evictions: self.dirty_evictions - earlier.dirty_evictions,
-        }
+        dice_obs::delta(self, earlier)
     }
 }
 
@@ -58,7 +54,11 @@ mod tests {
 
     #[test]
     fn hit_rate_and_mpki() {
-        let s = CacheStats { hits: 75, misses: 25, ..CacheStats::default() };
+        let s = CacheStats {
+            hits: 75,
+            misses: 25,
+            ..CacheStats::default()
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert!((s.mpki(10_000) - 2.5).abs() < 1e-12);
     }
@@ -72,9 +72,27 @@ mod tests {
 
     #[test]
     fn delta_subtracts() {
-        let a = CacheStats { hits: 10, misses: 2, evictions: 1, dirty_evictions: 0 };
-        let b = CacheStats { hits: 30, misses: 12, evictions: 6, dirty_evictions: 3 };
+        let a = CacheStats {
+            hits: 10,
+            misses: 2,
+            evictions: 1,
+            dirty_evictions: 0,
+        };
+        let b = CacheStats {
+            hits: 30,
+            misses: 12,
+            evictions: 6,
+            dirty_evictions: 3,
+        };
         let d = b.delta_since(&a);
-        assert_eq!(d, CacheStats { hits: 20, misses: 10, evictions: 5, dirty_evictions: 3 });
+        assert_eq!(
+            d,
+            CacheStats {
+                hits: 20,
+                misses: 10,
+                evictions: 5,
+                dirty_evictions: 3
+            }
+        );
     }
 }

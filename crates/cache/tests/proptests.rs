@@ -14,7 +14,11 @@ struct RefCache {
 
 impl RefCache {
     fn new(sets: usize, ways: usize) -> Self {
-        Self { sets, ways, entries: vec![VecDeque::new(); sets] }
+        Self {
+            sets,
+            ways,
+            entries: vec![VecDeque::new(); sets],
+        }
     }
 
     fn set_of(&self, addr: u64) -> usize {
@@ -130,7 +134,6 @@ proptest! {
             l2_ways: 2,
             l3_bytes: 16 * 64,
             l3_ways: 2,
-            ..HierarchyConfig::paper_8core()
         });
         let mut written = std::collections::HashSet::new();
         let mut surfaced = std::collections::HashSet::new();

@@ -165,15 +165,24 @@ impl BdiLine {
     #[must_use]
     pub fn compress(line: &LineData) -> Option<Self> {
         if line.iter().all(|&b| b == 0) {
-            return Some(Self { encoding: BdiEncoding::Zeros, data: Vec::new() });
+            return Some(Self {
+                encoding: BdiEncoding::Zeros,
+                data: Vec::new(),
+            });
         }
         let first = elem(line, 8, 0);
         if (0..8).all(|i| elem(line, 8, i) == first) {
-            return Some(Self { encoding: BdiEncoding::Rep8, data: first.to_le_bytes().to_vec() });
+            return Some(Self {
+                encoding: BdiEncoding::Rep8,
+                data: first.to_le_bytes().to_vec(),
+            });
         }
         BdiEncoding::BASE_DELTA
             .iter()
-            .find(|&&enc| enc.size() < LINE_BYTES && fits_with_base(line, enc, elem(line, enc.base_bytes(), 0)))
+            .find(|&&enc| {
+                enc.size() < LINE_BYTES
+                    && fits_with_base(line, enc, elem(line, enc.base_bytes(), 0))
+            })
             .map(|&enc| Self::encode(line, enc, elem(line, enc.base_bytes(), 0)))
     }
 
@@ -195,7 +204,10 @@ impl BdiLine {
             let diff = elem(line, b, i).wrapping_sub(base) & m;
             data.extend_from_slice(&diff.to_le_bytes()[..d]);
         }
-        Self { encoding: enc, data }
+        Self {
+            encoding: enc,
+            data,
+        }
     }
 
     /// The encoding tag (stored in the set format's metadata bits).
@@ -305,7 +317,16 @@ mod tests {
     fn pointers_use_b8d1() {
         // Eight pointers into the same 128-byte region.
         let base = 0x7fff_a000_1000u64;
-        let vals = [base, base + 8, base + 16, base + 24, base + 120, base + 64, base + 32, base + 56];
+        let vals = [
+            base,
+            base + 8,
+            base + 16,
+            base + 24,
+            base + 120,
+            base + 64,
+            base + 32,
+            base + 56,
+        ];
         let line = line_from_u64s(vals);
         let c = BdiLine::compress(&line).expect("b8d1");
         assert_eq!(c.encoding(), BdiEncoding::B8D1);
@@ -316,7 +337,16 @@ mod tests {
     #[test]
     fn negative_deltas_round_trip() {
         let base = 0x1000u64;
-        let vals = [base, base - 100, base + 100, base - 128, base + 127, base, base - 1, base + 1];
+        let vals = [
+            base,
+            base - 100,
+            base + 100,
+            base - 128,
+            base + 127,
+            base,
+            base - 1,
+            base + 1,
+        ];
         let line = line_from_u64s(vals);
         let c = BdiLine::compress(&line).expect("b8d1 with negative deltas");
         assert_eq!(c.encoding(), BdiEncoding::B8D1);
@@ -384,7 +414,10 @@ mod tests {
         let a = line_from_u32s(vals_a);
         let b = line_from_u32s(vals_b);
         let ca = BdiLine::compress(&a).expect("a compresses");
-        assert_eq!(BdiLine::compress_with_base(&b, BdiEncoding::B4D1, ca.base()), None);
+        assert_eq!(
+            BdiLine::compress_with_base(&b, BdiEncoding::B4D1, ca.base()),
+            None
+        );
     }
 
     #[test]
@@ -409,8 +442,20 @@ mod tests {
     fn compressor_prefers_smaller_encoding() {
         // Values within ±127 of base fit B8D1; compressor must not pick B8D2.
         let base = 0x10_0000u64;
-        let vals = [base, base + 1, base + 2, base + 3, base + 4, base + 5, base + 6, base + 7];
+        let vals = [
+            base,
+            base + 1,
+            base + 2,
+            base + 3,
+            base + 4,
+            base + 5,
+            base + 6,
+            base + 7,
+        ];
         let line = line_from_u64s(vals);
-        assert_eq!(BdiLine::compress(&line).expect("compresses").encoding(), BdiEncoding::B8D1);
+        assert_eq!(
+            BdiLine::compress(&line).expect("compresses").encoding(),
+            BdiEncoding::B8D1
+        );
     }
 }

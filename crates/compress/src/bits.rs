@@ -21,7 +21,7 @@ impl BitWriter {
 
     /// Appends the low `n` bits of `value` (1..=32), most significant first.
     pub(crate) fn write(&mut self, value: u32, n: u32) {
-        debug_assert!(n >= 1 && n <= 32, "bit count {n} out of range");
+        debug_assert!((1..=32).contains(&n), "bit count {n} out of range");
         debug_assert!(n == 32 || value < (1u32 << n), "value wider than field");
         let mut remaining = n;
         while remaining > 0 {
@@ -79,7 +79,7 @@ impl<'a> BitReader<'a> {
     /// Panics if the stream is exhausted — the codecs always know exactly how
     /// many bits they wrote, so running out indicates a corrupted encoding.
     pub(crate) fn read(&mut self, n: u32) -> u32 {
-        debug_assert!(n >= 1 && n <= 32);
+        debug_assert!((1..=32).contains(&n));
         let mut out: u32 = 0;
         for _ in 0..n {
             let byte = self.buf[self.pos / 8];

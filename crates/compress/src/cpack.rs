@@ -105,7 +105,9 @@ impl CpackLine {
                 dict.push(word);
             }
         }
-        Self { bytes: w.into_bytes() }
+        Self {
+            bytes: w.into_bytes(),
+        }
     }
 
     /// Compressed size in bytes.
@@ -226,8 +228,24 @@ mod tests {
 
     #[test]
     fn mixed_content_round_trips() {
-        round_trip([0, 1, 0xdead_beef, 0xdead_beef, 0xdead_be00, 0x77, 0, 0x1234_5678,
-                    0x1234_0000, 0xffff_ffff, 0xffff_fffe, 0, 0x80, 0xdead_beef, 5, 0]);
+        round_trip([
+            0,
+            1,
+            0xdead_beef,
+            0xdead_beef,
+            0xdead_be00,
+            0x77,
+            0,
+            0x1234_5678,
+            0x1234_0000,
+            0xffff_ffff,
+            0xffff_fffe,
+            0,
+            0x80,
+            0xdead_beef,
+            5,
+            0,
+        ]);
     }
 
     #[test]
@@ -250,6 +268,9 @@ mod tests {
         let hybrid = crate::compressed_size(&line);
         // 3 raw (34 bits) + 13 full matches (6 bits) = 180 bits = 23 B.
         assert_eq!(cpack, 23, "cpack should exploit repetition");
-        assert!(cpack < hybrid, "cpack {cpack} should beat FPC+BDI {hybrid} here");
+        assert!(
+            cpack < hybrid,
+            "cpack {cpack} should beat FPC+BDI {hybrid} here"
+        );
     }
 }

@@ -56,23 +56,51 @@ struct WordCode {
 
 fn classify(word: u32) -> WordCode {
     if fits_signed(word, 4) {
-        WordCode { prefix: P_SE4, payload: word & 0xf, payload_bits: 4 }
+        WordCode {
+            prefix: P_SE4,
+            payload: word & 0xf,
+            payload_bits: 4,
+        }
     } else if fits_signed(word, 8) {
-        WordCode { prefix: P_SE8, payload: word & 0xff, payload_bits: 8 }
+        WordCode {
+            prefix: P_SE8,
+            payload: word & 0xff,
+            payload_bits: 8,
+        }
     } else if fits_signed(word, 16) {
-        WordCode { prefix: P_SE16, payload: word & 0xffff, payload_bits: 16 }
+        WordCode {
+            prefix: P_SE16,
+            payload: word & 0xffff,
+            payload_bits: 16,
+        }
     } else if word & 0xffff == 0 {
-        WordCode { prefix: P_LOWER_ZERO, payload: word >> 16, payload_bits: 16 }
+        WordCode {
+            prefix: P_LOWER_ZERO,
+            payload: word >> 16,
+            payload_bits: 16,
+        }
     } else if half_fits_se8(word) && half_fits_se8(word >> 16) {
         let hi = (word >> 16) & 0xff;
         let lo = word & 0xff;
-        WordCode { prefix: P_TWO_SE_BYTES, payload: (hi << 8) | lo, payload_bits: 16 }
+        WordCode {
+            prefix: P_TWO_SE_BYTES,
+            payload: (hi << 8) | lo,
+            payload_bits: 16,
+        }
     } else {
         let b = word & 0xff;
         if word == b * 0x0101_0101 {
-            WordCode { prefix: P_REPEATED_BYTE, payload: b, payload_bits: 8 }
+            WordCode {
+                prefix: P_REPEATED_BYTE,
+                payload: b,
+                payload_bits: 8,
+            }
         } else {
-            WordCode { prefix: P_RAW, payload: word, payload_bits: 32 }
+            WordCode {
+                prefix: P_RAW,
+                payload: word,
+                payload_bits: 32,
+            }
         }
     }
 }
@@ -113,7 +141,9 @@ impl FpcLine {
                 i += 1;
             }
         }
-        Self { bytes: w.into_bytes() }
+        Self {
+            bytes: w.into_bytes(),
+        }
     }
 
     /// Compressed size in bytes (bit length rounded up).
@@ -273,8 +303,22 @@ mod tests {
     #[test]
     fn mixed_content_round_trips() {
         let words = [
-            0, 0, 0, 5, 0xffff_fffe, 0x7fff, 0x8000_0000, 0xabab_abab, 0x00ff_00ff, 1, 0,
-            0xdead_beef, 0x10_0000, 0xffff_8000, 0, 42,
+            0,
+            0,
+            0,
+            5,
+            0xffff_fffe,
+            0x7fff,
+            0x8000_0000,
+            0xabab_abab,
+            0x00ff_00ff,
+            1,
+            0,
+            0xdead_beef,
+            0x10_0000,
+            0xffff_8000,
+            0,
+            42,
         ];
         round_trip(words);
     }

@@ -86,7 +86,10 @@ pub fn compress_pair(a: &LineData, b: &LineData) -> PairCompressed {
         if shared_size >= concat_size {
             continue; // sorted by size, but shared sizes interleave; just skip
         }
-        if best.as_ref().is_some_and(|(e, _, _)| e.size() + e.deltas_only_size() <= shared_size) {
+        if best
+            .as_ref()
+            .is_some_and(|(e, _, _)| e.size() + e.deltas_only_size() <= shared_size)
+        {
             continue;
         }
         let base = first_elem(a, enc.base_bytes());
@@ -178,7 +181,11 @@ mod tests {
     #[test]
     fn zero_pair_is_tiny() {
         let p = compress_pair(&zero_line(), &zero_line());
-        assert!(p.total_size() <= 2, "two zero lines should be ~2 bytes, got {}", p.total_size());
+        assert!(
+            p.total_size() <= 2,
+            "two zero lines should be ~2 bytes, got {}",
+            p.total_size()
+        );
     }
 
     #[test]

@@ -288,7 +288,9 @@ impl DramCacheController {
     /// accesses are absorbed by the L3 and never touch the L4 again).
     fn partner_in(&mut self, set: SetIndex, line: LineAddr, stamp: u64) -> Option<LineAddr> {
         let partner = Indexer::pair_partner(line);
-        self.sets[set as usize].touch(partner, stamp, false).map(|_| partner)
+        self.sets[set as usize]
+            .touch(partner, stamp, false)
+            .map(|_| partner)
     }
 
     /// Services a demand read for `line`.
@@ -311,7 +313,11 @@ impl DramCacheController {
                 };
                 ReadOutcome {
                     hit,
-                    probes: vec![Probe { set, write: false, bytes: rb }],
+                    probes: vec![Probe {
+                        set,
+                        write: false,
+                        bytes: rb,
+                    }],
                     free_lines,
                     predicted_hit,
                 }
@@ -337,11 +343,18 @@ impl DramCacheController {
             // TSI == BAI: one location, no prediction involved.
             let set = self.ix.tsi(line);
             let hit = self.sets[set as usize].touch(line, stamp, false).is_some();
-            let free_lines =
-                if hit { self.partner_in(set, line, stamp).into_iter().collect() } else { Vec::new() };
+            let free_lines = if hit {
+                self.partner_in(set, line, stamp).into_iter().collect()
+            } else {
+                Vec::new()
+            };
             return ReadOutcome {
                 hit,
-                probes: vec![Probe { set, write: false, bytes: rb }],
+                probes: vec![Probe {
+                    set,
+                    write: false,
+                    bytes: rb,
+                }],
                 free_lines,
                 predicted_hit,
             };
@@ -351,12 +364,24 @@ impl DramCacheController {
         let s_pred = self.ix.index(line, pred_scheme);
         let s_alt = self.ix.index(line, pred_scheme.other());
         debug_assert_eq!(s_alt, s_pred ^ 1, "BAI/TSI candidates are LSB-adjacent");
-        let mut probes = vec![Probe { set: s_pred, write: false, bytes: rb }];
+        let mut probes = vec![Probe {
+            set: s_pred,
+            write: false,
+            bytes: rb,
+        }];
 
-        if self.sets[s_pred as usize].touch(line, stamp, false).is_some() {
+        if self.sets[s_pred as usize]
+            .touch(line, stamp, false)
+            .is_some()
+        {
             self.cip.update(line, pred_scheme);
             let free_lines = self.partner_in(s_pred, line, stamp).into_iter().collect();
-            return ReadOutcome { hit: true, probes, free_lines, predicted_hit };
+            return ReadOutcome {
+                hit: true,
+                probes,
+                free_lines,
+                predicted_hit,
+            };
         }
 
         let in_alt = self.sets[s_alt as usize].get(line).is_some();
@@ -365,7 +390,11 @@ impl DramCacheController {
                 // The neighbor tag came with the first probe: a second
                 // access is issued only when the line is actually there.
                 if in_alt {
-                    probes.push(Probe { set: s_alt, write: false, bytes: rb });
+                    probes.push(Probe {
+                        set: s_alt,
+                        write: false,
+                        bytes: rb,
+                    });
                     self.stats.second_probes += 1;
                     (true, Some(s_alt))
                 } else {
@@ -375,7 +404,11 @@ impl DramCacheController {
             TagVariant::Knl => {
                 // No neighbor tag: both locations must be checked before
                 // declaring a miss (§6.6).
-                probes.push(Probe { set: s_alt, write: false, bytes: rb });
+                probes.push(Probe {
+                    set: s_alt,
+                    write: false,
+                    bytes: rb,
+                });
                 self.stats.second_probes += 1;
                 if in_alt {
                     (true, Some(s_alt))
@@ -393,7 +426,12 @@ impl DramCacheController {
             }
             None => Vec::new(),
         };
-        ReadOutcome { hit, probes, free_lines, predicted_hit }
+        ReadOutcome {
+            hit,
+            probes,
+            free_lines,
+            predicted_hit,
+        }
     }
 
     fn read_scc(&mut self, line: LineAddr, stamp: u64, predicted_hit: bool) -> ReadOutcome {
@@ -408,15 +446,36 @@ impl DramCacheController {
         // (one 16 B burst); the data access moves the full TAD.
         let tag_bytes = 16;
         let mut probes = vec![
-            Probe { set: home, write: false, bytes: tag_bytes },
-            Probe { set: skew1, write: false, bytes: tag_bytes },
-            Probe { set: skew2, write: false, bytes: tag_bytes },
+            Probe {
+                set: home,
+                write: false,
+                bytes: tag_bytes,
+            },
+            Probe {
+                set: skew1,
+                write: false,
+                bytes: tag_bytes,
+            },
+            Probe {
+                set: skew2,
+                write: false,
+                bytes: tag_bytes,
+            },
         ];
         let hit = self.sets[home as usize].touch(line, stamp, false).is_some();
         if hit {
-            probes.push(Probe { set: home, write: false, bytes: self.cfg.read_bytes() });
+            probes.push(Probe {
+                set: home,
+                write: false,
+                bytes: self.cfg.read_bytes(),
+            });
         }
-        ReadOutcome { hit, probes, free_lines: Vec::new(), predicted_hit }
+        ReadOutcome {
+            hit,
+            probes,
+            free_lines: Vec::new(),
+            predicted_hit,
+        }
     }
 
     /// Decides the install scheme and set for `line` (§5.2: compressed size
@@ -474,9 +533,17 @@ impl DramCacheController {
         let mut probes = Vec::with_capacity(2);
         let needs_rmw = self.set_mode() == SetMode::Compressed && probed != Some(set);
         if needs_rmw {
-            probes.push(Probe { set, write: false, bytes: self.cfg.read_bytes() });
+            probes.push(Probe {
+                set,
+                write: false,
+                bytes: self.cfg.read_bytes(),
+            });
         }
-        probes.push(Probe { set, write: true, bytes: self.cfg.write_bytes() });
+        probes.push(Probe {
+            set,
+            write: true,
+            bytes: self.cfg.write_bytes(),
+        });
 
         let stamp = self.next_stamp();
         let mode = self.set_mode();
@@ -484,7 +551,10 @@ impl DramCacheController {
         let memory_writebacks: Vec<LineAddr> =
             evicted.iter().filter(|e| e.dirty).map(|e| e.line).collect();
         self.stats.memory_writebacks += memory_writebacks.len() as u64;
-        WriteOutcome { probes, memory_writebacks }
+        WriteOutcome {
+            probes,
+            memory_writebacks,
+        }
     }
 
     /// Handles a dirty writeback arriving from the L3.
@@ -503,8 +573,16 @@ impl DramCacheController {
             let (scheme, set, invariant) = self.install_target(line, info);
             self.record_install(scheme, invariant);
             let probes = vec![
-                Probe { set, write: false, bytes: rb },
-                Probe { set, write: true, bytes: wbts },
+                Probe {
+                    set,
+                    write: false,
+                    bytes: rb,
+                },
+                Probe {
+                    set,
+                    write: true,
+                    bytes: wbts,
+                },
             ];
             let stamp = self.next_stamp();
             let mode = self.set_mode();
@@ -512,13 +590,20 @@ impl DramCacheController {
             let memory_writebacks: Vec<LineAddr> =
                 evicted.iter().filter(|e| e.dirty).map(|e| e.line).collect();
             self.stats.memory_writebacks += memory_writebacks.len() as u64;
-            return WriteOutcome { probes, memory_writebacks };
+            return WriteOutcome {
+                probes,
+                memory_writebacks,
+            };
         }
 
         // DICE, non-invariant line: predict by compressibility.
         let (pred_scheme, s_pred, _) = self.install_target(line, info);
         let s_alt = s_pred ^ 1;
-        let mut probes = vec![Probe { set: s_pred, write: false, bytes: rb }];
+        let mut probes = vec![Probe {
+            set: s_pred,
+            write: false,
+            bytes: rb,
+        }];
 
         let resident_pred = self.sets[s_pred as usize].get(line).is_some();
         let resident_alt = self.sets[s_alt as usize].get(line).is_some();
@@ -534,7 +619,11 @@ impl DramCacheController {
             // changed): update it where it lives. The neighbor tag (Alloy)
             // or a second probe (KNL) finds it; modifying the other set
             // needs its contents either way.
-            probes.push(Probe { set: s_alt, write: false, bytes: rb });
+            probes.push(Probe {
+                set: s_alt,
+                write: false,
+                bytes: rb,
+            });
             self.stats.second_probes += 1;
             (s_alt, pred_scheme.other())
         } else {
@@ -544,14 +633,22 @@ impl DramCacheController {
 
         self.record_install(scheme, false);
         self.cip.train(line, scheme);
-        probes.push(Probe { set, write: true, bytes: wbts });
+        probes.push(Probe {
+            set,
+            write: true,
+            bytes: wbts,
+        });
 
         let stamp = self.next_stamp();
-        let evicted = self.sets[set as usize].insert(line, true, scheme, stamp, SetMode::Compressed, info);
+        let evicted =
+            self.sets[set as usize].insert(line, true, scheme, stamp, SetMode::Compressed, info);
         let memory_writebacks: Vec<LineAddr> =
             evicted.iter().filter(|e| e.dirty).map(|e| e.line).collect();
         self.stats.memory_writebacks += memory_writebacks.len() as u64;
-        WriteOutcome { probes, memory_writebacks }
+        WriteOutcome {
+            probes,
+            memory_writebacks,
+        }
     }
 
     /// Maximum lines one set can hold (re-exported format constant).
@@ -634,7 +731,11 @@ mod tests {
         let mut exact = Fixed(36);
         let line = noninvariant_line(&c);
         c.fill(line, false, None, &mut exact);
-        assert_eq!(c.stats().installs_bai, 1, "36 B must choose BAI (≤ threshold)");
+        assert_eq!(
+            c.stats().installs_bai,
+            1,
+            "36 B must choose BAI (≤ threshold)"
+        );
     }
 
     #[test]
@@ -678,25 +779,31 @@ mod tests {
         let line = noninvariant_line(&c);
         let r = c.read(line);
         assert!(!r.hit);
-        assert_eq!(r.probes.len(), 1, "neighbor tag rules out the alternate set");
+        assert_eq!(
+            r.probes.len(),
+            1,
+            "neighbor tag rules out the alternate set"
+        );
     }
 
     #[test]
     fn knl_miss_probes_both_locations() {
-        let mut cfg =
-            DramCacheConfig::with_capacity(Organization::Dice { threshold: 36 }, 1 << 16);
+        let mut cfg = DramCacheConfig::with_capacity(Organization::Dice { threshold: 36 }, 1 << 16);
         cfg.tag_variant = TagVariant::Knl;
         let mut c = DramCacheController::new(cfg);
         let line = noninvariant_line(&c);
         let r = c.read(line);
         assert!(!r.hit);
-        assert_eq!(r.probes.len(), 2, "KNL cannot rule out the alternate set for free");
+        assert_eq!(
+            r.probes.len(),
+            2,
+            "KNL cannot rule out the alternate set for free"
+        );
     }
 
     #[test]
     fn knl_invariant_miss_needs_one_probe() {
-        let mut cfg =
-            DramCacheConfig::with_capacity(Organization::Dice { threshold: 36 }, 1 << 16);
+        let mut cfg = DramCacheConfig::with_capacity(Organization::Dice { threshold: 36 }, 1 << 16);
         cfg.tag_variant = TagVariant::Knl;
         let mut c = DramCacheController::new(cfg);
         let r = c.read(0);
@@ -724,10 +831,8 @@ mod tests {
 
     #[test]
     fn scc_read_costs_four_probes_on_hit() {
-        let mut c = DramCacheController::new(DramCacheConfig::with_capacity(
-            Organization::Scc,
-            1 << 16,
-        ));
+        let mut c =
+            DramCacheController::new(DramCacheConfig::with_capacity(Organization::Scc, 1 << 16));
         let mut sizes = Fixed(30);
         c.fill(300, false, None, &mut sizes);
         let hit = c.read(300);
@@ -746,7 +851,11 @@ mod tests {
         let miss = c.read(line);
         let probed = miss.probes[0].set;
         let out = c.fill(line, false, Some(probed), &mut sizes);
-        assert_eq!(out.probes.len(), 1, "no RMW read when the miss already read the set");
+        assert_eq!(
+            out.probes.len(),
+            1,
+            "no RMW read when the miss already read the set"
+        );
         assert!(out.probes[0].write);
     }
 
@@ -796,7 +905,11 @@ mod tests {
         let out = c.writeback(line, &mut sizes);
         assert!(out.memory_writebacks.is_empty());
         assert_eq!(c.stats().wpred_scored, 1);
-        assert_eq!(c.stats().wpred_correct, 1, "size-based write prediction finds it");
+        assert_eq!(
+            c.stats().wpred_correct,
+            1,
+            "size-based write prediction finds it"
+        );
         // Evicting it later must yield a memory writeback (it is dirty now).
         assert_eq!(out.probes.len(), 2); // RMW of the predicted set
     }
@@ -807,8 +920,8 @@ mod tests {
         let line = noninvariant_line(&c);
         let mut big = Fixed(64);
         c.fill(line, false, None, &mut big); // installed at TSI
-        // The line's data "became" compressible: write prediction now says
-        // BAI, but the line lives at TSI.
+                                             // The line's data "became" compressible: write prediction now says
+                                             // BAI, but the line lives at TSI.
         let mut small = Fixed(20);
         let out = c.writeback(line, &mut small);
         assert_eq!(c.stats().wpred_scored, 1);

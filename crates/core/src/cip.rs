@@ -35,8 +35,15 @@ impl CachePredictor {
     /// Panics if `entries` is not a power of two.
     #[must_use]
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "LTT entries must be a power of two");
-        Self { ltt: vec![false; entries], predictions: 0, correct: 0 }
+        assert!(
+            entries.is_power_of_two(),
+            "LTT entries must be a power of two"
+        );
+        Self {
+            ltt: vec![false; entries],
+            predictions: 0,
+            correct: 0,
+        }
     }
 
     /// Storage cost in bytes (1 bit per entry) — the paper's <1 KB claim.
@@ -67,7 +74,11 @@ impl CachePredictor {
     /// access, i.e. only for lines whose TSI and BAI indices differ).
     pub fn update(&mut self, line: LineAddr, actual: IndexScheme) {
         let slot = self.slot(line);
-        let predicted = if self.ltt[slot] { IndexScheme::Bai } else { IndexScheme::Tsi };
+        let predicted = if self.ltt[slot] {
+            IndexScheme::Bai
+        } else {
+            IndexScheme::Tsi
+        };
         self.predictions += 1;
         if predicted == actual {
             self.correct += 1;

@@ -139,7 +139,12 @@ impl CompressedSet {
             e.dirty |= dirty;
             e.scheme = scheme;
         } else {
-            self.entries.push(Entry { line, dirty, scheme, stamp });
+            self.entries.push(Entry {
+                line,
+                dirty,
+                scheme,
+                stamp,
+            });
         }
 
         let mut evicted = Vec::new();
@@ -162,7 +167,10 @@ impl CompressedSet {
                 .map(|(i, _)| i)
                 .expect("the new line alone always fits");
             let v = self.entries.swap_remove(victim_idx);
-            evicted.push(Evicted { line: v.line, dirty: v.dirty });
+            evicted.push(Evicted {
+                line: v.line,
+                dirty: v.dirty,
+            });
         }
         evicted
     }
@@ -188,13 +196,20 @@ mod tests {
 
     impl FakeSizes {
         fn with_all(size: u32) -> Self {
-            Self { default_single: size, single: HashMap::new(), pair: HashMap::new() }
+            Self {
+                default_single: size,
+                single: HashMap::new(),
+                pair: HashMap::new(),
+            }
         }
     }
 
     impl SizeInfo for FakeSizes {
         fn single_size(&mut self, line: LineAddr) -> u32 {
-            self.single.get(&line).copied().unwrap_or(self.default_single)
+            self.single
+                .get(&line)
+                .copied()
+                .unwrap_or(self.default_single)
         }
         fn pair_size(&mut self, even: LineAddr) -> u32 {
             if let Some(&p) = self.pair.get(&even) {
@@ -209,9 +224,31 @@ mod tests {
     fn uncompressed_mode_holds_one_line() {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(64);
-        assert!(set.insert(10, false, IndexScheme::Tsi, 1, SetMode::Uncompressed, &mut info).is_empty());
-        let ev = set.insert(20, false, IndexScheme::Tsi, 2, SetMode::Uncompressed, &mut info);
-        assert_eq!(ev, vec![Evicted { line: 10, dirty: false }]);
+        assert!(set
+            .insert(
+                10,
+                false,
+                IndexScheme::Tsi,
+                1,
+                SetMode::Uncompressed,
+                &mut info
+            )
+            .is_empty());
+        let ev = set.insert(
+            20,
+            false,
+            IndexScheme::Tsi,
+            2,
+            SetMode::Uncompressed,
+            &mut info,
+        );
+        assert_eq!(
+            ev,
+            vec![Evicted {
+                line: 10,
+                dirty: false
+            }]
+        );
         assert_eq!(set.len(), 1);
     }
 
@@ -219,8 +256,22 @@ mod tests {
     fn two_half_lines_fit_compressed() {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(32);
-        set.insert(10, false, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
-        let ev = set.insert(1000, false, IndexScheme::Tsi, 2, SetMode::Compressed, &mut info);
+        set.insert(
+            10,
+            false,
+            IndexScheme::Tsi,
+            1,
+            SetMode::Compressed,
+            &mut info,
+        );
+        let ev = set.insert(
+            1000,
+            false,
+            IndexScheme::Tsi,
+            2,
+            SetMode::Compressed,
+            &mut info,
+        );
         assert!(ev.is_empty(), "4+32 + 4+32 = 72 fits");
         assert_eq!(set.len(), 2);
     }
@@ -229,9 +280,23 @@ mod tests {
     fn thirtysix_byte_lines_do_not_fit_unshared() {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(36);
-        set.insert(10, false, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
+        set.insert(
+            10,
+            false,
+            IndexScheme::Tsi,
+            1,
+            SetMode::Compressed,
+            &mut info,
+        );
         // 4+36 + 4+36 = 80 > 72: distant lines at 36 B thrash...
-        let ev = set.insert(1000, false, IndexScheme::Tsi, 2, SetMode::Compressed, &mut info);
+        let ev = set.insert(
+            1000,
+            false,
+            IndexScheme::Tsi,
+            2,
+            SetMode::Compressed,
+            &mut info,
+        );
         assert_eq!(ev.len(), 1);
     }
 
@@ -240,9 +305,23 @@ mod tests {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(36);
         info.pair.insert(10, 68); // shared base: 68 B joint
-        set.insert(10, false, IndexScheme::Bai, 1, SetMode::Compressed, &mut info);
+        set.insert(
+            10,
+            false,
+            IndexScheme::Bai,
+            1,
+            SetMode::Compressed,
+            &mut info,
+        );
         // ...but the spatial pair shares tag and base: 4 + 68 = 72 fits.
-        let ev = set.insert(11, false, IndexScheme::Bai, 2, SetMode::Compressed, &mut info);
+        let ev = set.insert(
+            11,
+            false,
+            IndexScheme::Bai,
+            2,
+            SetMode::Compressed,
+            &mut info,
+        );
         assert!(ev.is_empty(), "paired 36 B lines share tag+base");
         assert_eq!(set.len(), 2);
     }
@@ -251,13 +330,40 @@ mod tests {
     fn eviction_is_lru_and_spares_newcomer() {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(20);
-        set.insert(1, false, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
-        set.insert(3, false, IndexScheme::Tsi, 2, SetMode::Compressed, &mut info);
+        set.insert(
+            1,
+            false,
+            IndexScheme::Tsi,
+            1,
+            SetMode::Compressed,
+            &mut info,
+        );
+        set.insert(
+            3,
+            false,
+            IndexScheme::Tsi,
+            2,
+            SetMode::Compressed,
+            &mut info,
+        );
         set.insert(5, true, IndexScheme::Tsi, 3, SetMode::Compressed, &mut info);
         // 3 × 24 = 72 full. Touch 1 so 3 is LRU.
         set.touch(1, 4, false);
-        let ev = set.insert(7, false, IndexScheme::Tsi, 5, SetMode::Compressed, &mut info);
-        assert_eq!(ev, vec![Evicted { line: 3, dirty: false }]);
+        let ev = set.insert(
+            7,
+            false,
+            IndexScheme::Tsi,
+            5,
+            SetMode::Compressed,
+            &mut info,
+        );
+        assert_eq!(
+            ev,
+            vec![Evicted {
+                line: 3,
+                dirty: false
+            }]
+        );
         assert!(set.get(7).is_some());
     }
 
@@ -266,17 +372,37 @@ mod tests {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(64);
         set.insert(1, true, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
-        let ev = set.insert(2, false, IndexScheme::Tsi, 2, SetMode::Compressed, &mut info);
-        assert_eq!(ev, vec![Evicted { line: 1, dirty: true }]);
+        let ev = set.insert(
+            2,
+            false,
+            IndexScheme::Tsi,
+            2,
+            SetMode::Compressed,
+            &mut info,
+        );
+        assert_eq!(
+            ev,
+            vec![Evicted {
+                line: 1,
+                dirty: true
+            }]
+        );
     }
 
     #[test]
     fn zero_heavy_set_caps_at_28_lines() {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(1); // everything compresses to 1 B
-        // Use odd spacing so no pairs form (pair accounting would halve tags).
+                                               // Use odd spacing so no pairs form (pair accounting would halve tags).
         for i in 0..40u64 {
-            set.insert(i * 2, false, IndexScheme::Tsi, i, SetMode::Compressed, &mut info);
+            set.insert(
+                i * 2,
+                false,
+                IndexScheme::Tsi,
+                i,
+                SetMode::Compressed,
+                &mut info,
+            );
         }
         assert!(set.len() <= MAX_LINES_PER_SET, "len {} > 28", set.len());
         // 28 × (4+1) = 140 > 72, so the byte budget binds first: 14 lines.
@@ -287,7 +413,14 @@ mod tests {
     fn touch_updates_dirty_and_recency() {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(10);
-        set.insert(9, false, IndexScheme::Bai, 1, SetMode::Compressed, &mut info);
+        set.insert(
+            9,
+            false,
+            IndexScheme::Bai,
+            1,
+            SetMode::Compressed,
+            &mut info,
+        );
         assert!(set.touch(9, 5, true).is_some());
         let e = set.get(9).expect("resident");
         assert!(e.dirty);
@@ -299,7 +432,14 @@ mod tests {
     fn reinsert_updates_in_place() {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(10);
-        set.insert(9, false, IndexScheme::Tsi, 1, SetMode::Compressed, &mut info);
+        set.insert(
+            9,
+            false,
+            IndexScheme::Tsi,
+            1,
+            SetMode::Compressed,
+            &mut info,
+        );
         set.insert(9, true, IndexScheme::Bai, 2, SetMode::Compressed, &mut info);
         assert_eq!(set.len(), 1);
         let e = set.get(9).expect("resident");
@@ -323,8 +463,22 @@ mod tests {
         let mut set = CompressedSet::default();
         let mut info = FakeSizes::with_all(30);
         info.pair.insert(6, 40);
-        set.insert(6, false, IndexScheme::Bai, 1, SetMode::Compressed, &mut info);
-        set.insert(7, false, IndexScheme::Bai, 2, SetMode::Compressed, &mut info);
+        set.insert(
+            6,
+            false,
+            IndexScheme::Bai,
+            1,
+            SetMode::Compressed,
+            &mut info,
+        );
+        set.insert(
+            7,
+            false,
+            IndexScheme::Bai,
+            2,
+            SetMode::Compressed,
+            &mut info,
+        );
         assert_eq!(set.occupancy(&mut info), 4 + 40);
     }
 }

@@ -63,8 +63,14 @@ impl Indexer {
     /// index bit above the pair bit).
     #[must_use]
     pub fn new(sets: u64) -> Self {
-        assert!(sets.is_power_of_two() && sets >= 4, "sets must be a power of two >= 4");
-        Self { sets, log2_sets: sets.trailing_zeros() }
+        assert!(
+            sets.is_power_of_two() && sets >= 4,
+            "sets must be a power of two >= 4"
+        );
+        Self {
+            sets,
+            log2_sets: sets.trailing_zeros(),
+        }
     }
 
     /// Number of sets.

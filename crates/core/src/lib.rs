@@ -65,7 +65,9 @@ pub use cache::{
     WriteOutcome,
 };
 pub use cip::CachePredictor;
-pub use cset::{CompressedSet, Entry, Evicted, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES};
+pub use cset::{
+    CompressedSet, Entry, Evicted, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES,
+};
 pub use indexing::{IndexScheme, Indexer, SetIndex};
 pub use mapi::HitPredictor;
 pub use stats::L4Stats;

@@ -30,7 +30,11 @@ impl HitPredictor {
         assert!(entries.is_power_of_two(), "entries must be a power of two");
         // Start weakly predicting "hit" (2): misfiring extra memory reads on
         // a cold cache is the conservative direction for bandwidth.
-        Self { counters: vec![2; entries], predictions: 0, correct: 0 }
+        Self {
+            counters: vec![2; entries],
+            predictions: 0,
+            correct: 0,
+        }
     }
 
     fn slot(&self, line: LineAddr) -> usize {

@@ -1,5 +1,7 @@
 //! Statistics for the DRAM-cache controller.
 
+use dice_obs::{impl_snapshot, ratio};
+
 /// Counters accumulated by [`DramCacheController`](crate::DramCacheController).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct L4Stats {
@@ -30,25 +32,33 @@ pub struct L4Stats {
     pub wpred_correct: u64,
 }
 
+impl_snapshot!(L4Stats {
+    reads: Monotonic,
+    read_hits: Monotonic,
+    second_probes: Monotonic,
+    fills: Monotonic,
+    writebacks: Monotonic,
+    free_lines: Monotonic,
+    installs_invariant: Monotonic,
+    installs_tsi: Monotonic,
+    installs_bai: Monotonic,
+    memory_writebacks: Monotonic,
+    wpred_scored: Monotonic,
+    wpred_correct: Monotonic,
+});
+
 impl L4Stats {
     /// Read hit rate in [0, 1] (0 when idle).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        if self.reads == 0 {
-            0.0
-        } else {
-            self.read_hits as f64 / self.reads as f64
-        }
+        ratio(self.read_hits, self.reads)
     }
 
-    /// Write-predictor accuracy (1.0 when nothing was scored).
+    /// Write-predictor accuracy in [0, 1] (0 when nothing was scored, per
+    /// the workspace-wide idle convention of [`dice_obs::ratio`]).
     #[must_use]
     pub fn write_prediction_accuracy(&self) -> f64 {
-        if self.wpred_scored == 0 {
-            1.0
-        } else {
-            self.wpred_correct as f64 / self.wpred_scored as f64
-        }
+        ratio(self.wpred_correct, self.wpred_scored)
     }
 
     /// Total install decisions.
@@ -60,32 +70,23 @@ impl L4Stats {
     /// Counter-wise difference `self - earlier`.
     #[must_use]
     pub fn delta_since(&self, earlier: &L4Stats) -> L4Stats {
-        L4Stats {
-            reads: self.reads - earlier.reads,
-            read_hits: self.read_hits - earlier.read_hits,
-            second_probes: self.second_probes - earlier.second_probes,
-            fills: self.fills - earlier.fills,
-            writebacks: self.writebacks - earlier.writebacks,
-            free_lines: self.free_lines - earlier.free_lines,
-            installs_invariant: self.installs_invariant - earlier.installs_invariant,
-            installs_tsi: self.installs_tsi - earlier.installs_tsi,
-            installs_bai: self.installs_bai - earlier.installs_bai,
-            memory_writebacks: self.memory_writebacks - earlier.memory_writebacks,
-            wpred_scored: self.wpred_scored - earlier.wpred_scored,
-            wpred_correct: self.wpred_correct - earlier.wpred_correct,
-        }
+        dice_obs::delta(self, earlier)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use dice_obs::Snapshot;
+
     use super::*;
 
     #[test]
     fn rates_when_idle() {
         let s = L4Stats::default();
         assert_eq!(s.hit_rate(), 0.0);
-        assert_eq!(s.write_prediction_accuracy(), 1.0);
+        // Idle convention is uniform across the workspace: no samples
+        // means a zero rate, not an optimistic 1.0.
+        assert_eq!(s.write_prediction_accuracy(), 0.0);
     }
 
     #[test]
@@ -101,11 +102,34 @@ mod tests {
 
     #[test]
     fn delta_subtracts_all_fields() {
-        let a = L4Stats { reads: 1, read_hits: 1, fills: 1, ..L4Stats::default() };
-        let b = L4Stats { reads: 5, read_hits: 3, fills: 2, ..L4Stats::default() };
+        let a = L4Stats {
+            reads: 1,
+            read_hits: 1,
+            fills: 1,
+            ..L4Stats::default()
+        };
+        let b = L4Stats {
+            reads: 5,
+            read_hits: 3,
+            fills: 2,
+            ..L4Stats::default()
+        };
         let d = b.delta_since(&a);
         assert_eq!(d.reads, 4);
         assert_eq!(d.read_hits, 2);
         assert_eq!(d.fills, 1);
+    }
+
+    #[test]
+    fn snapshot_fields_cover_the_struct() {
+        // 12 public counters; the Snapshot declaration must list them all
+        // or delta_since silently stops subtracting the missing ones.
+        assert_eq!(L4Stats::FIELDS.len(), 12);
+        let mut s = L4Stats::default();
+        for i in 0..L4Stats::FIELDS.len() {
+            s.set_field(i, i as u64 + 1);
+        }
+        let zero = L4Stats::default();
+        assert_eq!(s.delta_since(&zero), s);
     }
 }

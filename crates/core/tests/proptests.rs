@@ -3,8 +3,8 @@
 //! operation sequences.
 
 use dice_core::{
-    DramCacheConfig, DramCacheController, IndexScheme, Indexer, Organization, SizeInfo,
-    TagVariant, MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES,
+    DramCacheConfig, DramCacheController, IndexScheme, Indexer, Organization, SizeInfo, TagVariant,
+    MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES,
 };
 use proptest::prelude::*;
 
@@ -177,7 +177,7 @@ proptest! {
                 Op::Fill(l, d) => l4.fill(u64::from(l), d, None, &mut sizes).probes.len(),
                 Op::Writeback(l) => l4.writeback(u64::from(l), &mut sizes).probes.len(),
             };
-            prop_assert!(n >= 1 && n <= 4, "probe count {n} out of range");
+            prop_assert!((1..=4).contains(&n), "probe count {n} out of range");
         }
     }
 

@@ -164,7 +164,9 @@ mod tests {
 
     #[test]
     fn adjusters_compose() {
-        let c = DramConfig::stacked_l4().with_double_channels().with_half_latency();
+        let c = DramConfig::stacked_l4()
+            .with_double_channels()
+            .with_half_latency();
         assert_eq!(c.channels, 8);
         assert_eq!(c.t_cas, 22);
         assert_eq!(c.t_ras, 56);

@@ -43,7 +43,11 @@ impl Location {
         let rest = global_row / u64::from(cfg.channels);
         let bank = (rest % u64::from(cfg.banks_per_channel)) as u32;
         let row = rest / u64::from(cfg.banks_per_channel);
-        Self { channel: ch, bank, row }
+        Self {
+            channel: ch,
+            bank,
+            row,
+        }
     }
 }
 
@@ -170,7 +174,11 @@ impl DramDevice {
                 inflight: VecDeque::new(),
             })
             .collect();
-        Self { cfg, channels, stats: DramStats::default() }
+        Self {
+            cfg,
+            channels,
+            stats: DramStats::default(),
+        }
     }
 
     /// The device's configuration.
@@ -198,7 +206,13 @@ impl DramDevice {
     /// # Panics
     ///
     /// Panics if `loc` is out of range for the configuration.
-    pub fn access(&mut self, now: Cycle, kind: AccessKind, loc: Location, bytes: u32) -> AccessResult {
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        kind: AccessKind,
+        loc: Location,
+        bytes: u32,
+    ) -> AccessResult {
         let burst = self.cfg.burst_cycles(bytes);
         let ch = &mut self.channels[loc.channel as usize];
 
@@ -230,7 +244,10 @@ impl DramDevice {
             // waits for the last column command and respects tRAS from the
             // previous activate. An idle bank activates immediately.
             let act_at = if bank.open_row.is_some() {
-                start.max(bank.cas_ready).max(bank.last_activate + self.cfg.t_ras) + self.cfg.t_rp
+                start
+                    .max(bank.cas_ready)
+                    .max(bank.last_activate + self.cfg.t_ras)
+                    + self.cfg.t_rp
             } else {
                 start.max(bank.cas_ready)
             };
@@ -264,7 +281,11 @@ impl DramDevice {
         self.stats.latency_sum += done - now;
         self.stats.last_done = self.stats.last_done.max(done);
 
-        AccessResult { start, done, row_hit }
+        AccessResult {
+            start,
+            done,
+            row_hit,
+        }
     }
 }
 
@@ -276,7 +297,11 @@ mod tests {
         DramDevice::new(DramConfig::stacked_l4())
     }
 
-    const LOC: Location = Location { channel: 0, bank: 0, row: 5 };
+    const LOC: Location = Location {
+        channel: 0,
+        bank: 0,
+        row: 5,
+    };
 
     #[test]
     fn cold_access_is_a_row_miss() {
@@ -350,11 +375,29 @@ mod tests {
         // 32 back-to-back row hits on different banks of one channel: after
         // warmup the bus (10 cycles/burst) is the bottleneck.
         for bank in 0..16 {
-            d.access(0, AccessKind::Read, Location { channel: 0, bank, row: 1 }, 80);
+            d.access(
+                0,
+                AccessKind::Read,
+                Location {
+                    channel: 0,
+                    bank,
+                    row: 1,
+                },
+                80,
+            );
         }
         let before = d.stats().last_done;
         for bank in 0..16 {
-            d.access(0, AccessKind::Read, Location { channel: 0, bank, row: 1 }, 80);
+            d.access(
+                0,
+                AccessKind::Read,
+                Location {
+                    channel: 0,
+                    bank,
+                    row: 1,
+                },
+                80,
+            );
         }
         let after = d.stats().last_done;
         assert_eq!(after - before, 16 * 10);
@@ -368,7 +411,10 @@ mod tests {
         let r1 = d.access(0, AccessKind::Read, LOC, 80);
         let _r2 = d.access(0, AccessKind::Read, Location { bank: 1, ..LOC }, 80);
         let r3 = d.access(0, AccessKind::Read, Location { bank: 2, ..LOC }, 80);
-        assert!(r3.start >= r1.done, "third request should wait for a queue slot");
+        assert!(
+            r3.start >= r1.done,
+            "third request should wait for a queue slot"
+        );
         assert_eq!(d.stats().queue_stalls, 1);
     }
 
@@ -388,7 +434,10 @@ mod tests {
         let cfg = DramConfig::stacked_l4();
         let mut seen = std::collections::HashSet::new();
         for row in 0..4096u64 {
-            assert!(seen.insert(Location::interleave(&cfg, row)), "collision at {row}");
+            assert!(
+                seen.insert(Location::interleave(&cfg, row)),
+                "collision at {row}"
+            );
         }
     }
 

@@ -31,14 +31,24 @@ impl EnergyModel {
     /// 1 nJ per activate, 0.5 W background.
     #[must_use]
     pub fn stacked() -> Self {
-        Self { activate_j: 1.0e-9, per_byte_j: 32.0e-12, background_w: 0.5, cpu_hz: 3.2e9 }
+        Self {
+            activate_j: 1.0e-9,
+            per_byte_j: 32.0e-12,
+            background_w: 0.5,
+            cpu_hz: 3.2e9,
+        }
     }
 
     /// DDR DIMM coefficients: ~20 pJ/bit transfer (off-package I/O),
     /// 2 nJ per activate, 1 W background.
     #[must_use]
     pub fn ddr() -> Self {
-        Self { activate_j: 2.0e-9, per_byte_j: 160.0e-12, background_w: 1.0, cpu_hz: 3.2e9 }
+        Self {
+            activate_j: 2.0e-9,
+            per_byte_j: 160.0e-12,
+            background_w: 1.0,
+            cpu_hz: 3.2e9,
+        }
     }
 
     /// Dynamic energy for the events counted in `stats`.
@@ -66,7 +76,10 @@ mod tests {
 
     #[test]
     fn ddr_bytes_cost_more_than_stacked() {
-        let s = DramStats { bytes: 1_000_000, ..DramStats::default() };
+        let s = DramStats {
+            bytes: 1_000_000,
+            ..DramStats::default()
+        };
         assert!(EnergyModel::ddr().dynamic_energy(&s) > EnergyModel::stacked().dynamic_energy(&s));
     }
 
@@ -81,7 +94,11 @@ mod tests {
     #[test]
     fn total_is_sum_of_parts() {
         let m = EnergyModel::stacked();
-        let s = DramStats { activates: 10, bytes: 100, ..DramStats::default() };
+        let s = DramStats {
+            activates: 10,
+            bytes: 100,
+            ..DramStats::default()
+        };
         let total = m.total_energy(&s, 1000);
         assert!((total - (m.dynamic_energy(&s) + m.background_energy(1000))).abs() < 1e-18);
     }
@@ -89,8 +106,16 @@ mod tests {
     #[test]
     fn fewer_accesses_less_energy() {
         let m = EnergyModel::ddr();
-        let many = DramStats { activates: 100, bytes: 64_000, ..DramStats::default() };
-        let few = DramStats { activates: 10, bytes: 6_400, ..DramStats::default() };
+        let many = DramStats {
+            activates: 100,
+            bytes: 64_000,
+            ..DramStats::default()
+        };
+        let few = DramStats {
+            activates: 10,
+            bytes: 6_400,
+            ..DramStats::default()
+        };
         assert!(m.dynamic_energy(&few) < m.dynamic_energy(&many));
     }
 }

@@ -1,11 +1,15 @@
 //! Access statistics for one DRAM device.
 
+use dice_obs::{impl_snapshot, ratio};
+
 use crate::Cycle;
 
 /// Counters accumulated by [`DramDevice`](crate::DramDevice).
 ///
 /// All counters are cumulative from device creation; the simulator snapshots
-/// them at warm-up boundaries and subtracts.
+/// them at warm-up boundaries and subtracts. Every field is monotonic except
+/// `last_done`, a completion-time watermark that an interval delta carries
+/// forward instead of subtracting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Read accesses serviced.
@@ -33,6 +37,20 @@ pub struct DramStats {
     pub bus_wait_sum: Cycle,
 }
 
+impl_snapshot!(DramStats {
+    reads: Monotonic,
+    writes: Monotonic,
+    activates: Monotonic,
+    row_hits: Monotonic,
+    bytes: Monotonic,
+    busy_cycles: Monotonic,
+    queue_stalls: Monotonic,
+    latency_sum: Monotonic,
+    last_done: Watermark,
+    bank_wait_sum: Monotonic,
+    bus_wait_sum: Monotonic,
+});
+
 impl DramStats {
     /// Total accesses (reads + writes).
     #[must_use]
@@ -43,39 +61,19 @@ impl DramStats {
     /// Fraction of accesses that hit an open row, or 0 if idle.
     #[must_use]
     pub fn row_hit_rate(&self) -> f64 {
-        if self.accesses() == 0 {
-            0.0
-        } else {
-            self.row_hits as f64 / self.accesses() as f64
-        }
+        ratio(self.row_hits, self.accesses())
     }
 
     /// Mean access latency in cycles, or 0 if idle.
     #[must_use]
     pub fn mean_latency(&self) -> f64 {
-        if self.accesses() == 0 {
-            0.0
-        } else {
-            self.latency_sum as f64 / self.accesses() as f64
-        }
+        ratio(self.latency_sum, self.accesses())
     }
 
     /// Counter-wise difference `self - earlier` (for warm-up exclusion).
     #[must_use]
     pub fn delta_since(&self, earlier: &DramStats) -> DramStats {
-        DramStats {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            activates: self.activates - earlier.activates,
-            row_hits: self.row_hits - earlier.row_hits,
-            bytes: self.bytes - earlier.bytes,
-            busy_cycles: self.busy_cycles - earlier.busy_cycles,
-            queue_stalls: self.queue_stalls - earlier.queue_stalls,
-            latency_sum: self.latency_sum - earlier.latency_sum,
-            last_done: self.last_done,
-            bank_wait_sum: self.bank_wait_sum - earlier.bank_wait_sum,
-            bus_wait_sum: self.bus_wait_sum - earlier.bus_wait_sum,
-        }
+        dice_obs::delta(self, earlier)
     }
 }
 
@@ -93,11 +91,34 @@ mod tests {
 
     #[test]
     fn delta_subtracts_counters() {
-        let early = DramStats { reads: 10, writes: 5, bytes: 100, ..DramStats::default() };
-        let late = DramStats { reads: 30, writes: 15, bytes: 400, ..DramStats::default() };
+        let early = DramStats {
+            reads: 10,
+            writes: 5,
+            bytes: 100,
+            ..DramStats::default()
+        };
+        let late = DramStats {
+            reads: 30,
+            writes: 15,
+            bytes: 400,
+            ..DramStats::default()
+        };
         let d = late.delta_since(&early);
         assert_eq!(d.reads, 20);
         assert_eq!(d.writes, 10);
         assert_eq!(d.bytes, 300);
+    }
+
+    #[test]
+    fn delta_keeps_last_done_watermark() {
+        let early = DramStats {
+            last_done: 1_000,
+            ..DramStats::default()
+        };
+        let late = DramStats {
+            last_done: 9_000,
+            ..DramStats::default()
+        };
+        assert_eq!(late.delta_since(&early).last_done, 9_000);
     }
 }

@@ -16,7 +16,14 @@ struct Req {
 
 fn arb_reqs() -> impl Strategy<Value = Vec<Req>> {
     proptest::collection::vec(
-        (any::<u16>(), any::<u8>(), any::<u8>(), any::<u16>(), any::<bool>(), any::<u8>())
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u16>(),
+            any::<bool>(),
+            any::<u8>(),
+        )
             .prop_map(|(dt, channel, bank, row, write, bytes_sel)| Req {
                 dt: dt % 200,
                 channel,
@@ -94,7 +101,7 @@ proptest! {
         for _ in 0..n {
             done = dev.access(0, AccessKind::Read, loc, 80).done;
         }
-        let min_stream = n * u64::from(cfg.burst_cycles(80));
+        let min_stream = n * cfg.burst_cycles(80);
         prop_assert!(done >= min_stream, "done {done} < bus floor {min_stream}");
     }
 

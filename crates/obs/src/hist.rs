@@ -1,0 +1,224 @@
+//! Log₂-bucketed latency histograms.
+
+use crate::json::Json;
+
+/// Number of buckets: bucket `b` holds values whose bit length is `b`
+/// (bucket 0 holds only the value 0, bucket 64 holds values ≥ 2^63).
+const BUCKETS: usize = 65;
+
+/// A fixed-size log₂-bucketed histogram of `u64` samples.
+///
+/// Recording is O(1) (one `leading_zeros` and two adds); quantiles are
+/// approximate — a quantile resolves to its bucket's upper edge, clamped to
+/// the recorded `[min, max]` range — which is plenty for latency
+/// distributions spanning orders of magnitude. The exact `min`, `max`,
+/// `count` and `sum` are tracked alongside the buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `v`: its bit length.
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Upper edge of bucket `b` (largest value the bucket can hold).
+    fn bucket_upper(b: usize) -> u64 {
+        if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`): the upper edge of the
+    /// bucket containing the sample of rank `ceil(q·count)`, clamped to the
+    /// recorded `[min, max]`. Guarantees `min() ≤ quantile(a) ≤ quantile(b)
+    /// ≤ max()` for `a ≤ b`. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts (`(upper_edge, count)`) for non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (Self::bucket_upper(b), c))
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Summary + bucket JSON (`count`, `mean`, `min`, `p50`, `p95`, `p99`,
+    /// `max`, `buckets` as `[upper_edge, count]` pairs).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::u64(self.count())),
+            ("mean".into(), Json::num(self.mean())),
+            ("min".into(), Json::u64(self.min())),
+            ("p50".into(), Json::u64(self.quantile(0.50))),
+            ("p95".into(), Json::u64(self.quantile(0.95))),
+            ("p99".into(), Json::u64(self.quantile(0.99))),
+            ("max".into(), Json::u64(self.max())),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets()
+                        .map(|(edge, n)| Json::Arr(vec![Json::u64(edge), Json::u64(n)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse() {
+        let mut h = Histogram::new();
+        h.record(37);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 37, "q={q}");
+        }
+        assert_eq!(h.min(), 37);
+        assert_eq!(h.max(), 37);
+    }
+
+    #[test]
+    fn quantiles_bracket_bimodal_distribution() {
+        let mut h = Histogram::new();
+        // 90 fast samples around 100, 10 slow around 100_000.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        assert!(h.quantile(0.5) < 256, "p50 {}", h.quantile(0.5));
+        assert!(h.quantile(0.95) >= 65_536, "p95 {}", h.quantile(0.95));
+        assert_eq!(h.max(), 100_000);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn zero_goes_to_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.count(), 1);
+    }
+}

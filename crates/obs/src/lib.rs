@@ -1,0 +1,94 @@
+//! `dice-obs`: the unified observability layer for the DICE reproduction.
+//!
+//! Everything the simulator reports flows through this crate:
+//!
+//! - [`MetricRegistry`] — named counters, gauges and histograms with
+//!   interned handles so hot paths never hash a string;
+//! - [`Histogram`] — O(1) log₂-bucketed latency histograms with
+//!   `min ≤ p50 ≤ p95 ≤ p99 ≤ max` quantile guarantees;
+//! - [`LatencyPanel`] / [`RequestClass`] — one histogram per request class
+//!   (L4 read hit, miss, second probe, writeback, memory fill);
+//! - [`Snapshot`] / [`delta`] / [`impl_snapshot!`] — declarative
+//!   snapshot-and-subtract for cumulative stats structs, replacing
+//!   hand-written `delta_since` implementations;
+//! - [`TraceBuffer`] / [`export_chrome`] — a bounded transaction trace
+//!   (off by default, one branch per transaction when disabled) exported
+//!   in Chrome `trace_event` format for Perfetto;
+//! - [`Json`] — a zero-dependency JSON value, writer and parser used for
+//!   every machine-readable artifact above.
+//!
+//! # Conventions
+//!
+//! Rate helpers across the workspace divide through [`ratio`], which
+//! returns **0.0 when the denominator is zero** — "no traffic" uniformly
+//! reads as a zero rate, never `NaN` and never an optimistic 1.0.
+//! Non-finite floats serialize as JSON `null` (see [`Json::num`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod json;
+mod panel;
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use hist::Histogram;
+pub use json::{Json, JsonError};
+pub use panel::{LatencyPanel, RequestClass};
+pub use registry::{CounterId, GaugeId, HistId, MetricRegistry};
+pub use snapshot::{delta, register_counters, snapshot_json, FieldKind, Snapshot};
+pub use trace::{export_chrome, TraceBuffer, TraceEvent};
+
+/// Observability knobs, embedded in the simulator config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Emit one interval time-series sample every this many cycles during
+    /// the measured window (0 disables interval sampling).
+    pub interval_cycles: u64,
+    /// Transaction-trace ring capacity in events (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        // ~100k cycles is a few dozen samples on smoke-size runs without
+        // bloating reports on long ones; tracing stays opt-in.
+        Self {
+            interval_cycles: 100_000,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// `num / den`, with the workspace-wide idle convention: 0.0 when `den`
+/// is zero.
+#[inline]
+#[must_use]
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_zero_when_idle() {
+        assert_eq!(ratio(0, 0), 0.0);
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(1, 4), 0.25);
+    }
+
+    #[test]
+    fn default_config_disables_tracing() {
+        let cfg = ObsConfig::default();
+        assert_eq!(cfg.trace_capacity, 0);
+        assert!(cfg.interval_cycles > 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-request-class latency panel.
+
+use crate::hist::Histogram;
+use crate::json::Json;
+
+/// The request classes the simulator distinguishes when recording
+/// end-to-end latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum RequestClass {
+    /// Demand read served from the L4 DRAM cache on the first probe.
+    ReadHit = 0,
+    /// Demand read that missed L4 and was filled from main memory.
+    ReadMiss = 1,
+    /// Demand read that hit only after a second L4 probe (DICE index
+    /// mismatch or uncompressed neighbor).
+    SecondProbe = 2,
+    /// Dirty-line writeback from L4 to main memory.
+    Writeback = 3,
+    /// Miss-fill installation into L4 after the memory response.
+    MemFill = 4,
+}
+
+impl RequestClass {
+    /// Every class, in `usize` order.
+    pub const ALL: [RequestClass; 5] = [
+        RequestClass::ReadHit,
+        RequestClass::ReadMiss,
+        RequestClass::SecondProbe,
+        RequestClass::Writeback,
+        RequestClass::MemFill,
+    ];
+
+    /// Stable snake_case name used in JSON reports and trace tracks.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::ReadHit => "read_hit",
+            RequestClass::ReadMiss => "read_miss",
+            RequestClass::SecondProbe => "second_probe",
+            RequestClass::Writeback => "writeback",
+            RequestClass::MemFill => "mem_fill",
+        }
+    }
+}
+
+/// One latency [`Histogram`] per [`RequestClass`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyPanel {
+    hists: [Histogram; 5],
+}
+
+impl LatencyPanel {
+    /// An empty panel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample (in cycles) for `class`.
+    #[inline]
+    pub fn record(&mut self, class: RequestClass, latency: u64) {
+        self.hists[class as usize].record(latency);
+    }
+
+    /// The histogram for `class`.
+    #[must_use]
+    pub fn class(&self, class: RequestClass) -> &Histogram {
+        &self.hists[class as usize]
+    }
+
+    /// Total samples across all classes.
+    #[must_use]
+    pub fn total_count(&self) -> u64 {
+        self.hists.iter().map(Histogram::count).sum()
+    }
+
+    /// Merges `other` into `self`, class by class.
+    pub fn merge(&mut self, other: &LatencyPanel) {
+        for (a, b) in self.hists.iter_mut().zip(&other.hists) {
+            a.merge(b);
+        }
+    }
+
+    /// JSON object keyed by class name, skipping empty classes.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            RequestClass::ALL
+                .iter()
+                .filter(|c| self.class(**c).count() > 0)
+                .map(|c| (c.name().to_owned(), self.class(*c).to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_record_independently() {
+        let mut panel = LatencyPanel::new();
+        panel.record(RequestClass::ReadHit, 40);
+        panel.record(RequestClass::ReadHit, 44);
+        panel.record(RequestClass::ReadMiss, 300);
+        assert_eq!(panel.class(RequestClass::ReadHit).count(), 2);
+        assert_eq!(panel.class(RequestClass::ReadMiss).count(), 1);
+        assert_eq!(panel.class(RequestClass::Writeback).count(), 0);
+        assert_eq!(panel.total_count(), 3);
+    }
+
+    #[test]
+    fn json_skips_empty_classes() {
+        let mut panel = LatencyPanel::new();
+        panel.record(RequestClass::MemFill, 250);
+        let j = panel.to_json();
+        assert!(j.get("mem_fill").is_some());
+        assert!(j.get("read_hit").is_none());
+    }
+
+    #[test]
+    fn merge_is_classwise() {
+        let mut a = LatencyPanel::new();
+        let mut b = LatencyPanel::new();
+        a.record(RequestClass::Writeback, 100);
+        b.record(RequestClass::Writeback, 200);
+        b.record(RequestClass::ReadHit, 50);
+        a.merge(&b);
+        assert_eq!(a.class(RequestClass::Writeback).count(), 2);
+        assert_eq!(a.class(RequestClass::ReadHit).count(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Bounded transaction trace with Chrome `trace_event` export.
+//!
+//! A [`TraceBuffer`] is a fixed-capacity ring of [`TraceEvent`]s. With
+//! capacity 0 (the default) [`push`] is a branch-and-return — tracing
+//! disabled costs one predictable branch per transaction. When enabled, the
+//! newest events win: the ring overwrites the oldest once full, and
+//! `dropped` counts how many were evicted so exports are honest about
+//! truncation.
+//!
+//! [`export_chrome`] renders the buffer in the Chrome Tracing /
+//! [Perfetto](https://ui.perfetto.dev) `trace_event` JSON array format:
+//! one complete (`"ph": "X"`) duration event per transaction, with the
+//! request class as the track (`tid`) so classes stack into separate rows.
+//!
+//! [`push`]: TraceBuffer::push
+
+use crate::json::Json;
+use crate::panel::RequestClass;
+
+/// One completed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Start cycle of the transaction.
+    pub start: u64,
+    /// Completion cycle (≥ `start`).
+    pub end: u64,
+    /// What kind of transaction this was.
+    pub class: RequestClass,
+    /// Line address involved.
+    pub addr: u64,
+}
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s (capacity 0 = disabled).
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next write position once the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events; 0 disables tracing.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            cap: capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether tracing is enabled (capacity > 0).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Records one event; oldest events are overwritten once full.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events evicted by the ring since creation.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+}
+
+/// Renders `buf` as a Chrome `trace_event` JSON array.
+///
+/// `freq_ghz` converts cycles to the format's microsecond timebase; `pid`
+/// labels the process row (`name` becomes its `process_name`), letting
+/// multiple runs coexist in one Perfetto view.
+#[must_use]
+pub fn export_chrome(buf: &TraceBuffer, name: &str, pid: u32, freq_ghz: f64) -> Json {
+    let to_us = |cycles: u64| cycles as f64 / (freq_ghz * 1000.0);
+    let mut events = vec![Json::Obj(vec![
+        ("ph".into(), Json::str("M")),
+        ("name".into(), Json::str("process_name")),
+        ("pid".into(), Json::u64(u64::from(pid))),
+        (
+            "args".into(),
+            Json::Obj(vec![("name".into(), Json::str(name))]),
+        ),
+    ])];
+    for ev in buf.events() {
+        events.push(Json::Obj(vec![
+            ("ph".into(), Json::str("X")),
+            ("name".into(), Json::str(ev.class.name())),
+            ("cat".into(), Json::str("dram-cache")),
+            ("pid".into(), Json::u64(u64::from(pid))),
+            ("tid".into(), Json::u64(ev.class as u64)),
+            ("ts".into(), Json::num(to_us(ev.start))),
+            ("dur".into(), Json::num(to_us(ev.end - ev.start))),
+            (
+                "args".into(),
+                Json::Obj(vec![("addr".into(), Json::str(format!("{:#x}", ev.addr)))]),
+            ),
+        ]));
+    }
+    Json::Arr(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            start,
+            end,
+            class: RequestClass::ReadHit,
+            addr: 0x1000,
+        }
+    }
+
+    #[test]
+    fn zero_capacity_discards_everything() {
+        let mut buf = TraceBuffer::new(0);
+        assert!(!buf.enabled());
+        buf.push(ev(0, 10));
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..5 {
+            buf.push(ev(i * 10, i * 10 + 5));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        let starts: Vec<u64> = buf.events().map(|e| e.start).collect();
+        assert_eq!(starts, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_metadata() {
+        let mut buf = TraceBuffer::new(8);
+        buf.push(ev(3200, 6400));
+        let text = export_chrome(&buf, "gcc", 1, 3.2).render();
+        let parsed = Json::parse(&text).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("ph").unwrap().as_str(), Some("M"));
+        let x = &arr[1];
+        assert_eq!(x.get("ph").unwrap().as_str(), Some("X"));
+        // 3200 cycles at 3.2 GHz is exactly 1 µs.
+        assert_eq!(x.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(1.0));
+    }
+}

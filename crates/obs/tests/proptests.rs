@@ -1,0 +1,115 @@
+//! Property tests for the observability primitives: histogram quantile
+//! invariants and JSON writer/parser round trips.
+
+use dice_obs::{Histogram, Json};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Quantiles are monotone in q and bracketed by the true min/max.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(samples in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let true_min = *samples.iter().min().unwrap();
+        let true_max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.min(), true_min);
+        prop_assert_eq!(h.max(), true_max);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0];
+        let mut prev = h.min();
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= true_min, "q{q}: {v} < min {true_min}");
+            prop_assert!(v <= true_max, "q{q}: {v} > max {true_max}");
+            prop_assert!(v >= prev, "quantile not monotone at q{q}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    /// Each bucket's reported upper edge really bounds its members: a
+    /// single recorded value is never above its bucket edge.
+    #[test]
+    fn bucket_edges_bound_members(v in any::<u64>()) {
+        let mut h = Histogram::new();
+        h.record(v);
+        let (edge, count) = h.buckets().next().unwrap();
+        prop_assert_eq!(count, 1);
+        prop_assert!(v <= edge, "{v} > bucket edge {edge}");
+        // ...and the edge is tight: halving it (next bucket down) excludes v.
+        if edge > 0 {
+            prop_assert!(v > edge / 2 || v == 0, "{v} not in ({}, {edge}]", edge / 2);
+        }
+    }
+
+    /// Merging two histograms equals recording the union of their samples.
+    #[test]
+    fn merge_equals_union(
+        a in prop::collection::vec(any::<u64>(), 0..50),
+        b in prop::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let mut ha = Histogram::new();
+        for &s in &a {
+            ha.record(s);
+        }
+        let mut hb = Histogram::new();
+        for &s in &b {
+            hb.record(s);
+        }
+        let mut hu = Histogram::new();
+        for &s in a.iter().chain(&b) {
+            hu.record(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, hu);
+    }
+
+    /// render → parse is the identity on integers.
+    #[test]
+    fn json_int_round_trip(v in any::<i64>()) {
+        let j = Json::Int(v);
+        prop_assert_eq!(Json::parse(&j.render()).unwrap(), j);
+    }
+
+    /// render → parse is the identity on finite floats; NaN/Inf become null.
+    #[test]
+    fn json_float_round_trip(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let j = Json::num(v);
+        let back = Json::parse(&j.render()).unwrap();
+        if v.is_finite() {
+            prop_assert_eq!(back, Json::Num(v));
+        } else {
+            prop_assert_eq!(back, Json::Null);
+        }
+    }
+
+    /// render → parse is the identity on arbitrary (unicode) strings,
+    /// covering escapes, control characters and surrogate-pair encoding.
+    #[test]
+    fn json_string_round_trip(s in prop::collection::vec(any::<char>(), 0..40)) {
+        let s: String = s.into_iter().collect();
+        let j = Json::str(&s);
+        prop_assert_eq!(Json::parse(&j.render()).unwrap(), j);
+    }
+
+    /// render → parse is the identity on nested arrays/objects.
+    #[test]
+    fn json_nested_round_trip(
+        ints in prop::collection::vec(any::<i64>(), 0..10),
+        flag in any::<bool>(),
+        key in prop::collection::vec(any::<char>(), 0..12),
+    ) {
+        let key: String = key.into_iter().collect();
+        let j = Json::Obj(vec![
+            (key, Json::Arr(ints.into_iter().map(Json::Int).collect())),
+            ("flag".into(), Json::Bool(flag)),
+            ("nested".into(), Json::Obj(vec![("x".into(), Json::Null)])),
+        ]);
+        prop_assert_eq!(Json::parse(&j.render()).unwrap(), j);
+    }
+}

@@ -3,6 +3,7 @@
 use dice_cache::L3FetchPolicy;
 use dice_core::{DramCacheConfig, Organization};
 use dice_dram::DramConfig;
+use dice_obs::ObsConfig;
 use dice_workloads::WorkloadSpec;
 
 use crate::Cycle;
@@ -41,6 +42,9 @@ pub struct SimConfig {
     pub warmup_records: u64,
     /// Trace records per core in the measured window.
     pub measure_records: u64,
+    /// Observability knobs: interval time-series sampling and the
+    /// transaction trace (see `dice_obs::ObsConfig`).
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
@@ -72,6 +76,7 @@ impl SimConfig {
             scale,
             warmup_records: 60_000,
             measure_records: 150_000,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -104,6 +109,13 @@ impl SimConfig {
         self.measure_records = measure;
         self
     }
+
+    /// Replaces the observability configuration.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
 /// What each core runs.
@@ -122,7 +134,11 @@ impl WorkloadSet {
     #[must_use]
     pub fn rate(spec: WorkloadSpec, seed: u64) -> Self {
         let name = spec.name.to_owned();
-        Self { specs: vec![spec; 8], seed, name }
+        Self {
+            specs: vec![spec; 8],
+            seed,
+            name,
+        }
     }
 
     /// Mixed mode: one spec per core.
@@ -133,7 +149,11 @@ impl WorkloadSet {
     #[must_use]
     pub fn mix(name: &str, specs: Vec<WorkloadSpec>, seed: u64) -> Self {
         assert!(!specs.is_empty(), "a workload set needs at least one spec");
-        Self { specs, seed, name: name.to_owned() }
+        Self {
+            specs,
+            seed,
+            name: name.to_owned(),
+        }
     }
 }
 

@@ -32,7 +32,13 @@ impl CoreModel {
     #[must_use]
     pub fn new(mlp: usize, base_cpi: f64) -> Self {
         assert!(mlp > 0, "a core needs at least one outstanding slot");
-        Self { dispatch: 0.0, outstanding: BinaryHeap::new(), mlp, base_cpi, instructions: 0 }
+        Self {
+            dispatch: 0.0,
+            outstanding: BinaryHeap::new(),
+            mlp,
+            base_cpi,
+            instructions: 0,
+        }
     }
 
     /// Advances past `gap` non-memory instructions and returns the cycle at
@@ -68,7 +74,12 @@ impl CoreModel {
     /// Cycle at which everything in flight has drained.
     #[must_use]
     pub fn finish_time(&self) -> Cycle {
-        let drain = self.outstanding.iter().map(|Reverse(c)| *c).max().unwrap_or(0);
+        let drain = self
+            .outstanding
+            .iter()
+            .map(|Reverse(c)| *c)
+            .max()
+            .unwrap_or(0);
         drain.max(self.dispatch as Cycle)
     }
 

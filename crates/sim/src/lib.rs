@@ -42,11 +42,13 @@ mod config;
 mod core_model;
 mod report;
 mod system;
+mod timeline;
 
 pub use config::{SimConfig, WorkloadSet};
 pub use core_model::CoreModel;
 pub use report::{geomean, EnergyReport, RunReport};
 pub use system::System;
+pub use timeline::IntervalSample;
 
 /// Simulated time in CPU cycles (re-exported from `dice-dram`).
 pub type Cycle = dice_dram::Cycle;

@@ -3,7 +3,9 @@
 use dice_cache::CacheStats;
 use dice_core::L4Stats;
 use dice_dram::{DramStats, EnergyModel};
+use dice_obs::{snapshot_json, Json, LatencyPanel, TraceBuffer};
 
+use crate::timeline::IntervalSample;
 use crate::Cycle;
 
 /// Energy accounting for the off-chip system (L4 + memory), the quantities
@@ -75,6 +77,14 @@ pub struct RunReport {
     pub baseline_lines: u64,
     /// Off-chip energy.
     pub energy: EnergyReport,
+    /// Per-request-class latency histograms over the measured window.
+    pub latency: LatencyPanel,
+    /// Interval time series over the measured window (empty when interval
+    /// sampling is disabled).
+    pub timeline: Vec<IntervalSample>,
+    /// Transaction trace ring (empty unless `ObsConfig::trace_capacity`
+    /// was set); export with [`dice_obs::export_chrome`].
+    pub trace: TraceBuffer,
 }
 
 impl RunReport {
@@ -115,6 +125,60 @@ impl RunReport {
         } else {
             self.avg_valid_lines / self.avg_occupied_sets
         }
+    }
+
+    /// Serializes the whole report — identity, counters (via the
+    /// `dice_obs` snapshot mechanism, so new stats fields appear
+    /// automatically), derived metrics, per-class latency quantiles, the
+    /// interval time series and energy — as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::str(&self.workload)),
+            ("cycles".into(), Json::u64(self.cycles)),
+            (
+                "core_instructions".into(),
+                Json::Arr(
+                    self.core_instructions
+                        .iter()
+                        .map(|&i| Json::u64(i))
+                        .collect(),
+                ),
+            ),
+            (
+                "core_ipc".into(),
+                Json::Arr(self.core_ipc().iter().map(|&v| Json::num(v)).collect()),
+            ),
+            ("l3".into(), snapshot_json(&self.l3)),
+            ("l4".into(), snapshot_json(&self.l4)),
+            ("l4_dram".into(), snapshot_json(&self.l4_dram)),
+            ("mem_dram".into(), snapshot_json(&self.mem_dram)),
+            ("l3_hit_rate".into(), Json::num(self.l3.hit_rate())),
+            ("l4_hit_rate".into(), Json::num(self.l4.hit_rate())),
+            ("cip_accuracy".into(), Json::num(self.cip_accuracy)),
+            ("cip_predictions".into(), Json::u64(self.cip_predictions)),
+            ("mapi_accuracy".into(), Json::num(self.mapi_accuracy)),
+            ("avg_valid_lines".into(), Json::num(self.avg_valid_lines)),
+            (
+                "avg_occupied_sets".into(),
+                Json::num(self.avg_occupied_sets),
+            ),
+            ("capacity_ratio".into(), Json::num(self.capacity_ratio())),
+            (
+                "energy".into(),
+                Json::Obj(vec![
+                    ("l4_joules".into(), Json::num(self.energy.l4_joules)),
+                    ("mem_joules".into(), Json::num(self.energy.mem_joules)),
+                    ("total_joules".into(), Json::num(self.energy.total_joules())),
+                    ("power_watts".into(), Json::num(self.energy.power_watts())),
+                ]),
+            ),
+            ("latency".into(), self.latency.to_json()),
+            (
+                "timeline".into(),
+                Json::Arr(self.timeline.iter().map(IntervalSample::to_json).collect()),
+            ),
+        ])
     }
 
     /// Builds the energy report from device stats and models.
@@ -161,7 +225,14 @@ mod tests {
             avg_valid_lines: 0.0,
             avg_occupied_sets: 1.0,
             baseline_lines: 100,
-            energy: EnergyReport { l4_joules: 1.0, mem_joules: 2.0, cycles },
+            energy: EnergyReport {
+                l4_joules: 1.0,
+                mem_joules: 2.0,
+                cycles,
+            },
+            latency: LatencyPanel::new(),
+            timeline: Vec::new(),
+            trace: TraceBuffer::default(),
         }
     }
 
@@ -180,7 +251,11 @@ mod tests {
 
     #[test]
     fn energy_totals_and_edp() {
-        let e = EnergyReport { l4_joules: 1.0, mem_joules: 2.0, cycles: 3_200_000_000 };
+        let e = EnergyReport {
+            l4_joules: 1.0,
+            mem_joules: 2.0,
+            cycles: 3_200_000_000,
+        };
         assert!((e.total_joules() - 3.0).abs() < 1e-12);
         assert!((e.power_watts() - 3.0).abs() < 1e-12);
         assert!((e.edp() - 3.0).abs() < 1e-12);

@@ -4,13 +4,15 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use dice_cache::{HierarchyConfig, SramHierarchy};
-use dice_core::{DramCacheController, Probe, SetIndex};
-use dice_dram::{AccessKind, DramDevice, Location};
+use dice_core::{DramCacheController, L4Stats, Probe, SetIndex};
+use dice_dram::{AccessKind, DramDevice, DramStats, Location};
+use dice_obs::{LatencyPanel, RequestClass, TraceBuffer, TraceEvent};
 use dice_workloads::{MixDataModel, RecordSource, TraceGen, TraceRecord};
 
 use crate::config::{SimConfig, WorkloadSet};
 use crate::core_model::CoreModel;
 use crate::report::RunReport;
+use crate::timeline::IntervalSample;
 use crate::Cycle;
 
 /// Lines per 2 KB main-memory row.
@@ -76,6 +78,15 @@ pub struct System {
     valid_samples: u64,
     records_since_sample: u64,
     sampling: bool,
+    latency: LatencyPanel,
+    trace: TraceBuffer,
+    timeline: Vec<IntervalSample>,
+    // Interval-sampling state: the next window boundary (lazily anchored to
+    // the first measured event) and the counter snapshots at the last one.
+    iv_next: Option<Cycle>,
+    iv_l4: L4Stats,
+    iv_l4d: DramStats,
+    iv_mem: DramStats,
 }
 
 impl System {
@@ -89,7 +100,11 @@ impl System {
         let specs: Vec<_> = if workload.specs.len() == 1 {
             vec![workload.specs[0].clone(); cfg.cores]
         } else {
-            assert_eq!(workload.specs.len(), cfg.cores, "one spec per core (or one for all)");
+            assert_eq!(
+                workload.specs.len(),
+                cfg.cores,
+                "one spec per core (or one for all)"
+            );
             workload.specs.clone()
         };
         let cores = specs
@@ -100,8 +115,10 @@ impl System {
                     as Box<dyn RecordSource>
             })
             .collect();
-        let data =
-            MixDataModel::new(specs.iter().map(|s| s.values).collect(), workload.seed ^ 0xda7a);
+        let data = MixDataModel::new(
+            specs.iter().map(|s| s.values).collect(),
+            workload.seed ^ 0xda7a,
+        );
         Self::with_sources(cfg, &workload.name, cores, data)
     }
 
@@ -151,13 +168,80 @@ impl System {
             valid_samples: 0,
             records_since_sample: 0,
             sampling: false,
+            latency: LatencyPanel::new(),
+            trace: TraceBuffer::new(cfg.obs.trace_capacity),
+            timeline: Vec::new(),
+            iv_next: None,
+            iv_l4: L4Stats::default(),
+            iv_l4d: DramStats::default(),
+            iv_mem: DramStats::default(),
             cfg,
         }
     }
 
     fn push(&mut self, time: Cycle, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq: self.seq, kind }));
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Records one completed transaction's latency (and, when tracing is
+    /// on, its trace event). Only the measured window is observed, so the
+    /// report's histograms match its counters.
+    fn observe(&mut self, class: RequestClass, start: Cycle, end: Cycle, line: u64) {
+        if !self.sampling {
+            return;
+        }
+        self.latency.record(class, end - start);
+        self.trace.push(TraceEvent {
+            start,
+            end,
+            class,
+            addr: line * 64,
+        });
+    }
+
+    /// Closes interval windows up to `now`. The first measured event
+    /// anchors the window grid; event times pop in nondecreasing order, so
+    /// each boundary is closed exactly once.
+    fn interval_tick(&mut self, now: Cycle) {
+        let iv = self.cfg.obs.interval_cycles;
+        if iv == 0 {
+            return;
+        }
+        let Some(mut next) = self.iv_next else {
+            self.iv_next = Some(now + iv);
+            self.iv_l4 = *self.l4.stats();
+            self.iv_l4d = *self.l4dram.stats();
+            self.iv_mem = *self.mem.stats();
+            return;
+        };
+        while now >= next {
+            self.close_interval(next, iv);
+            next += iv;
+        }
+        self.iv_next = Some(next);
+    }
+
+    fn close_interval(&mut self, end_cycle: Cycle, cycles: Cycle) {
+        let l4 = self.l4.stats().delta_since(&self.iv_l4);
+        let l4_dram = self.l4dram.stats().delta_since(&self.iv_l4d);
+        let mem_dram = self.mem.stats().delta_since(&self.iv_mem);
+        self.iv_l4 = *self.l4.stats();
+        self.iv_l4d = *self.l4dram.stats();
+        self.iv_mem = *self.mem.stats();
+        self.timeline.push(IntervalSample {
+            end_cycle,
+            cycles,
+            l4,
+            l4_dram,
+            mem_dram,
+            valid_lines: self.l4.valid_lines(),
+            occupied_sets: self.l4.occupied_sets(),
+        });
     }
 
     fn l4_loc(&self, set: SetIndex) -> Location {
@@ -172,7 +256,11 @@ impl System {
     fn run_probes(&mut self, start: Cycle, probes: &[Probe]) -> Cycle {
         let mut t = start;
         for p in probes {
-            let kind = if p.write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if p.write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let loc = self.l4_loc(p.set);
             t = self.l4dram.access(t, kind, loc, p.bytes).done;
         }
@@ -198,13 +286,23 @@ impl System {
                 }
                 self.drain_l3_writebacks(data_time);
             }
+            let class = if out.probes.len() > 1 {
+                RequestClass::SecondProbe
+            } else {
+                RequestClass::ReadHit
+            };
+            self.observe(class, t, data_time, line);
             data_time
         } else {
             // On a predicted miss, memory was accessed in parallel with the
             // cache probe; otherwise it serializes behind tag resolution.
             let mem_start = if out.predicted_hit { data_time } else { t };
-            let done = self.mem.access(mem_start, AccessKind::Read, self.mem_loc(line), 64).done;
+            let done = self
+                .mem
+                .access(mem_start, AccessKind::Read, self.mem_loc(line), 64)
+                .done;
             self.push(done, EventKind::Fill { line, probed });
+            self.observe(RequestClass::ReadMiss, t, done, line);
             done
         }
     }
@@ -270,11 +368,13 @@ impl System {
                 let out = self.l4.fill(line, false, probed, &mut self.data);
                 let end = self.run_probes(ev.time, &out.probes);
                 self.mem_writes(end, &out.memory_writebacks);
+                self.observe(RequestClass::MemFill, ev.time, end, line);
             }
             EventKind::L4Writeback { line } => {
                 let out = self.l4.writeback(line, &mut self.data);
                 let end = self.run_probes(ev.time, &out.probes);
                 self.mem_writes(end, &out.memory_writebacks);
+                self.observe(RequestClass::Writeback, ev.time, end, line);
             }
             EventKind::Prefetch { line } => {
                 // Prefetches use the demand path for timing/bandwidth but
@@ -298,6 +398,9 @@ impl System {
             self.push(t, EventKind::Dispatch { core });
         }
         while let Some(Reverse(ev)) = self.events.pop() {
+            if self.sampling {
+                self.interval_tick(ev.time);
+            }
             self.handle_event(ev);
         }
     }
@@ -319,6 +422,22 @@ impl System {
 
         self.run_phase(self.cfg.measure_records);
 
+        // Close the final (partial) interval window so late-run activity
+        // still appears in the time series.
+        if let Some(next) = self.iv_next {
+            let iv = self.cfg.obs.interval_cycles;
+            let window_start = next - iv;
+            let end = self
+                .cores
+                .iter()
+                .map(|c| c.model.finish_time())
+                .max()
+                .unwrap_or(next);
+            if end > window_start {
+                self.close_interval(end, end - window_start);
+            }
+        }
+
         let core_cycles: Vec<Cycle> = self
             .cores
             .iter()
@@ -329,7 +448,10 @@ impl System {
         let l4_dram = self.l4dram.stats().delta_since(&l4d_snap);
         let mem_dram = self.mem.stats().delta_since(&mem_snap);
         let (avg_valid_lines, avg_occupied_sets) = if self.valid_samples == 0 {
-            (self.l4.valid_lines() as f64, self.l4.occupied_sets().max(1) as f64)
+            (
+                self.l4.valid_lines() as f64,
+                self.l4.occupied_sets().max(1) as f64,
+            )
         } else {
             (
                 self.valid_sum / self.valid_samples as f64,
@@ -353,6 +475,9 @@ impl System {
             avg_occupied_sets,
             baseline_lines: self.l4.num_sets(),
             energy: RunReport::energy_of(&l4_dram, &mem_dram, cycles),
+            latency: self.latency,
+            timeline: self.timeline,
+            trace: self.trace,
         }
     }
 }
@@ -400,7 +525,11 @@ mod tests {
         let base = run(Organization::UncompressedAlloy);
         let tsi = run(Organization::CompressedTsi);
         assert!(tsi.capacity_ratio() > base.capacity_ratio());
-        assert!(tsi.capacity_ratio() > 1.1, "tsi ratio {}", tsi.capacity_ratio());
+        assert!(
+            tsi.capacity_ratio() > 1.1,
+            "tsi ratio {}",
+            tsi.capacity_ratio()
+        );
     }
 
     #[test]
@@ -422,7 +551,10 @@ mod tests {
     #[test]
     fn free_lines_flow_on_dice() {
         let dice = quick(Organization::Dice { threshold: 36 }, "cc_twi");
-        assert!(dice.l4.free_lines > 0, "compressed pairs should deliver free lines");
+        assert!(
+            dice.l4.free_lines > 0,
+            "compressed pairs should deliver free lines"
+        );
     }
 
     #[test]
@@ -431,6 +563,59 @@ mod tests {
         assert!(r.energy.total_joules() > 0.0);
         assert!(r.energy.l4_joules > 0.0);
         assert!(r.energy.mem_joules > 0.0);
+    }
+
+    #[test]
+    fn observability_captures_latency_timeline_and_trace() {
+        let mut cfg =
+            SimConfig::scaled(Organization::Dice { threshold: 36 }, 256).with_records(4_000, 8_000);
+        cfg.obs.interval_cycles = 50_000;
+        cfg.obs.trace_capacity = 1024;
+        let r = System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7)).run();
+
+        // Latency panel totals must reconcile with the counters: every
+        // measured L4 read is either a hit (one or two probes) or a miss.
+        let hits = r.latency.class(dice_obs::RequestClass::ReadHit).count()
+            + r.latency.class(dice_obs::RequestClass::SecondProbe).count();
+        let misses = r.latency.class(dice_obs::RequestClass::ReadMiss).count();
+        assert!(hits > 0, "no hit latencies recorded");
+        assert!(misses > 0, "no miss latencies recorded");
+        // Prefetching is off in this config, so the panel matches exactly.
+        assert_eq!(hits, r.l4.read_hits);
+        assert_eq!(hits + misses, r.l4.reads);
+        // A miss includes a DDR round trip; hits must be faster on average.
+        let mean_hit = r.latency.class(dice_obs::RequestClass::ReadHit).mean();
+        let mean_miss = r.latency.class(dice_obs::RequestClass::ReadMiss).mean();
+        assert!(
+            mean_hit < mean_miss,
+            "hit mean {mean_hit} !< miss mean {mean_miss}"
+        );
+
+        assert!(
+            r.timeline.len() >= 2,
+            "only {} interval samples",
+            r.timeline.len()
+        );
+        let window_reads: u64 = r.timeline.iter().map(|s| s.l4.reads).sum();
+        assert_eq!(
+            window_reads, r.l4.reads,
+            "timeline windows must tile the measured reads"
+        );
+        assert!(!r.trace.is_empty(), "trace enabled but empty");
+    }
+
+    #[test]
+    fn observability_disabled_is_silent() {
+        let mut cfg =
+            SimConfig::scaled(Organization::UncompressedAlloy, 256).with_records(2_000, 4_000);
+        cfg.obs.interval_cycles = 0;
+        cfg.obs.trace_capacity = 0;
+        let r = System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7)).run();
+        assert!(r.timeline.is_empty());
+        assert!(r.trace.is_empty());
+        // Latency histograms still fill — they are part of the report
+        // proper, not the optional trace.
+        assert!(r.latency.total_count() > 0);
     }
 
     #[test]

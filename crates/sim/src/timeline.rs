@@ -1,0 +1,130 @@
+//! Interval time series: windowed stats sampled during the measured run.
+
+use dice_core::L4Stats;
+use dice_dram::DramStats;
+use dice_obs::{ratio, snapshot_json, Json};
+
+use crate::Cycle;
+
+/// One window of the interval time series.
+///
+/// The stats structs hold **windowed deltas** — activity inside this
+/// interval only, not cumulative counts — so plotting any counter over the
+/// sample sequence directly shows phase behavior.
+#[derive(Debug, Clone)]
+pub struct IntervalSample {
+    /// Cycle at which the window closed.
+    pub end_cycle: Cycle,
+    /// Cycles covered by this window.
+    pub cycles: Cycle,
+    /// L4 controller activity inside the window.
+    pub l4: L4Stats,
+    /// Stacked-DRAM activity inside the window.
+    pub l4_dram: DramStats,
+    /// Main-memory activity inside the window.
+    pub mem_dram: DramStats,
+    /// Resident lines at the window close.
+    pub valid_lines: u64,
+    /// Sets holding at least one line at the window close.
+    pub occupied_sets: u64,
+}
+
+impl IntervalSample {
+    /// L4 read hit rate inside the window.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.l4.hit_rate()
+    }
+
+    /// Free lines delivered per L4 read inside the window.
+    #[must_use]
+    pub fn free_line_rate(&self) -> f64 {
+        ratio(self.l4.free_lines, self.l4.reads)
+    }
+
+    /// Stacked-DRAM bytes moved per cycle inside the window.
+    #[must_use]
+    pub fn l4_bytes_per_cycle(&self) -> f64 {
+        ratio(self.l4_dram.bytes, self.cycles)
+    }
+
+    /// Main-memory bytes moved per cycle inside the window.
+    #[must_use]
+    pub fn mem_bytes_per_cycle(&self) -> f64 {
+        ratio(self.mem_dram.bytes, self.cycles)
+    }
+
+    /// Serializes the window: boundary, derived rates, and the three
+    /// windowed counter sets in full.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("end_cycle".into(), Json::u64(self.end_cycle)),
+            ("cycles".into(), Json::u64(self.cycles)),
+            ("hit_rate".into(), Json::num(self.hit_rate())),
+            ("free_line_rate".into(), Json::num(self.free_line_rate())),
+            (
+                "l4_bytes_per_cycle".into(),
+                Json::num(self.l4_bytes_per_cycle()),
+            ),
+            (
+                "mem_bytes_per_cycle".into(),
+                Json::num(self.mem_bytes_per_cycle()),
+            ),
+            ("valid_lines".into(), Json::u64(self.valid_lines)),
+            ("occupied_sets".into(), Json::u64(self.occupied_sets)),
+            ("l4".into(), snapshot_json(&self.l4)),
+            ("l4_dram".into(), snapshot_json(&self.l4_dram)),
+            ("mem_dram".into(), snapshot_json(&self.mem_dram)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_follow_idle_convention() {
+        let s = IntervalSample {
+            end_cycle: 1_000,
+            cycles: 0,
+            l4: L4Stats::default(),
+            l4_dram: DramStats::default(),
+            mem_dram: DramStats::default(),
+            valid_lines: 0,
+            occupied_sets: 0,
+        };
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.free_line_rate(), 0.0);
+        assert_eq!(s.l4_bytes_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn json_has_installs_by_index() {
+        let s = IntervalSample {
+            end_cycle: 2_000,
+            cycles: 1_000,
+            l4: L4Stats {
+                reads: 10,
+                read_hits: 5,
+                installs_bai: 3,
+                ..L4Stats::default()
+            },
+            l4_dram: DramStats {
+                bytes: 640,
+                ..DramStats::default()
+            },
+            mem_dram: DramStats::default(),
+            valid_lines: 7,
+            occupied_sets: 4,
+        };
+        let j = s.to_json();
+        assert_eq!(
+            j.get("l4").unwrap().get("installs_bai"),
+            Some(&Json::Int(3))
+        );
+        assert_eq!(j.get("hit_rate").unwrap().as_f64(), Some(0.5));
+        assert_eq!(j.get("l4_bytes_per_cycle").unwrap().as_f64(), Some(0.64));
+    }
+}

@@ -37,7 +37,10 @@ fn all_organizations_complete() {
 #[test]
 fn half_latency_l4_is_faster() {
     let base = run(base_cfg(Organization::UncompressedAlloy), "gcc");
-    let fast = run(base_cfg(Organization::UncompressedAlloy).with_half_l4_latency(), "gcc");
+    let fast = run(
+        base_cfg(Organization::UncompressedAlloy).with_half_l4_latency(),
+        "gcc",
+    );
     assert!(fast.weighted_speedup(&base) > 1.0);
 }
 
@@ -45,7 +48,10 @@ fn half_latency_l4_is_faster() {
 fn more_bandwidth_never_hurts() {
     for wl in ["gcc", "mcf"] {
         let base = run(base_cfg(Organization::UncompressedAlloy), wl);
-        let wide = run(base_cfg(Organization::UncompressedAlloy).with_double_l4_bandwidth(), wl);
+        let wide = run(
+            base_cfg(Organization::UncompressedAlloy).with_double_l4_bandwidth(),
+            wl,
+        );
         assert!(wide.weighted_speedup(&base) > 0.99, "{wl}");
     }
 }
@@ -54,7 +60,10 @@ fn more_bandwidth_never_hurts() {
 fn double_capacity_helps_capacity_bound_workloads() {
     // omnetpp's footprint exceeds the cache → extra capacity pays.
     let base = run(base_cfg(Organization::UncompressedAlloy), "omnetpp");
-    let big = run(base_cfg(Organization::UncompressedAlloy).with_double_l4_capacity(), "omnetpp");
+    let big = run(
+        base_cfg(Organization::UncompressedAlloy).with_double_l4_capacity(),
+        "omnetpp",
+    );
     assert!(big.weighted_speedup(&base) > 1.0);
 }
 
@@ -80,7 +89,10 @@ fn prefetch_policies_generate_extra_traffic() {
 fn knl_variant_issues_more_probes_than_alloy() {
     let mk = |variant| {
         let mut cfg = base_cfg(Organization::Dice { threshold: 36 });
-        cfg.l4 = DramCacheConfig { tag_variant: variant, ..cfg.l4 };
+        cfg.l4 = DramCacheConfig {
+            tag_variant: variant,
+            ..cfg.l4
+        };
         cfg
     };
     // mcf misses a lot; KNL pays both-location checks on those misses.
@@ -120,7 +132,10 @@ fn ltt_size_trades_accuracy(/* §5.3 */) {
     big.l4.ltt_entries = 8192;
     let rs = System::new(small, &WorkloadSet::rate(spec("soplex"), 11)).run();
     let rb = System::new(big, &WorkloadSet::rate(spec("soplex"), 11)).run();
-    assert!(rb.cip_accuracy >= rs.cip_accuracy - 0.02, "bigger LTT should not predict much worse");
+    assert!(
+        rb.cip_accuracy >= rs.cip_accuracy - 0.02,
+        "bigger LTT should not predict much worse"
+    );
 }
 
 #[test]

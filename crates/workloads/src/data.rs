@@ -35,7 +35,12 @@ impl DataModel {
     /// addresses disambiguate because cores occupy disjoint regions).
     #[must_use]
     pub fn from_profile(profile: ValueProfile, seed: u64) -> Self {
-        Self { profile, seed, singles: HashMap::new(), pairs: HashMap::new() }
+        Self {
+            profile,
+            seed,
+            singles: HashMap::new(),
+            pairs: HashMap::new(),
+        }
     }
 
     /// The 64 bytes currently at `line`.
@@ -67,7 +72,8 @@ impl SizeInfo for DataModel {
         if let Some(&s) = self.pairs.get(&even_line) {
             return u32::from(s);
         }
-        let joint = pair_compressed_size(&self.line_data(even_line), &self.line_data(even_line | 1));
+        let joint =
+            pair_compressed_size(&self.line_data(even_line), &self.line_data(even_line | 1));
         // Joint sizes can reach 128 (two raw lines); saturate into u8 — any
         // value above one TAD is equally "does not fit".
         let stored = joint.min(200) as u8;
@@ -89,9 +95,14 @@ impl MixDataModel {
     /// [`crate::trace::CORE_REGION_LINES`]).
     #[must_use]
     pub fn new(profiles: Vec<ValueProfile>, seed: u64) -> Self {
-        let models =
-            profiles.into_iter().map(|p| DataModel::from_profile(p, seed)).collect();
-        Self { models, region_shift: 34 }
+        let models = profiles
+            .into_iter()
+            .map(|p| DataModel::from_profile(p, seed))
+            .collect();
+        Self {
+            models,
+            region_shift: 34,
+        }
     }
 
     fn model_mut(&mut self, line: LineAddr) -> &mut DataModel {
@@ -147,15 +158,25 @@ mod tests {
     #[test]
     fn incompressible_workload_yields_big_sizes() {
         let mut lbm = DataModel::new(&spec("lbm"), 5);
-        let big = (0..500u64).filter(|&l| lbm.single_size(l * 64) > 36).count();
-        assert!(big > 350, "lbm should be mostly incompressible, got {big}/500 big");
+        let big = (0..500u64)
+            .filter(|&l| lbm.single_size(l * 64) > 36)
+            .count();
+        assert!(
+            big > 350,
+            "lbm should be mostly incompressible, got {big}/500 big"
+        );
     }
 
     #[test]
     fn compressible_workload_yields_small_sizes() {
         let mut gap = DataModel::new(&spec("cc_twi"), 5);
-        let small = (0..500u64).filter(|&l| gap.single_size(l * 64) <= 36).count();
-        assert!(small > 350, "cc_twi should be mostly compressible, got {small}/500 small");
+        let small = (0..500u64)
+            .filter(|&l| gap.single_size(l * 64) <= 36)
+            .count();
+        assert!(
+            small > 350,
+            "cc_twi should be mostly compressible, got {small}/500 small"
+        );
     }
 
     #[test]
@@ -172,6 +193,10 @@ mod tests {
         };
         let mut m = MixDataModel::new(vec![zeros, ValueProfile::incompressible()], 1);
         assert_eq!(m.single_size(5), 1, "region 0 is all zeros");
-        assert_eq!(m.single_size((1 << 34) + 5), 64, "region 1 is incompressible");
+        assert_eq!(
+            m.single_size((1 << 34) + 5),
+            64,
+            "region 1 is incompressible"
+        );
     }
 }

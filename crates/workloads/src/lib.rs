@@ -46,8 +46,8 @@ mod trace;
 mod value;
 
 pub use data::{DataModel, MixDataModel};
-pub use source::{load_trace, save_trace, RecordSource, ReplaySource};
 pub use rng::SplitMix64;
+pub use source::{load_trace, save_trace, RecordSource, ReplaySource};
 pub use spec::{
     mix_table, nonmem_table, spec_table, Suite, WorkloadSpec, LINES_PER_PAGE, PAGE_BYTES,
 };

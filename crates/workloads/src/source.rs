@@ -48,10 +48,17 @@ impl ReplaySource {
     /// Panics if `records` is empty.
     #[must_use]
     pub fn new(records: Vec<TraceRecord>) -> Self {
-        assert!(!records.is_empty(), "a replay source needs at least one record");
+        assert!(
+            !records.is_empty(),
+            "a replay source needs at least one record"
+        );
         let max = records.iter().map(|r| r.line).max().unwrap_or(0);
         let min = records.iter().map(|r| r.line).min().unwrap_or(0);
-        Self { records, pos: 0, footprint: max - min + 1 }
+        Self {
+            records,
+            pos: 0,
+            footprint: max - min + 1,
+        }
     }
 
     /// Loads a trace from the text format written by [`save_trace`].
@@ -97,9 +104,18 @@ impl RecordSource for ReplaySource {
 /// Returns any underlying I/O error.
 pub fn save_trace(path: impl AsRef<Path>, records: &[TraceRecord]) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "# dice trace v1: <instruction-gap> <line-address-hex> <r|w>")?;
+    writeln!(
+        f,
+        "# dice trace v1: <instruction-gap> <line-address-hex> <r|w>"
+    )?;
     for r in records {
-        writeln!(f, "{} {:x} {}", r.gap, r.line, if r.write { 'w' } else { 'r' })?;
+        writeln!(
+            f,
+            "{} {:x} {}",
+            r.gap,
+            r.line,
+            if r.write { 'w' } else { 'r' }
+        )?;
     }
     Ok(())
 }
@@ -123,7 +139,9 @@ pub fn load_trace(path: impl AsRef<Path>) -> std::io::Result<Vec<TraceRecord>> {
         let (Some(g), Some(l), Some(w)) = (it.next(), it.next(), it.next()) else {
             return Err(bad(format!("line {}: expected 3 fields", no + 1)));
         };
-        let gap = g.parse().map_err(|e| bad(format!("line {}: bad gap: {e}", no + 1)))?;
+        let gap = g
+            .parse()
+            .map_err(|e| bad(format!("line {}: bad gap: {e}", no + 1)))?;
         let addr: LineAddr = LineAddr::from_str_radix(l, 16)
             .map_err(|e| bad(format!("line {}: bad address: {e}", no + 1)))?;
         let write = match w {
@@ -131,7 +149,11 @@ pub fn load_trace(path: impl AsRef<Path>) -> std::io::Result<Vec<TraceRecord>> {
             "w" => true,
             other => return Err(bad(format!("line {}: bad r/w flag {other:?}", no + 1))),
         };
-        out.push(TraceRecord { gap, line: addr, write });
+        out.push(TraceRecord {
+            gap,
+            line: addr,
+            write,
+        });
     }
     Ok(out)
 }
@@ -144,8 +166,16 @@ mod tests {
     #[test]
     fn replay_loops() {
         let recs = vec![
-            TraceRecord { gap: 1, line: 10, write: false },
-            TraceRecord { gap: 2, line: 20, write: true },
+            TraceRecord {
+                gap: 1,
+                line: 10,
+                write: false,
+            },
+            TraceRecord {
+                gap: 2,
+                line: 20,
+                write: true,
+            },
         ];
         let mut s = ReplaySource::new(recs.clone());
         assert_eq!(s.next_record(), recs[0]);
@@ -162,8 +192,16 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t1.trace");
         let recs = vec![
-            TraceRecord { gap: 0, line: 0xabc, write: true },
-            TraceRecord { gap: 99, line: u64::MAX >> 8, write: false },
+            TraceRecord {
+                gap: 0,
+                line: 0xabc,
+                write: true,
+            },
+            TraceRecord {
+                gap: 99,
+                line: u64::MAX >> 8,
+                write: false,
+            },
         ];
         save_trace(&path, &recs).unwrap();
         assert_eq!(load_trace(&path).unwrap(), recs);

@@ -138,54 +138,296 @@ pub fn spec_table() -> Vec<WorkloadSpec> {
     };
     vec![
         // name, mpki, footprint, wr, seq, hotf, hotp, zipf, (z,si,st,pt,h,l16,f,r)
-        w("mcf", Suite::SpecRate, 53.6, 13 * GB + 205 * MB, 0.15, 1.2, 0.05, 0.55, 0.35, None,
-            profile!(8, 12, 5, 20, 5, 40, 5, 5)),
-        w("lbm", Suite::SpecRate, 27.5, 3 * GB + 205 * MB, 0.28, 8.0, 0.10, 0.30, 0.35, None,
-            profile!(2, 2, 6, 0, 0, 5, 75, 10)),
-        w("soplex", Suite::SpecRate, 26.8, GB + 922 * MB, 0.15, 4.0, 0.15, 0.55, 0.35, None,
-            profile!(15, 18, 27, 10, 10, 5, 12, 3)),
-        w("milc", Suite::SpecRate, 25.7, 2 * GB + 922 * MB, 0.21, 6.0, 0.10, 0.35, 0.35, None,
-            profile!(5, 8, 22, 0, 5, 5, 45, 10)),
-        w("gcc", Suite::SpecRate, 22.7, 264 * MB, 0.18, 3.0, 0.20, 0.60, 0.4, None,
-            profile!(20, 25, 15, 22, 10, 3, 0, 5)),
-        w("libq", Suite::SpecRate, 22.2, 256 * MB, 0.18, 6.0, 0.20, 0.50, 0.45, None,
-            profile!(4, 6, 6, 0, 0, 10, 37, 37)),
-        w("Gems", Suite::SpecRate, 17.2, 6 * GB + 410 * MB, 0.21, 5.0, 0.08, 0.35, 0.3, None,
-            profile!(3, 5, 12, 0, 5, 5, 55, 15)),
-        w("omnetpp", Suite::SpecRate, 16.4, GB + 307 * MB, 0.18, 1.5, 0.10, 0.60, 0.4, None,
-            profile!(15, 25, 5, 38, 8, 4, 0, 5)),
-        w("leslie3d", Suite::SpecRate, 14.6, 624 * MB, 0.21, 6.0, 0.12, 0.40, 0.35, None,
-            profile!(10, 10, 28, 0, 10, 4, 33, 5)),
-        w("sphinx", Suite::SpecRate, 12.9, 128 * MB, 0.12, 2.0, 0.20, 0.55, 0.45, None,
-            profile!(3, 10, 5, 5, 7, 42, 18, 10)),
-        w("zeusmp", Suite::SpecRate, 5.2, 2 * GB + 922 * MB, 0.21, 6.0, 0.10, 0.40, 0.35, None,
-            profile!(15, 14, 33, 0, 8, 2, 23, 5)),
-        w("wrf", Suite::SpecRate, 5.1, GB + 410 * MB, 0.21, 5.0, 0.12, 0.40, 0.35, None,
-            profile!(14, 10, 28, 0, 13, 3, 27, 5)),
-        w("cactus", Suite::SpecRate, 4.9, 3 * GB + 307 * MB, 0.21, 7.0, 0.10, 0.35, 0.35, None,
-            profile!(13, 8, 29, 0, 10, 3, 32, 5)),
-        w("astar", Suite::SpecRate, 4.5, GB + 102 * MB, 0.15, 2.0, 0.15, 0.60, 0.4, None,
-            profile!(15, 28, 14, 28, 6, 4, 0, 5)),
-        w("bzip2", Suite::SpecRate, 3.6, 2 * GB + 512 * MB, 0.18, 3.0, 0.15, 0.50, 0.4, None,
-            profile!(10, 18, 8, 5, 22, 15, 4, 18)),
-        w("xalanc", Suite::SpecRate, 2.2, GB + 922 * MB, 0.15, 2.0, 0.18, 0.60, 0.4, None,
-            profile!(20, 24, 6, 28, 12, 5, 0, 5)),
+        w(
+            "mcf",
+            Suite::SpecRate,
+            53.6,
+            13 * GB + 205 * MB,
+            0.15,
+            1.2,
+            0.05,
+            0.55,
+            0.35,
+            None,
+            profile!(8, 12, 5, 20, 5, 40, 5, 5),
+        ),
+        w(
+            "lbm",
+            Suite::SpecRate,
+            27.5,
+            3 * GB + 205 * MB,
+            0.28,
+            8.0,
+            0.10,
+            0.30,
+            0.35,
+            None,
+            profile!(2, 2, 6, 0, 0, 5, 75, 10),
+        ),
+        w(
+            "soplex",
+            Suite::SpecRate,
+            26.8,
+            GB + 922 * MB,
+            0.15,
+            4.0,
+            0.15,
+            0.55,
+            0.35,
+            None,
+            profile!(15, 18, 27, 10, 10, 5, 12, 3),
+        ),
+        w(
+            "milc",
+            Suite::SpecRate,
+            25.7,
+            2 * GB + 922 * MB,
+            0.21,
+            6.0,
+            0.10,
+            0.35,
+            0.35,
+            None,
+            profile!(5, 8, 22, 0, 5, 5, 45, 10),
+        ),
+        w(
+            "gcc",
+            Suite::SpecRate,
+            22.7,
+            264 * MB,
+            0.18,
+            3.0,
+            0.20,
+            0.60,
+            0.4,
+            None,
+            profile!(20, 25, 15, 22, 10, 3, 0, 5),
+        ),
+        w(
+            "libq",
+            Suite::SpecRate,
+            22.2,
+            256 * MB,
+            0.18,
+            6.0,
+            0.20,
+            0.50,
+            0.45,
+            None,
+            profile!(4, 6, 6, 0, 0, 10, 37, 37),
+        ),
+        w(
+            "Gems",
+            Suite::SpecRate,
+            17.2,
+            6 * GB + 410 * MB,
+            0.21,
+            5.0,
+            0.08,
+            0.35,
+            0.3,
+            None,
+            profile!(3, 5, 12, 0, 5, 5, 55, 15),
+        ),
+        w(
+            "omnetpp",
+            Suite::SpecRate,
+            16.4,
+            GB + 307 * MB,
+            0.18,
+            1.5,
+            0.10,
+            0.60,
+            0.4,
+            None,
+            profile!(15, 25, 5, 38, 8, 4, 0, 5),
+        ),
+        w(
+            "leslie3d",
+            Suite::SpecRate,
+            14.6,
+            624 * MB,
+            0.21,
+            6.0,
+            0.12,
+            0.40,
+            0.35,
+            None,
+            profile!(10, 10, 28, 0, 10, 4, 33, 5),
+        ),
+        w(
+            "sphinx",
+            Suite::SpecRate,
+            12.9,
+            128 * MB,
+            0.12,
+            2.0,
+            0.20,
+            0.55,
+            0.45,
+            None,
+            profile!(3, 10, 5, 5, 7, 42, 18, 10),
+        ),
+        w(
+            "zeusmp",
+            Suite::SpecRate,
+            5.2,
+            2 * GB + 922 * MB,
+            0.21,
+            6.0,
+            0.10,
+            0.40,
+            0.35,
+            None,
+            profile!(15, 14, 33, 0, 8, 2, 23, 5),
+        ),
+        w(
+            "wrf",
+            Suite::SpecRate,
+            5.1,
+            GB + 410 * MB,
+            0.21,
+            5.0,
+            0.12,
+            0.40,
+            0.35,
+            None,
+            profile!(14, 10, 28, 0, 13, 3, 27, 5),
+        ),
+        w(
+            "cactus",
+            Suite::SpecRate,
+            4.9,
+            3 * GB + 307 * MB,
+            0.21,
+            7.0,
+            0.10,
+            0.35,
+            0.35,
+            None,
+            profile!(13, 8, 29, 0, 10, 3, 32, 5),
+        ),
+        w(
+            "astar",
+            Suite::SpecRate,
+            4.5,
+            GB + 102 * MB,
+            0.15,
+            2.0,
+            0.15,
+            0.60,
+            0.4,
+            None,
+            profile!(15, 28, 14, 28, 6, 4, 0, 5),
+        ),
+        w(
+            "bzip2",
+            Suite::SpecRate,
+            3.6,
+            2 * GB + 512 * MB,
+            0.18,
+            3.0,
+            0.15,
+            0.50,
+            0.4,
+            None,
+            profile!(10, 18, 8, 5, 22, 15, 4, 18),
+        ),
+        w(
+            "xalanc",
+            Suite::SpecRate,
+            2.2,
+            GB + 922 * MB,
+            0.15,
+            2.0,
+            0.18,
+            0.60,
+            0.4,
+            None,
+            profile!(20, 24, 6, 28, 12, 5, 0, 5),
+        ),
         // GAP: CSR graphs — offset arrays (strided), vertex ids (small
         // ints), property arrays (zeros early, small values) → very
         // compressible; twitter is power-law skewed, web is crawl-ordered
         // (more sequential, milder skew).
-        w("bc_twi", Suite::Gap, 69.7, 19 * GB + 717 * MB, 0.18, 2.0, 0.03, 0.45, 0.22, Some(2.5),
-            profile!(22, 10, 16, 4, 38, 3, 2, 5)),
-        w("bc_web", Suite::Gap, 17.7, 25 * GB, 0.18, 5.0, 0.05, 0.40, 0.28, Some(1.5),
-            profile!(18, 10, 18, 5, 36, 4, 4, 5)),
-        w("cc_twi", Suite::Gap, 93.9, 14 * GB + 307 * MB, 0.15, 3.0, 0.03, 0.45, 0.22, Some(2.5),
-            profile!(26, 12, 14, 3, 38, 2, 0, 5)),
-        w("cc_web", Suite::Gap, 9.4, 16 * GB, 0.15, 6.0, 0.05, 0.40, 0.28, Some(1.5),
-            profile!(20, 12, 16, 5, 36, 4, 3, 4)),
-        w("pr_twi", Suite::Gap, 112.9, 23 * GB + 102 * MB, 0.21, 4.0, 0.03, 0.45, 0.22, Some(2.5),
-            profile!(20, 10, 18, 3, 40, 2, 2, 5)),
-        w("pr_web", Suite::Gap, 16.7, 25 * GB + 205 * MB, 0.21, 6.0, 0.05, 0.40, 0.28, Some(1.5),
-            profile!(16, 10, 20, 5, 36, 4, 4, 5)),
+        w(
+            "bc_twi",
+            Suite::Gap,
+            69.7,
+            19 * GB + 717 * MB,
+            0.18,
+            2.0,
+            0.03,
+            0.45,
+            0.22,
+            Some(2.5),
+            profile!(22, 10, 16, 4, 38, 3, 2, 5),
+        ),
+        w(
+            "bc_web",
+            Suite::Gap,
+            17.7,
+            25 * GB,
+            0.18,
+            5.0,
+            0.05,
+            0.40,
+            0.28,
+            Some(1.5),
+            profile!(18, 10, 18, 5, 36, 4, 4, 5),
+        ),
+        w(
+            "cc_twi",
+            Suite::Gap,
+            93.9,
+            14 * GB + 307 * MB,
+            0.15,
+            3.0,
+            0.03,
+            0.45,
+            0.22,
+            Some(2.5),
+            profile!(26, 12, 14, 3, 38, 2, 0, 5),
+        ),
+        w(
+            "cc_web",
+            Suite::Gap,
+            9.4,
+            16 * GB,
+            0.15,
+            6.0,
+            0.05,
+            0.40,
+            0.28,
+            Some(1.5),
+            profile!(20, 12, 16, 5, 36, 4, 3, 4),
+        ),
+        w(
+            "pr_twi",
+            Suite::Gap,
+            112.9,
+            23 * GB + 102 * MB,
+            0.21,
+            4.0,
+            0.03,
+            0.45,
+            0.22,
+            Some(2.5),
+            profile!(20, 10, 18, 3, 40, 2, 2, 5),
+        ),
+        w(
+            "pr_web",
+            Suite::Gap,
+            16.7,
+            25 * GB + 205 * MB,
+            0.21,
+            6.0,
+            0.05,
+            0.40,
+            0.28,
+            Some(1.5),
+            profile!(16, 10, 20, 5, 36, 4, 4, 5),
+        ),
     ]
 }
 
@@ -194,10 +436,30 @@ pub fn spec_table() -> Vec<WorkloadSpec> {
 #[must_use]
 pub fn mix_table() -> Vec<(&'static str, [&'static str; 8])> {
     vec![
-        ("mix1", ["mcf", "lbm", "soplex", "gcc", "omnetpp", "sphinx", "astar", "xalanc"]),
-        ("mix2", ["milc", "libq", "Gems", "leslie3d", "zeusmp", "wrf", "cactus", "bzip2"]),
-        ("mix3", ["mcf", "milc", "gcc", "Gems", "leslie3d", "zeusmp", "astar", "bzip2"]),
-        ("mix4", ["lbm", "soplex", "libq", "omnetpp", "sphinx", "wrf", "cactus", "xalanc"]),
+        (
+            "mix1",
+            [
+                "mcf", "lbm", "soplex", "gcc", "omnetpp", "sphinx", "astar", "xalanc",
+            ],
+        ),
+        (
+            "mix2",
+            [
+                "milc", "libq", "Gems", "leslie3d", "zeusmp", "wrf", "cactus", "bzip2",
+            ],
+        ),
+        (
+            "mix3",
+            [
+                "mcf", "milc", "gcc", "Gems", "leslie3d", "zeusmp", "astar", "bzip2",
+            ],
+        ),
+        (
+            "mix4",
+            [
+                "lbm", "soplex", "libq", "omnetpp", "sphinx", "wrf", "cactus", "xalanc",
+            ],
+        ),
     ]
 }
 
@@ -223,17 +485,52 @@ pub fn nonmem_table() -> Vec<WorkloadSpec> {
     };
     vec![
         nm("bwaves", 1.8, 96 * MB, profile!(8, 10, 20, 0, 10, 5, 42, 5)),
-        nm("calculix", 0.6, 48 * MB, profile!(10, 12, 25, 0, 10, 5, 33, 5)),
-        nm("dealII", 0.8, 64 * MB, profile!(12, 18, 15, 20, 10, 5, 15, 5)),
+        nm(
+            "calculix",
+            0.6,
+            48 * MB,
+            profile!(10, 12, 25, 0, 10, 5, 33, 5),
+        ),
+        nm(
+            "dealII",
+            0.8,
+            64 * MB,
+            profile!(12, 18, 15, 20, 10, 5, 15, 5),
+        ),
         nm("gamess", 0.3, 32 * MB, profile!(8, 12, 15, 5, 10, 5, 40, 5)),
-        nm("gobmk", 0.5, 32 * MB, profile!(15, 30, 10, 15, 15, 5, 0, 10)),
-        nm("gromacs", 0.4, 48 * MB, profile!(8, 10, 18, 0, 10, 6, 43, 5)),
+        nm(
+            "gobmk",
+            0.5,
+            32 * MB,
+            profile!(15, 30, 10, 15, 15, 5, 0, 10),
+        ),
+        nm(
+            "gromacs",
+            0.4,
+            48 * MB,
+            profile!(8, 10, 18, 0, 10, 6, 43, 5),
+        ),
         nm("h264", 0.7, 48 * MB, profile!(10, 22, 10, 8, 20, 10, 5, 15)),
-        nm("hmmer", 0.5, 32 * MB, profile!(10, 25, 15, 5, 20, 10, 5, 10)),
+        nm(
+            "hmmer",
+            0.5,
+            32 * MB,
+            profile!(10, 25, 15, 5, 20, 10, 5, 10),
+        ),
         nm("namd", 0.4, 48 * MB, profile!(6, 8, 15, 0, 8, 8, 50, 5)),
-        nm("perlbench", 0.6, 64 * MB, profile!(15, 25, 8, 30, 10, 4, 0, 8)),
+        nm(
+            "perlbench",
+            0.6,
+            64 * MB,
+            profile!(15, 25, 8, 30, 10, 4, 0, 8),
+        ),
         nm("povray", 0.2, 24 * MB, profile!(8, 12, 12, 10, 8, 5, 40, 5)),
-        nm("sjeng", 0.4, 32 * MB, profile!(12, 28, 10, 15, 15, 8, 2, 10)),
+        nm(
+            "sjeng",
+            0.4,
+            32 * MB,
+            profile!(12, 28, 10, 15, 15, 8, 2, 10),
+        ),
         nm("tonto", 0.3, 32 * MB, profile!(8, 12, 18, 5, 10, 5, 37, 5)),
     ]
 }

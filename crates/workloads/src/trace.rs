@@ -91,7 +91,8 @@ impl TraceGen {
             // Each remembered target drags a sequential run behind it, so
             // divide the line budget by the run length to keep the reuse
             // set at roughly one per-core L3 share of *lines*.
-            recent_cap: ((spec.reuse_window as f64 / scale as f64 / spec.seq_run.max(1.0)) as usize)
+            recent_cap: ((spec.reuse_window as f64 / scale as f64 / spec.seq_run.max(1.0))
+                as usize)
                 .clamp(16, 1 << 20),
             recent_next: 0,
             page_seed: SplitMix64::hash(seed ^ 0x9a9e ^ (u64::from(core) << 17)),
@@ -123,7 +124,11 @@ impl TraceGen {
             self.run_left = self.rng.geometric((self.seq_run - 1.0).max(0.0));
         }
         let write = self.rng.chance(self.write_fraction);
-        TraceRecord { gap, line: self.base + self.phys(self.pos), write }
+        TraceRecord {
+            gap,
+            line: self.base + self.phys(self.pos),
+            write,
+        }
     }
 
     /// Virtual-to-physical page scattering (§3.1 models address
@@ -183,7 +188,11 @@ mod tests {
         let mut g = TraceGen::with_scale(&s, 3, 1, 16);
         for _ in 0..10_000 {
             let r = g.next_record();
-            assert_eq!(r.line / CORE_REGION_LINES, 3, "line outside core 3's region");
+            assert_eq!(
+                r.line / CORE_REGION_LINES,
+                3,
+                "line outside core 3's region"
+            );
         }
     }
 
@@ -195,7 +204,10 @@ mod tests {
             .collect();
         // Staggers are page-aligned and distinct, so rate copies do not
         // alias in power-of-two-indexed caches.
-        assert!(bases.iter().all(|b| b % 64 == 0), "staggers not page aligned: {bases:?}");
+        assert!(
+            bases.iter().all(|b| b % 64 == 0),
+            "staggers not page aligned: {bases:?}"
+        );
         let distinct: std::collections::HashSet<_> = bases.iter().collect();
         assert_eq!(distinct.len(), 8, "staggers should differ: {bases:?}");
     }
@@ -218,7 +230,7 @@ mod tests {
         let same = (0..100)
             .filter(|_| {
                 let (ra, rb) = (a.next_record(), b.next_record());
-                ra.line - 0 * CORE_REGION_LINES == rb.line - CORE_REGION_LINES
+                ra.line == rb.line - CORE_REGION_LINES
             })
             .count();
         assert!(same < 100, "streams should differ");
@@ -230,7 +242,11 @@ mod tests {
         let mut g = TraceGen::with_scale(&s, 0, 1, 16);
         let total: u64 = (0..50_000).map(|_| g.next_record().gap).sum();
         let mean = total as f64 / 50_000.0;
-        assert!((mean / s.gap_mean - 1.0).abs() < 0.1, "mean {mean} vs {}", s.gap_mean);
+        assert!(
+            (mean / s.gap_mean - 1.0).abs() < 0.1,
+            "mean {mean} vs {}",
+            s.gap_mean
+        );
     }
 
     #[test]
@@ -246,7 +262,10 @@ mod tests {
             }
             prev = r.line;
         }
-        assert!(seq > 15_000, "lbm should be highly sequential, got {seq}/20000");
+        assert!(
+            seq > 15_000,
+            "lbm should be highly sequential, got {seq}/20000"
+        );
     }
 
     #[test]
@@ -272,7 +291,10 @@ mod tests {
         let mut g = TraceGen::with_scale(&s, 0, 1, 16);
         let writes = (0..50_000).filter(|_| g.next_record().write).count();
         let frac = writes as f64 / 50_000.0;
-        assert!((frac - expected).abs() < 0.02, "write fraction {frac} vs {expected}");
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "write fraction {frac} vs {expected}"
+        );
     }
 
     #[test]
@@ -293,6 +315,9 @@ mod tests {
             counts.iter().take(top).sum::<u64>() as f64 / 50_000.0
         };
         let (cz, cf) = (concentration(&zipfy), concentration(&flat));
-        assert!(cz > cf, "zipf page popularity should be more concentrated: {cz} vs {cf}");
+        assert!(
+            cz > cf,
+            "zipf page popularity should be more concentrated: {cz} vs {cf}"
+        );
     }
 }

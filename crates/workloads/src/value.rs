@@ -264,14 +264,20 @@ mod tests {
             float: 0,
             random: 50,
         };
-        let zeros = (0..10_000).filter(|&pg| p.class_of(7, pg) == PageClass::Zero).count();
+        let zeros = (0..10_000)
+            .filter(|&pg| p.class_of(7, pg) == PageClass::Zero)
+            .count();
         assert!((4_500..5_500).contains(&zeros), "zeros {zeros}");
     }
 
     #[test]
     fn line_data_is_deterministic() {
         for class in PageClass::ALL {
-            assert_eq!(line_data(9, class, 1234), line_data(9, class, 1234), "{class:?}");
+            assert_eq!(
+                line_data(9, class, 1234),
+                line_data(9, class, 1234),
+                "{class:?}"
+            );
         }
     }
 
@@ -318,7 +324,10 @@ mod tests {
             let joint = pair_compressed_size(&a, &b);
             assert!(joint > 68, "loose16 pair must not fit a TAD, got {joint}");
         }
-        assert!(sum >= 20 * 37, "typical loose16 line should exceed the 36 B threshold");
+        assert!(
+            sum >= 20 * 37,
+            "typical loose16 line should exceed the 36 B threshold"
+        );
     }
 
     #[test]
@@ -341,7 +350,10 @@ mod tests {
         let a = line_data(1, PageClass::Half16, 64 * 3);
         let b = line_data(1, PageClass::Half16, 64 * 3 + 1);
         let joint = pair_compressed_size(&a, &b);
-        assert!(joint <= 68, "half16 pair {joint} > 68 (B2D1 shared base = 66)");
+        assert!(
+            joint <= 68,
+            "half16 pair {joint} > 68 (B2D1 shared base = 66)"
+        );
     }
 
     #[test]

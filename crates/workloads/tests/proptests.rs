@@ -3,8 +3,7 @@
 
 use dice_core::SizeInfo;
 use dice_workloads::{
-    line_data, mix_table, nonmem_table, spec_table, DataModel, PageClass, TraceGen,
-    ValueProfile,
+    line_data, mix_table, nonmem_table, spec_table, DataModel, PageClass, TraceGen, ValueProfile,
 };
 use proptest::prelude::*;
 
@@ -43,7 +42,7 @@ proptest! {
         let s = m.single_size(line);
         prop_assert!((1..=64).contains(&s), "single size {s}");
         let p = m.pair_size(line);
-        prop_assert!(p >= 2 && p <= 200, "pair size {p}");
+        prop_assert!((2..=200).contains(&p), "pair size {p}");
         prop_assert!(p <= 2 * 64 || p == 200, "pair size cap");
         // Pair is never better than two bytes and never worse than concat.
         let concat = m.single_size(line & !1) + m.single_size(line | 1);

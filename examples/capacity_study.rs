@@ -25,7 +25,9 @@ fn fill_density(org: Organization, data: &mut DataModel) -> (f64, u64) {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "cc_twi".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cc_twi".to_owned());
     let spec = spec_table()
         .into_iter()
         .find(|w| w.name == name)

@@ -13,8 +13,10 @@ use dice::sim::{SimConfig, System, WorkloadSet};
 use dice::workloads::{spec_table, Suite};
 
 fn main() {
-    let gap: Vec<_> =
-        spec_table().into_iter().filter(|w| w.suite == Suite::Gap).collect();
+    let gap: Vec<_> = spec_table()
+        .into_iter()
+        .filter(|w| w.suite == Suite::Gap)
+        .collect();
     println!(
         "{:<8} {:>9} {:>10} | {:>7} {:>7} {:>7} | {:>8}",
         "kernel", "MPKI", "footprint", "TSI", "DICE", "2xCache", "capacity"
@@ -26,14 +28,15 @@ fn main() {
         let mpki = spec.table3_mpki;
         let gb = spec.footprint_bytes as f64 / (1u64 << 30) as f64;
         let wl = WorkloadSet::rate(spec, 0xd1ce);
-        let cfg =
-            |org: Organization| SimConfig::scaled(org, 256).with_records(40_000, 60_000);
+        let cfg = |org: Organization| SimConfig::scaled(org, 256).with_records(40_000, 60_000);
 
         let base = System::new(cfg(Organization::UncompressedAlloy), &wl).run();
         let tsi = System::new(cfg(Organization::CompressedTsi), &wl).run();
         let dice = System::new(cfg(Organization::Dice { threshold: 36 }), &wl).run();
         let double = System::new(
-            cfg(Organization::UncompressedAlloy).with_double_l4_capacity().with_double_l4_bandwidth(),
+            cfg(Organization::UncompressedAlloy)
+                .with_double_l4_capacity()
+                .with_double_l4_bandwidth(),
             &wl,
         )
         .run();

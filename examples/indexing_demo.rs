@@ -24,7 +24,10 @@ fn main() {
     // --- Figure 6: 8 sets, lines A0..A15.
     let ix = Indexer::new(8);
     println!("Figure 6 — set mapping of lines A0..A15 on an 8-set cache:\n");
-    println!("{:>5}  {:>3} {:>3} {:>3}   (BAI == TSI?)", "line", "TSI", "NSI", "BAI");
+    println!(
+        "{:>5}  {:>3} {:>3} {:>3}   (BAI == TSI?)",
+        "line", "TSI", "NSI", "BAI"
+    );
     for line in 0..16u64 {
         println!(
             "{:>5}  {:>3} {:>3} {:>3}   {}",
@@ -32,7 +35,11 @@ fn main() {
             ix.tsi(line),
             ix.nsi(line),
             ix.bai(line),
-            if ix.invariant(line) { "kept (purple box)" } else { "moved +-1 set" }
+            if ix.invariant(line) {
+                "kept (purple box)"
+            } else {
+                "moved +-1 set"
+            }
         );
     }
 
@@ -63,8 +70,15 @@ fn main() {
         free += r.free_lines.len();
     }
     println!("  32 pair reads delivered {free} partner lines free");
-    println!("  install split: {} invariant / {} TSI / {} BAI",
-        l4.stats().installs_invariant, l4.stats().installs_tsi, l4.stats().installs_bai);
-    println!("  CIP accuracy so far: {:.1}% over {} predictions",
-        100.0 * l4.cip_accuracy(), l4.cip_predictions());
+    println!(
+        "  install split: {} invariant / {} TSI / {} BAI",
+        l4.stats().installs_invariant,
+        l4.stats().installs_tsi,
+        l4.stats().installs_bai
+    );
+    println!(
+        "  CIP accuracy so far: {:.1}% over {} predictions",
+        100.0 * l4.cip_accuracy(),
+        l4.cip_predictions()
+    );
 }

@@ -34,7 +34,9 @@ fn describe(label: &str, r: &RunReport, base: &RunReport) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map_or("gcc", String::as_str);
-    let scale: u64 = args.get(1).map_or(256, |s| s.parse().expect("scale must be a number"));
+    let scale: u64 = args
+        .get(1)
+        .map_or(256, |s| s.parse().expect("scale must be a number"));
 
     let spec = spec_table()
         .into_iter()

@@ -9,12 +9,14 @@
 use dice::core::Organization;
 use dice::sim::{SimConfig, System};
 use dice::workloads::{
-    load_trace, save_trace, MixDataModel, RecordSource, ReplaySource, TraceGen,
-    spec_table,
+    load_trace, save_trace, spec_table, MixDataModel, RecordSource, ReplaySource, TraceGen,
 };
 
 fn main() -> std::io::Result<()> {
-    let spec = spec_table().into_iter().find(|w| w.name == "soplex").unwrap();
+    let spec = spec_table()
+        .into_iter()
+        .find(|w| w.name == "soplex")
+        .unwrap();
     let dir = std::env::temp_dir().join("dice-replay-demo");
     std::fs::create_dir_all(&dir)?;
 
@@ -38,8 +40,8 @@ fn main() -> std::io::Result<()> {
         })
         .collect();
     let data = MixDataModel::new(vec![spec.values; 8], 0xd1ce ^ 0xda7a);
-    let cfg = SimConfig::scaled(Organization::Dice { threshold: 36 }, 512)
-        .with_records(8_000, 16_000);
+    let cfg =
+        SimConfig::scaled(Organization::Dice { threshold: 36 }, 512).with_records(8_000, 16_000);
     let report = System::with_sources(cfg, "soplex-replay", sources, data).run();
 
     println!(

@@ -20,6 +20,7 @@
 //! | [`core`] | `dice-core` | the DICE DRAM-cache controller + baselines |
 //! | [`sim`] | `dice-sim` | 8-core trace-driven system simulator |
 //! | [`workloads`] | `dice-workloads` | synthetic SPEC/GAP workload generators |
+//! | [`obs`] | `dice-obs` | metrics, latency histograms, tracing, JSON |
 //!
 //! # Quickstart
 //!
@@ -56,5 +57,6 @@ pub use dice_cache as cache;
 pub use dice_compress as compress;
 pub use dice_core as core;
 pub use dice_dram as dram;
+pub use dice_obs as obs;
 pub use dice_sim as sim;
 pub use dice_workloads as workloads;

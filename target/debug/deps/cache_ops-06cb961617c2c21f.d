@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_ops-06cb961617c2c21f.d: crates/bench/benches/cache_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_ops-06cb961617c2c21f.rmeta: crates/bench/benches/cache_ops.rs Cargo.toml
+
+crates/bench/benches/cache_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-b6bf80cdbde7b913.d: stubs/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-b6bf80cdbde7b913.rmeta: stubs/criterion/src/lib.rs Cargo.toml
+
+stubs/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

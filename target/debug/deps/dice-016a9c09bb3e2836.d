@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dice-016a9c09bb3e2836.d: src/lib.rs
+
+/root/repo/target/debug/deps/dice-016a9c09bb3e2836: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dice-7f4bc2c54637dbfe.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdice-7f4bc2c54637dbfe.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdice-7f4bc2c54637dbfe.rmeta: src/lib.rs
+
+src/lib.rs:

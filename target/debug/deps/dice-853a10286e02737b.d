@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dice-853a10286e02737b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdice-853a10286e02737b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdice-853a10286e02737b.rmeta: src/lib.rs
+
+src/lib.rs:

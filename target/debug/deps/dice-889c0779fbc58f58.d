@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dice-889c0779fbc58f58.d: src/lib.rs
+
+/root/repo/target/debug/deps/dice-889c0779fbc58f58: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dice-9d50dfa1a97fc159.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdice-9d50dfa1a97fc159.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdice-9d50dfa1a97fc159.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dice_bench-c780185e00fdb96b.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libdice_bench-c780185e00fdb96b.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libdice_bench-c780185e00fdb96b.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workloads.rs:

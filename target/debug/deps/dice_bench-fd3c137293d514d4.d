@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dice_bench-fd3c137293d514d4.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libdice_bench-fd3c137293d514d4.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libdice_bench-fd3c137293d514d4.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dice_cache-1244744ea282c665.d: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdice_cache-1244744ea282c665.rmeta: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dice_cache-d23fd896beb19d35.d: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libdice_cache-d23fd896beb19d35.rlib: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libdice_cache-d23fd896beb19d35.rmeta: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dice_compress-ad653a80eaed1dc3.d: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdice_compress-ad653a80eaed1dc3.rmeta: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs Cargo.toml
+
+crates/compress/src/lib.rs:
+crates/compress/src/bdi.rs:
+crates/compress/src/bits.rs:
+crates/compress/src/cpack.rs:
+crates/compress/src/fpc.rs:
+crates/compress/src/hybrid.rs:
+crates/compress/src/pair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dice_compress-cc82c25547f59fae.d: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs
+
+/root/repo/target/debug/deps/dice_compress-cc82c25547f59fae: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/bdi.rs:
+crates/compress/src/bits.rs:
+crates/compress/src/cpack.rs:
+crates/compress/src/fpc.rs:
+crates/compress/src/hybrid.rs:
+crates/compress/src/pair.rs:

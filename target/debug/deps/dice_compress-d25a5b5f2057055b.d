@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dice_compress-d25a5b5f2057055b.d: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs
+
+/root/repo/target/debug/deps/libdice_compress-d25a5b5f2057055b.rlib: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs
+
+/root/repo/target/debug/deps/libdice_compress-d25a5b5f2057055b.rmeta: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/bdi.rs:
+crates/compress/src/bits.rs:
+crates/compress/src/cpack.rs:
+crates/compress/src/fpc.rs:
+crates/compress/src/hybrid.rs:
+crates/compress/src/pair.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dice_core-166803f962ff1527.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libdice_core-166803f962ff1527.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libdice_core-166803f962ff1527.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/cip.rs:
+crates/core/src/cset.rs:
+crates/core/src/indexing.rs:
+crates/core/src/mapi.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dice_core-dbc37faad68517f7.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/dice_core-dbc37faad68517f7: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/cip.rs:
+crates/core/src/cset.rs:
+crates/core/src/indexing.rs:
+crates/core/src/mapi.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dice_dram-1cd689e3a9a2f262.d: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+/root/repo/target/debug/deps/libdice_dram-1cd689e3a9a2f262.rlib: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+/root/repo/target/debug/deps/libdice_dram-1cd689e3a9a2f262.rmeta: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/config.rs:
+crates/dram/src/device.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dice_dram-29fb225ac10555b4.d: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+/root/repo/target/debug/deps/libdice_dram-29fb225ac10555b4.rlib: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+/root/repo/target/debug/deps/libdice_dram-29fb225ac10555b4.rmeta: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/config.rs:
+crates/dram/src/device.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/stats.rs:

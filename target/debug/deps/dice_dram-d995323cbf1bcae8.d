@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dice_dram-d995323cbf1bcae8.d: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+/root/repo/target/debug/deps/dice_dram-d995323cbf1bcae8: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/config.rs:
+crates/dram/src/device.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dice_dram-f111ece0e91863d3.d: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdice_dram-f111ece0e91863d3.rmeta: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs Cargo.toml
+
+crates/dram/src/lib.rs:
+crates/dram/src/config.rs:
+crates/dram/src/device.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dice_obs-2cd530d7b02e02c3.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdice_obs-2cd530d7b02e02c3.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/panel.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

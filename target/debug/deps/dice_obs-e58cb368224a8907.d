@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dice_obs-e58cb368224a8907.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libdice_obs-e58cb368224a8907.rlib: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libdice_obs-e58cb368224a8907.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/panel.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/trace.rs:

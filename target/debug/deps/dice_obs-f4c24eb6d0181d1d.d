@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dice_obs-f4c24eb6d0181d1d.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/dice_obs-f4c24eb6d0181d1d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/panel.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/trace.rs:

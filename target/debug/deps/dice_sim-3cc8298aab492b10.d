@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dice_sim-3cc8298aab492b10.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdice_sim-3cc8298aab492b10.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:
+crates/sim/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dice_sim-57c12511579a9083.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/dice_sim-57c12511579a9083: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:
+crates/sim/src/timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dice_sim-a4c706cc33a6e051.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/dice_sim-a4c706cc33a6e051: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:

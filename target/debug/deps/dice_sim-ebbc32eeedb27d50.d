@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dice_sim-ebbc32eeedb27d50.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libdice_sim-ebbc32eeedb27d50.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libdice_sim-ebbc32eeedb27d50.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dice_sim-fd3e341a876119e3.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libdice_sim-fd3e341a876119e3.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libdice_sim-fd3e341a876119e3.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:
+crates/sim/src/timeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dice_workloads-1431450d8da8d141.d: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+/root/repo/target/debug/deps/libdice_workloads-1431450d8da8d141.rlib: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+/root/repo/target/debug/deps/libdice_workloads-1431450d8da8d141.rmeta: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/source.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/value.rs:

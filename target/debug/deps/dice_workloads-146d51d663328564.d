@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dice_workloads-146d51d663328564.d: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+/root/repo/target/debug/deps/dice_workloads-146d51d663328564: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/source.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/value.rs:

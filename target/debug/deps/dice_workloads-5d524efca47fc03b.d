@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dice_workloads-5d524efca47fc03b.d: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdice_workloads-5d524efca47fc03b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/source.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dice_workloads-81faf1ca6bc4e878.d: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+/root/repo/target/debug/deps/libdice_workloads-81faf1ca6bc4e878.rlib: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+/root/repo/target/debug/deps/libdice_workloads-81faf1ca6bc4e878.rmeta: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/source.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/value.rs:

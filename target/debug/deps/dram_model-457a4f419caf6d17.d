@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dram_model-457a4f419caf6d17.d: crates/bench/benches/dram_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdram_model-457a4f419caf6d17.rmeta: crates/bench/benches/dram_model.rs Cargo.toml
+
+crates/bench/benches/dram_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

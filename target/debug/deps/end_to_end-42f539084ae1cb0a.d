@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-42f539084ae1cb0a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-42f539084ae1cb0a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

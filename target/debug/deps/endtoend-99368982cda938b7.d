@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/endtoend-99368982cda938b7.d: crates/bench/benches/endtoend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libendtoend-99368982cda938b7.rmeta: crates/bench/benches/endtoend.rs Cargo.toml
+
+crates/bench/benches/endtoend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-4c2b053511dd2f1c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-4c2b053511dd2f1c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-6f847d0430b90e34.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-6f847d0430b90e34: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

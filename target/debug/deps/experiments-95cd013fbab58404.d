@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-95cd013fbab58404.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-95cd013fbab58404: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-b55356defdfee2df.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-b55356defdfee2df: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_mechanisms-17f3ab30101f3837.d: tests/paper_mechanisms.rs
+
+/root/repo/target/debug/deps/paper_mechanisms-17f3ab30101f3837: tests/paper_mechanisms.rs
+
+tests/paper_mechanisms.rs:

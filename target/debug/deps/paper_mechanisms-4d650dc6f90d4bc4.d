@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_mechanisms-4d650dc6f90d4bc4.d: tests/paper_mechanisms.rs
+
+/root/repo/target/debug/deps/paper_mechanisms-4d650dc6f90d4bc4: tests/paper_mechanisms.rs
+
+tests/paper_mechanisms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_mechanisms-778891480e6a4fb9.d: tests/paper_mechanisms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_mechanisms-778891480e6a4fb9.rmeta: tests/paper_mechanisms.rs Cargo.toml
+
+tests/paper_mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

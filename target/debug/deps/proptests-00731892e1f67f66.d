@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-00731892e1f67f66.d: crates/cache/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-00731892e1f67f66.rmeta: crates/cache/tests/proptests.rs Cargo.toml
+
+crates/cache/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-07f70f722b80dee9.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-07f70f722b80dee9: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

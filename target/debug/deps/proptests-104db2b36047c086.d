@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-104db2b36047c086.d: crates/compress/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-104db2b36047c086.rmeta: crates/compress/tests/proptests.rs Cargo.toml
+
+crates/compress/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4891e1a469ed4fb2.d: crates/compress/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4891e1a469ed4fb2: crates/compress/tests/proptests.rs
+
+crates/compress/tests/proptests.rs:

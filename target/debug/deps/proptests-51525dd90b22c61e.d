@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-51525dd90b22c61e.d: crates/obs/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-51525dd90b22c61e: crates/obs/tests/proptests.rs
+
+crates/obs/tests/proptests.rs:

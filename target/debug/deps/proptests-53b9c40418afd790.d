@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-53b9c40418afd790.d: crates/dram/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-53b9c40418afd790: crates/dram/tests/proptests.rs
+
+crates/dram/tests/proptests.rs:

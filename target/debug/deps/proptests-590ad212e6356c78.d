@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-590ad212e6356c78.d: crates/dram/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-590ad212e6356c78: crates/dram/tests/proptests.rs
+
+crates/dram/tests/proptests.rs:

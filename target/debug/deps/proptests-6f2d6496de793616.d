@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6f2d6496de793616.d: crates/workloads/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6f2d6496de793616: crates/workloads/tests/proptests.rs
+
+crates/workloads/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a0120f2a2744ccfa.d: crates/dram/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a0120f2a2744ccfa.rmeta: crates/dram/tests/proptests.rs Cargo.toml
+
+crates/dram/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

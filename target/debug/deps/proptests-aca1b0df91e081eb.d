@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-aca1b0df91e081eb.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-aca1b0df91e081eb: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

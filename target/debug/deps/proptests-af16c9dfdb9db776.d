@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-af16c9dfdb9db776.d: crates/cache/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-af16c9dfdb9db776: crates/cache/tests/proptests.rs
+
+crates/cache/tests/proptests.rs:

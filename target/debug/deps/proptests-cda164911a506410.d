@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cda164911a506410.d: crates/workloads/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cda164911a506410: crates/workloads/tests/proptests.rs
+
+crates/workloads/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f2ce3dec434fb73d.d: crates/cache/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f2ce3dec434fb73d: crates/cache/tests/proptests.rs
+
+crates/cache/tests/proptests.rs:

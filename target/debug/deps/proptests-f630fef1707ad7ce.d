@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f630fef1707ad7ce.d: crates/obs/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f630fef1707ad7ce.rmeta: crates/obs/tests/proptests.rs Cargo.toml
+
+crates/obs/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_and_reporting-a835ef5c4cf041f3.d: tests/replay_and_reporting.rs
+
+/root/repo/target/debug/deps/replay_and_reporting-a835ef5c4cf041f3: tests/replay_and_reporting.rs
+
+tests/replay_and_reporting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_and_reporting-d6a4acad9993de48.d: tests/replay_and_reporting.rs
+
+/root/repo/target/debug/deps/replay_and_reporting-d6a4acad9993de48: tests/replay_and_reporting.rs
+
+tests/replay_and_reporting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-1884cd06ff9981b5.d: crates/sim/tests/scenarios.rs
+
+/root/repo/target/debug/deps/scenarios-1884cd06ff9981b5: crates/sim/tests/scenarios.rs
+
+crates/sim/tests/scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenarios-6e0ef97c120f749f.d: crates/sim/tests/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenarios-6e0ef97c120f749f.rmeta: crates/sim/tests/scenarios.rs Cargo.toml
+
+crates/sim/tests/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios-ac7e0dfa45cae3ed.d: crates/sim/tests/scenarios.rs
+
+/root/repo/target/debug/deps/scenarios-ac7e0dfa45cae3ed: crates/sim/tests/scenarios.rs
+
+crates/sim/tests/scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_study-7c4475f4add9e264.d: examples/capacity_study.rs
+
+/root/repo/target/debug/examples/capacity_study-7c4475f4add9e264: examples/capacity_study.rs
+
+examples/capacity_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_study-8397e61115276d99.d: examples/capacity_study.rs
+
+/root/repo/target/debug/examples/capacity_study-8397e61115276d99: examples/capacity_study.rs
+
+examples/capacity_study.rs:

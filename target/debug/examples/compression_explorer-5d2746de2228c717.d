@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression_explorer-5d2746de2228c717.d: examples/compression_explorer.rs
+
+/root/repo/target/debug/examples/compression_explorer-5d2746de2228c717: examples/compression_explorer.rs
+
+examples/compression_explorer.rs:

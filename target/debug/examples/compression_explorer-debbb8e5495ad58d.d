@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression_explorer-debbb8e5495ad58d.d: examples/compression_explorer.rs
+
+/root/repo/target/debug/examples/compression_explorer-debbb8e5495ad58d: examples/compression_explorer.rs
+
+examples/compression_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_analytics-03d3d7a42a7594bf.d: examples/graph_analytics.rs
+
+/root/repo/target/debug/examples/graph_analytics-03d3d7a42a7594bf: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

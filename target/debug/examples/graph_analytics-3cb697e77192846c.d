@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graph_analytics-3cb697e77192846c.d: examples/graph_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraph_analytics-3cb697e77192846c.rmeta: examples/graph_analytics.rs Cargo.toml
+
+examples/graph_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_analytics-6d89f266f7b435d4.d: examples/graph_analytics.rs
+
+/root/repo/target/debug/examples/graph_analytics-6d89f266f7b435d4: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/indexing_demo-4f104e774fe96274.d: examples/indexing_demo.rs
+
+/root/repo/target/debug/examples/indexing_demo-4f104e774fe96274: examples/indexing_demo.rs
+
+examples/indexing_demo.rs:

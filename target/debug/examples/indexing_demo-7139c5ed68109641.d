@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/indexing_demo-7139c5ed68109641.d: examples/indexing_demo.rs
+
+/root/repo/target/debug/examples/indexing_demo-7139c5ed68109641: examples/indexing_demo.rs
+
+examples/indexing_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-149a0bf814470bfd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-149a0bf814470bfd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4a796c21a10c6f7a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4a796c21a10c6f7a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_replay-0b915aba7f16e49d.d: examples/trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_replay-0b915aba7f16e49d.rmeta: examples/trace_replay.rs Cargo.toml
+
+examples/trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-6b7e19d3a6128b53.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-6b7e19d3a6128b53: examples/trace_replay.rs
+
+examples/trace_replay.rs:

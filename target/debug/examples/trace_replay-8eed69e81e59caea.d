@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-8eed69e81e59caea.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-8eed69e81e59caea: examples/trace_replay.rs
+
+examples/trace_replay.rs:

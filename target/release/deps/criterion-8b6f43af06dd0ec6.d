@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-8b6f43af06dd0ec6.d: stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8b6f43af06dd0ec6.rlib: stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8b6f43af06dd0ec6.rmeta: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

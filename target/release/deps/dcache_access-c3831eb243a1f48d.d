@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcache_access-c3831eb243a1f48d.d: crates/bench/benches/dcache_access.rs
+
+/root/repo/target/release/deps/dcache_access-c3831eb243a1f48d: crates/bench/benches/dcache_access.rs
+
+crates/bench/benches/dcache_access.rs:

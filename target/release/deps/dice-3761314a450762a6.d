@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dice-3761314a450762a6.d: src/lib.rs
+
+/root/repo/target/release/deps/libdice-3761314a450762a6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdice-3761314a450762a6.rmeta: src/lib.rs
+
+src/lib.rs:

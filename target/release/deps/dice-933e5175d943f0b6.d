@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dice-933e5175d943f0b6.d: src/lib.rs
+
+/root/repo/target/release/deps/libdice-933e5175d943f0b6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdice-933e5175d943f0b6.rmeta: src/lib.rs
+
+src/lib.rs:

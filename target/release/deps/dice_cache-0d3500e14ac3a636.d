@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dice_cache-0d3500e14ac3a636.d: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libdice_cache-0d3500e14ac3a636.rlib: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libdice_cache-0d3500e14ac3a636.rmeta: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

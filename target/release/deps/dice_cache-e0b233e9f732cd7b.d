@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dice_cache-e0b233e9f732cd7b.d: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libdice_cache-e0b233e9f732cd7b.rlib: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libdice_cache-e0b233e9f732cd7b.rmeta: crates/cache/src/lib.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/set_assoc.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/set_assoc.rs:
+crates/cache/src/stats.rs:

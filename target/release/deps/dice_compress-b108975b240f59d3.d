@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dice_compress-b108975b240f59d3.d: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs
+
+/root/repo/target/release/deps/libdice_compress-b108975b240f59d3.rlib: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs
+
+/root/repo/target/release/deps/libdice_compress-b108975b240f59d3.rmeta: crates/compress/src/lib.rs crates/compress/src/bdi.rs crates/compress/src/bits.rs crates/compress/src/cpack.rs crates/compress/src/fpc.rs crates/compress/src/hybrid.rs crates/compress/src/pair.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/bdi.rs:
+crates/compress/src/bits.rs:
+crates/compress/src/cpack.rs:
+crates/compress/src/fpc.rs:
+crates/compress/src/hybrid.rs:
+crates/compress/src/pair.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dice_core-c775d2175b90e013.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libdice_core-c775d2175b90e013.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libdice_core-c775d2175b90e013.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/cip.rs:
+crates/core/src/cset.rs:
+crates/core/src/indexing.rs:
+crates/core/src/mapi.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dice_dram-493a4fb5324e5caf.d: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+/root/repo/target/release/deps/libdice_dram-493a4fb5324e5caf.rlib: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+/root/repo/target/release/deps/libdice_dram-493a4fb5324e5caf.rmeta: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/config.rs:
+crates/dram/src/device.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dice_dram-ec8e783ae9f03e67.d: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+/root/repo/target/release/deps/libdice_dram-ec8e783ae9f03e67.rlib: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+/root/repo/target/release/deps/libdice_dram-ec8e783ae9f03e67.rmeta: crates/dram/src/lib.rs crates/dram/src/config.rs crates/dram/src/device.rs crates/dram/src/energy.rs crates/dram/src/stats.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/config.rs:
+crates/dram/src/device.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/stats.rs:

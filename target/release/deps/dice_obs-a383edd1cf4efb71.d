@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dice_obs-a383edd1cf4efb71.d: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libdice_obs-a383edd1cf4efb71.rlib: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libdice_obs-a383edd1cf4efb71.rmeta: crates/obs/src/lib.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/panel.rs crates/obs/src/registry.rs crates/obs/src/snapshot.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/panel.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/snapshot.rs:
+crates/obs/src/trace.rs:

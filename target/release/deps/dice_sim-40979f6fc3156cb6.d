@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dice_sim-40979f6fc3156cb6.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs
+
+/root/repo/target/release/deps/libdice_sim-40979f6fc3156cb6.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs
+
+/root/repo/target/release/deps/libdice_sim-40979f6fc3156cb6.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dice_sim-d0b304493c262c43.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs
+
+/root/repo/target/release/deps/libdice_sim-d0b304493c262c43.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs
+
+/root/repo/target/release/deps/libdice_sim-d0b304493c262c43.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/core_model.rs crates/sim/src/report.rs crates/sim/src/system.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/core_model.rs:
+crates/sim/src/report.rs:
+crates/sim/src/system.rs:
+crates/sim/src/timeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dice_workloads-0ec81b9c949f457b.d: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+/root/repo/target/release/deps/libdice_workloads-0ec81b9c949f457b.rlib: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+/root/repo/target/release/deps/libdice_workloads-0ec81b9c949f457b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/data.rs crates/workloads/src/rng.rs crates/workloads/src/source.rs crates/workloads/src/spec.rs crates/workloads/src/trace.rs crates/workloads/src/value.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/data.rs:
+crates/workloads/src/rng.rs:
+crates/workloads/src/source.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/value.rs:

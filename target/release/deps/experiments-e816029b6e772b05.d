@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-e816029b6e772b05.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-e816029b6e772b05: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-907599b793043c53.d: stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-907599b793043c53.rlib: stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-907599b793043c53.rmeta: stubs/proptest/src/lib.rs
+
+stubs/proptest/src/lib.rs:

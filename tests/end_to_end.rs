@@ -6,7 +6,10 @@ use dice::sim::{RunReport, SimConfig, System, WorkloadSet};
 use dice::workloads::spec_table;
 
 fn spec(name: &str) -> dice::workloads::WorkloadSpec {
-    spec_table().into_iter().find(|w| w.name == name).unwrap_or_else(|| panic!("{name}?"))
+    spec_table()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("{name}?"))
 }
 
 fn run(org: Organization, wl: &str, seed: u64) -> RunReport {
@@ -44,7 +47,10 @@ fn dice_helps_compressible_spatial_workloads() {
         dice.weighted_speedup(&base)
     );
     assert!(dice.l4.free_lines > 0);
-    assert!(dice.l3.hit_rate() > base.l3.hit_rate(), "free pair lines should lift L3 hit rate");
+    assert!(
+        dice.l3.hit_rate() > base.l3.hit_rate(),
+        "free pair lines should lift L3 hit rate"
+    );
 }
 
 #[test]
@@ -65,13 +71,19 @@ fn bai_thrashes_where_dice_does_not() {
     let s_bai = bai.weighted_speedup(&base);
     let s_dice = dice.weighted_speedup(&base);
     assert!(s_bai < 0.9, "static BAI should hurt libq: {s_bai:.3}");
-    assert!(s_dice > s_bai + 0.1, "DICE must avoid BAI's thrash: {s_dice:.3} vs {s_bai:.3}");
+    assert!(
+        s_dice > s_bai + 0.1,
+        "DICE must avoid BAI's thrash: {s_dice:.3} vs {s_bai:.3}"
+    );
 }
 
 #[test]
 fn tsi_compression_never_delivers_pair_lines() {
     let tsi = run(Organization::CompressedTsi, "gcc", 7);
-    assert_eq!(tsi.l4.free_lines, 0, "TSI separates spatial pairs by construction");
+    assert_eq!(
+        tsi.l4.free_lines, 0,
+        "TSI separates spatial pairs by construction"
+    );
 }
 
 #[test]
@@ -83,14 +95,21 @@ fn dice_installs_split_between_schemes() {
     assert!(s.installs_bai > 0, "soplex has compressible pages");
     // Roughly half of installs need no decision (TSI == BAI).
     let inv_frac = s.installs_invariant as f64 / s.installs() as f64;
-    assert!((0.40..0.60).contains(&inv_frac), "invariant fraction {inv_frac:.2}");
+    assert!(
+        (0.40..0.60).contains(&inv_frac),
+        "invariant fraction {inv_frac:.2}"
+    );
 }
 
 #[test]
 fn cip_predicts_well_on_page_correlated_data() {
     let dice = run(DICE, "soplex", 7);
     assert!(dice.cip_predictions > 100);
-    assert!(dice.cip_accuracy > 0.80, "CIP accuracy {:.3}", dice.cip_accuracy);
+    assert!(
+        dice.cip_accuracy > 0.80,
+        "CIP accuracy {:.3}",
+        dice.cip_accuracy
+    );
 }
 
 #[test]

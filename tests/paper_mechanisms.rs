@@ -59,7 +59,10 @@ fn insertion_routes_by_real_compressed_size() {
             routed_tsi += 1;
         }
     }
-    assert!(routed_bai > 100 && routed_tsi > 100, "soplex should exercise both routes");
+    assert!(
+        routed_bai > 100 && routed_tsi > 100,
+        "soplex should exercise both routes"
+    );
 }
 
 /// §5.1 — a compressed pair read returns both lines in one probe.
@@ -91,8 +94,7 @@ fn pair_read_is_one_probe_two_lines() {
 fn neighbor_tag_versus_knl_probe_counts() {
     let mut data = oracle("gcc");
     let mk = |variant: TagVariant| {
-        let mut cfg =
-            DramCacheConfig::with_capacity(Organization::Dice { threshold: 36 }, 1 << 20);
+        let mut cfg = DramCacheConfig::with_capacity(Organization::Dice { threshold: 36 }, 1 << 20);
         cfg.tag_variant = variant;
         DramCacheController::new(cfg)
     };
@@ -108,7 +110,10 @@ fn neighbor_tag_versus_knl_probe_counts() {
         knl_probes += knl.read(line).probes.len();
     }
     assert_eq!(alloy_probes, 1_000, "Alloy misses need one probe");
-    assert_eq!(knl_probes, 2_000, "KNL misses must check both candidate sets");
+    assert_eq!(
+        knl_probes, 2_000,
+        "KNL misses must check both candidate sets"
+    );
     let _ = data.single_size(0);
 }
 
@@ -129,7 +134,10 @@ fn compressed_sets_pack_many_tiny_lines() {
     }
     assert!(packed > 10, "cc_twi should supply tiny lines");
     let resident = l4.valid_lines();
-    assert!(resident >= 5, "set 0 should pack several tiny lines, got {resident}");
+    assert!(
+        resident >= 5,
+        "set 0 should pack several tiny lines, got {resident}"
+    );
     assert!(resident as usize <= dice::core::MAX_LINES_PER_SET);
 }
 
@@ -170,5 +178,8 @@ fn dirty_lines_write_back_to_memory_once() {
     // Re-dirtying the line re-installs it, displacing the clean conflict
     // line without any further memory write.
     let out = l4.writeback(42, &mut data);
-    assert!(out.memory_writebacks.is_empty(), "clean victims never reach memory");
+    assert!(
+        out.memory_writebacks.is_empty(),
+        "clean victims never reach memory"
+    );
 }

@@ -4,8 +4,8 @@
 use dice::core::Organization;
 use dice::sim::{SimConfig, System, WorkloadSet};
 use dice::workloads::{
-    load_trace, save_trace, MixDataModel, RecordSource, ReplaySource, TraceGen, TraceRecord,
-    spec_table,
+    load_trace, save_trace, spec_table, MixDataModel, RecordSource, ReplaySource, TraceGen,
+    TraceRecord,
 };
 
 fn spec(name: &str) -> dice::workloads::WorkloadSpec {
@@ -68,7 +68,10 @@ fn trace_files_round_trip_through_disk() {
 /// organizations: energy = L4 + memory, EDP = energy × delay.
 #[test]
 fn energy_report_identities_hold() {
-    for org in [Organization::UncompressedAlloy, Organization::Dice { threshold: 36 }] {
+    for org in [
+        Organization::UncompressedAlloy,
+        Organization::Dice { threshold: 36 },
+    ] {
         let r = System::new(small_cfg(org), &WorkloadSet::rate(spec("milc"), 3)).run();
         let e = &r.energy;
         assert!((e.total_joules() - (e.l4_joules + e.mem_joules)).abs() < 1e-15);
@@ -88,7 +91,10 @@ fn weighted_speedup_sanity() {
     let forward = dice.weighted_speedup(&base);
     let backward = base.weighted_speedup(&dice);
     // Rate-mode cores are near-uniform, so the product is close to 1.
-    assert!((forward * backward - 1.0).abs() < 0.05, "{forward} * {backward}");
+    assert!(
+        (forward * backward - 1.0).abs() < 0.05,
+        "{forward} * {backward}"
+    );
     // Direction agrees with total cycles.
     assert_eq!(forward > 1.0, dice.cycles < base.cycles);
 }
