@@ -11,6 +11,10 @@
 //!        --warmup N     warm-up records per core (default 30000)
 //!        --measure N    measured records per core (default 80000)
 //!        --seed N       workload seed
+//!        --jobs N       simulate cells on N worker threads (default: all
+//!                       cores); results are identical for any N
+//!        --cache-dir P  persist finished cells under P and skip them on
+//!                       re-runs (safe to delete; survives interrupts)
 //!        --quiet        suppress per-run progress on stderr
 //!        --json PATH    write every run's full report (counters, per-class
 //!                       latency quantiles, interval time series) as JSON
@@ -18,15 +22,26 @@
 //!                       as one Chrome trace_event file (open in Perfetto)
 //! ```
 //!
+//! Each experiment first *declares* its `(config, workload)` cells; the
+//! `dice-runner` engine simulates the deduplicated union in parallel
+//! (memoizing into `--cache-dir` if given), and only then do the render
+//! functions format tables from the completed runs. A cell or figure that
+//! panics is reported and skipped — the rest of the sweep still completes,
+//! and the process exits nonzero.
+//!
 //! Absolute numbers differ from the paper (different substrate, synthetic
 //! workloads, scaled system — see DESIGN.md §3); the comparisons within
 //! each experiment are the reproduction target.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 use dice_bench::workloads::{all26, group_geomeans, nonmem, Group};
 use dice_bench::{Ctx, Table};
 use dice_compress::{compressed_size, pair_compressed_size};
 use dice_core::{DramCacheConfig, Organization, TagVariant};
-use dice_obs::{export_chrome, Json};
+use dice_obs::{export_chrome, Json, MetricRegistry};
+use dice_runner::{Cell, CellOutcome, Runner, RunnerConfig};
 use dice_sim::{SimConfig, WorkloadSet};
 use dice_workloads::{spec_table, DataModel, TraceGen};
 
@@ -39,6 +54,96 @@ fn ratio(x: f64) -> String {
 }
 
 const DICE: Organization = Organization::Dice { threshold: 36 };
+
+/// One experiment: an id, the cells it needs simulated, and a renderer
+/// that formats the completed runs. `cells` is declared up front so the
+/// runner can schedule the union of a whole sweep; `render` only reads
+/// the memo (it falls back to serial simulation on a miss, so each
+/// experiment also works stand-alone).
+struct Experiment {
+    id: &'static str,
+    cells: fn(&Ctx) -> Vec<Cell>,
+    render: fn(&Ctx) -> String,
+}
+
+/// Every paper artifact, in `all`'s presentation order.
+const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "fig4",
+        cells: |_| Vec::new(), // pure compression sampling, no simulation
+        render: fig4,
+    },
+    Experiment {
+        id: "fig1f",
+        cells: |ctx| sweep_cells(ctx, &fig1f_variants()),
+        render: fig1f,
+    },
+    Experiment {
+        id: "fig7",
+        cells: |ctx| sweep_cells(ctx, &fig7_variants()),
+        render: fig7,
+    },
+    Experiment {
+        id: "fig10",
+        cells: |ctx| sweep_cells(ctx, &fig10_variants()),
+        render: fig10,
+    },
+    Experiment {
+        id: "fig11",
+        cells: fig11_cells,
+        render: fig11,
+    },
+    Experiment {
+        id: "fig12",
+        cells: fig12_cells,
+        render: fig12,
+    },
+    Experiment {
+        id: "fig13",
+        cells: fig13_cells,
+        render: fig13,
+    },
+    Experiment {
+        id: "fig14",
+        cells: fig14_cells,
+        render: fig14,
+    },
+    Experiment {
+        id: "fig15",
+        cells: |ctx| sweep_cells(ctx, &fig15_variants()),
+        render: fig15,
+    },
+    Experiment {
+        id: "tab4",
+        cells: tab4_cells,
+        render: tab4,
+    },
+    Experiment {
+        id: "tab5",
+        cells: tab5_cells,
+        render: tab5,
+    },
+    Experiment {
+        id: "tab6",
+        cells: tab6_cells,
+        render: tab6,
+    },
+    Experiment {
+        id: "tab7",
+        cells: |ctx| sweep_cells(ctx, &tab7_variants()),
+        render: tab7,
+    },
+    Experiment {
+        id: "tab8",
+        cells: tab8_cells,
+        render: tab8,
+    },
+    Experiment {
+        id: "cip",
+        cells: cip_cells,
+        render: cip,
+    },
+];
 
 /// One labeled configuration in a speedup sweep.
 struct Variant {
@@ -67,6 +172,19 @@ impl Variant {
             cfg: Box::new(f),
         }
     }
+}
+
+/// Cells for a [`speedup_sweep`]: the uncompressed baseline plus every
+/// variant, over ALL26.
+fn sweep_cells(ctx: &Ctx, variants: &[Variant]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (_, wl) in all26(ctx.seed) {
+        cells.push(ctx.cell("base", ctx.cfg(Organization::UncompressedAlloy), &wl));
+        for v in variants {
+            cells.push(ctx.cell(v.tag, (v.cfg)(ctx), &wl));
+        }
+    }
+    cells
 }
 
 /// Runs `variants` over ALL26, reporting per-workload speedup vs the
@@ -103,27 +221,31 @@ fn speedup_sweep(ctx: &Ctx, title: &str, variants: &[Variant]) -> String {
     format!("{title}\n\n{}", t.render())
 }
 
+fn fig1f_variants() -> Vec<Variant> {
+    vec![
+        Variant::with("2xCap", "2xcap", |c| {
+            c.cfg(Organization::UncompressedAlloy)
+                .with_double_l4_capacity()
+        }),
+        Variant::with("2xBW", "2xbw", |c| {
+            c.cfg(Organization::UncompressedAlloy)
+                .with_double_l4_bandwidth()
+        }),
+        Variant::with("2xBoth", "2xboth", |c| {
+            c.cfg(Organization::UncompressedAlloy)
+                .with_double_l4_capacity()
+                .with_double_l4_bandwidth()
+        }),
+    ]
+}
+
 /// Figure 1(f): potential speedup from doubling capacity, bandwidth, both.
 fn fig1f(ctx: &Ctx) -> String {
     speedup_sweep(
         ctx,
         "Figure 1(f): potential speedup of idealized caches (vs 1x baseline)\n\
          Paper: 2x Capacity ~ +10%, 2x Both ~ +22% on average.",
-        &[
-            Variant::with("2xCap", "2xcap", |c| {
-                c.cfg(Organization::UncompressedAlloy)
-                    .with_double_l4_capacity()
-            }),
-            Variant::with("2xBW", "2xbw", |c| {
-                c.cfg(Organization::UncompressedAlloy)
-                    .with_double_l4_bandwidth()
-            }),
-            Variant::with("2xBoth", "2xboth", |c| {
-                c.cfg(Organization::UncompressedAlloy)
-                    .with_double_l4_capacity()
-                    .with_double_l4_bandwidth()
-            }),
-        ],
+        &fig1f_variants(),
     )
 }
 
@@ -171,6 +293,22 @@ fn fig4(ctx: &Ctx) -> String {
     )
 }
 
+fn fig7_variants() -> Vec<Variant> {
+    vec![
+        Variant::org("TSI", "tsi", Organization::CompressedTsi),
+        Variant::org("BAI", "bai", Organization::CompressedBai),
+        Variant::with("2xCap", "2xcap", |c| {
+            c.cfg(Organization::UncompressedAlloy)
+                .with_double_l4_capacity()
+        }),
+        Variant::with("2xCap2xBW", "2xboth", |c| {
+            c.cfg(Organization::UncompressedAlloy)
+                .with_double_l4_capacity()
+                .with_double_l4_bandwidth()
+        }),
+    ]
+}
+
 /// Figure 7: static TSI and BAI vs idealized caches.
 fn fig7(ctx: &Ctx) -> String {
     speedup_sweep(
@@ -178,20 +316,21 @@ fn fig7(ctx: &Ctx) -> String {
         "Figure 7: compression with static indexing vs idealized caches\n\
          Paper: TSI ~ +7% (never hurts); BAI ~ +0.1% on average (wins on\n\
          compressible workloads, thrashes on incompressible ones).",
-        &[
-            Variant::org("TSI", "tsi", Organization::CompressedTsi),
-            Variant::org("BAI", "bai", Organization::CompressedBai),
-            Variant::with("2xCap", "2xcap", |c| {
-                c.cfg(Organization::UncompressedAlloy)
-                    .with_double_l4_capacity()
-            }),
-            Variant::with("2xCap2xBW", "2xboth", |c| {
-                c.cfg(Organization::UncompressedAlloy)
-                    .with_double_l4_capacity()
-                    .with_double_l4_bandwidth()
-            }),
-        ],
+        &fig7_variants(),
     )
+}
+
+fn fig10_variants() -> Vec<Variant> {
+    vec![
+        Variant::org("TSI", "tsi", Organization::CompressedTsi),
+        Variant::org("BAI", "bai", Organization::CompressedBai),
+        Variant::org("DICE", "dice36", DICE),
+        Variant::with("2xCap2xBW", "2xboth", |c| {
+            c.cfg(Organization::UncompressedAlloy)
+                .with_double_l4_capacity()
+                .with_double_l4_bandwidth()
+        }),
+    ]
 }
 
 /// Figure 10: the headline result.
@@ -200,17 +339,15 @@ fn fig10(ctx: &Ctx) -> String {
         ctx,
         "Figure 10: TSI vs BAI vs DICE vs a double-capacity double-bandwidth cache\n\
          Paper: DICE +19.0% on average, within 3% of 2xCap+2xBW's +21.9%.",
-        &[
-            Variant::org("TSI", "tsi", Organization::CompressedTsi),
-            Variant::org("BAI", "bai", Organization::CompressedBai),
-            Variant::org("DICE", "dice36", DICE),
-            Variant::with("2xCap2xBW", "2xboth", |c| {
-                c.cfg(Organization::UncompressedAlloy)
-                    .with_double_l4_capacity()
-                    .with_double_l4_bandwidth()
-            }),
-        ],
+        &fig10_variants(),
     )
+}
+
+fn fig11_cells(ctx: &Ctx) -> Vec<Cell> {
+    all26(ctx.seed)
+        .iter()
+        .map(|(_, wl)| ctx.cell("dice36", ctx.cfg(DICE), wl))
+        .collect()
 }
 
 /// Figure 11: install-index distribution under DICE.
@@ -251,23 +388,42 @@ fn fig11(ctx: &Ctx) -> String {
     )
 }
 
+/// A KNL-style L4: same organization, no neighbor tag in the TAD.
+fn knl_cfg(ctx: &Ctx, org: Organization) -> SimConfig {
+    let mut cfg = ctx.cfg(org);
+    cfg.l4 = DramCacheConfig {
+        tag_variant: TagVariant::Knl,
+        ..cfg.l4
+    };
+    cfg
+}
+
+fn fig12_cells(ctx: &Ctx) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (_, wl) in all26(ctx.seed) {
+        cells.push(ctx.cell(
+            "knl-base",
+            knl_cfg(ctx, Organization::UncompressedAlloy),
+            &wl,
+        ));
+        cells.push(ctx.cell("knl-dice", knl_cfg(ctx, DICE), &wl));
+    }
+    cells
+}
+
 /// Figure 12: DICE on a KNL-style cache (no neighbor tag).
 fn fig12(ctx: &Ctx) -> String {
-    let knl = |org: Organization, ctx: &Ctx| {
-        let mut cfg = ctx.cfg(org);
-        cfg.l4 = DramCacheConfig {
-            tag_variant: TagVariant::Knl,
-            ..cfg.l4
-        };
-        cfg
-    };
     let sets = all26(ctx.seed);
     let mut t = Table::new(&["workload", "DICE-on-KNL"]);
     let mut vals = Vec::new();
     let groups: Vec<Group> = sets.iter().map(|(g, _)| *g).collect();
     for (_, wl) in &sets {
-        let base = ctx.run_cfg("knl-base", knl(Organization::UncompressedAlloy, ctx), wl);
-        let dice = ctx.run_cfg("knl-dice", knl(DICE, ctx), wl);
+        let base = ctx.run_cfg(
+            "knl-base",
+            knl_cfg(ctx, Organization::UncompressedAlloy),
+            wl,
+        );
+        let dice = ctx.run_cfg("knl-dice", knl_cfg(ctx, DICE), wl);
         let s = dice.weighted_speedup(&base);
         vals.push(s);
         t.row(&[wl.name.clone(), format!("{s:.3}")]);
@@ -283,6 +439,15 @@ fn fig12(ctx: &Ctx) -> String {
          second probes keep the both-location miss checks cheap.\n\n{}",
         t.render()
     )
+}
+
+fn fig13_cells(ctx: &Ctx) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for wl in nonmem(ctx.seed) {
+        cells.push(ctx.cell("base", ctx.cfg(Organization::UncompressedAlloy), &wl));
+        cells.push(ctx.cell("dice36", ctx.cfg(DICE), &wl));
+    }
+    cells
 }
 
 /// Figure 13: non-memory-intensive workloads.
@@ -309,20 +474,33 @@ fn fig13(ctx: &Ctx) -> String {
     )
 }
 
+/// The `(tag, organization)` columns of Figure 14 / Table 5.
+const COMPRESSED_ORGS: [(&str, Organization); 3] = [
+    ("tsi", Organization::CompressedTsi),
+    ("bai", Organization::CompressedBai),
+    ("dice36", DICE),
+];
+
+fn fig14_cells(ctx: &Ctx) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (_, wl) in all26(ctx.seed) {
+        cells.push(ctx.cell("base", ctx.cfg(Organization::UncompressedAlloy), &wl));
+        for (tag, org) in COMPRESSED_ORGS {
+            cells.push(ctx.cell(tag, ctx.cfg(org), &wl));
+        }
+    }
+    cells
+}
+
 /// Figure 14: power / performance / energy / EDP, normalized to baseline.
 fn fig14(ctx: &Ctx) -> String {
     let mut t = Table::new(&["metric", "Baseline", "TSI", "BAI", "DICE"]);
-    let orgs = [
-        ("tsi", Organization::CompressedTsi),
-        ("bai", Organization::CompressedBai),
-        ("dice36", DICE),
-    ];
     let sets = all26(ctx.seed);
     // Log-sums of per-workload ratios per org: [power, perf, energy, edp].
     let mut sums = [[0.0f64; 4]; 3];
     for (_, wl) in &sets {
         let base = ctx.baseline(wl);
-        for (oi, (tag, org)) in orgs.iter().enumerate() {
+        for (oi, (tag, org)) in COMPRESSED_ORGS.iter().enumerate() {
             let r = ctx.run_org(tag, *org, wl);
             let speed = r.weighted_speedup(&base);
             let power = r.energy.power_watts() / base.energy.power_watts();
@@ -349,6 +527,13 @@ fn fig14(ctx: &Ctx) -> String {
     )
 }
 
+fn fig15_variants() -> Vec<Variant> {
+    vec![
+        Variant::org("SCC", "scc", Organization::Scc),
+        Variant::org("DICE", "dice36", DICE),
+    ]
+}
+
 /// Figure 15: SCC on a DRAM cache vs DICE.
 fn fig15(ctx: &Ctx) -> String {
     speedup_sweep(
@@ -356,11 +541,22 @@ fn fig15(ctx: &Ctx) -> String {
         "Figure 15: Skewed Compressed Cache mapped onto DRAM vs DICE\n\
          Paper: SCC ~ -22% (3 tag probes + 1 data probe per request burn the\n\
          bandwidth compression was supposed to save); DICE +19%.",
-        &[
-            Variant::org("SCC", "scc", Organization::Scc),
-            Variant::org("DICE", "dice36", DICE),
-        ],
+        &fig15_variants(),
     )
+}
+
+/// Table 4's threshold sweep: `(tag, threshold)`.
+const TAB4_THRESHOLDS: [(&str, u32); 3] = [("dice32", 32), ("dice36", 36), ("dice40", 40)];
+
+fn tab4_cells(ctx: &Ctx) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (_, wl) in all26(ctx.seed) {
+        cells.push(ctx.cell("base", ctx.cfg(Organization::UncompressedAlloy), &wl));
+        for (tag, thr) in TAB4_THRESHOLDS {
+            cells.push(ctx.cell(tag, ctx.cfg(Organization::Dice { threshold: thr }), &wl));
+        }
+    }
+    cells
 }
 
 /// Table 4: sensitivity to the DICE insertion threshold.
@@ -371,8 +567,7 @@ fn tab4(ctx: &Ctx) -> String {
     let mut per: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for (_, wl) in &sets {
         let base = ctx.baseline(wl);
-        for (i, thr) in [32u32, 36, 40].into_iter().enumerate() {
-            let tag = ["dice32", "dice36", "dice40"][i];
+        for (i, (tag, thr)) in TAB4_THRESHOLDS.into_iter().enumerate() {
             let r = ctx.run_org(tag, Organization::Dice { threshold: thr }, wl);
             per[i].push(r.weighted_speedup(&base));
         }
@@ -399,19 +594,24 @@ fn tab4(ctx: &Ctx) -> String {
     )
 }
 
+fn tab5_cells(ctx: &Ctx) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (_, wl) in all26(ctx.seed) {
+        for (tag, org) in COMPRESSED_ORGS {
+            cells.push(ctx.cell(tag, ctx.cfg(org), &wl));
+        }
+    }
+    cells
+}
+
 /// Table 5: effective capacity of TSI / BAI / DICE.
 fn tab5(ctx: &Ctx) -> String {
     let sets = all26(ctx.seed);
     let groups: Vec<Group> = sets.iter().map(|(g, _)| *g).collect();
     let mut t = Table::new(&["group", "TSI", "BAI", "DICE"]);
     let mut per: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    let orgs = [
-        ("tsi", Organization::CompressedTsi),
-        ("bai", Organization::CompressedBai),
-        ("dice36", DICE),
-    ];
     for (_, wl) in &sets {
-        for (i, (tag, org)) in orgs.iter().enumerate() {
+        for (i, (tag, org)) in COMPRESSED_ORGS.iter().enumerate() {
             let r = ctx.run_org(tag, *org, wl);
             per[i].push(r.capacity_ratio());
         }
@@ -435,6 +635,15 @@ fn tab5(ctx: &Ctx) -> String {
          Paper: TSI 1.24x, BAI 1.69x, DICE 1.62x on average; GAP up to ~5x.\n\n{}",
         t.render()
     )
+}
+
+fn tab6_cells(ctx: &Ctx) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (_, wl) in all26(ctx.seed) {
+        cells.push(ctx.cell("base", ctx.cfg(Organization::UncompressedAlloy), &wl));
+        cells.push(ctx.cell("dice36", ctx.cfg(DICE), &wl));
+    }
+    cells
 }
 
 /// Table 6: L3 hit rate, baseline vs DICE.
@@ -476,50 +685,72 @@ fn tab6(ctx: &Ctx) -> String {
     )
 }
 
+fn tab7_variants() -> Vec<Variant> {
+    use dice_cache::L3FetchPolicy;
+    vec![
+        Variant::with("128B-PF", "base-128", |c| {
+            let mut cfg = c.cfg(Organization::UncompressedAlloy);
+            cfg.l3_fetch = L3FetchPolicy::Wide128;
+            cfg
+        }),
+        Variant::with("NL-PF", "base-nl", |c| {
+            let mut cfg = c.cfg(Organization::UncompressedAlloy);
+            cfg.l3_fetch = L3FetchPolicy::NextLine;
+            cfg
+        }),
+        Variant::org("DICE", "dice36", DICE),
+        Variant::with("DICE+NL", "dice-nl", |c| {
+            let mut cfg = c.cfg(DICE);
+            cfg.l3_fetch = L3FetchPolicy::NextLine;
+            cfg
+        }),
+    ]
+}
+
 /// Table 7: DICE vs prefetch-style ways of getting the adjacent line.
 fn tab7(ctx: &Ctx) -> String {
-    use dice_cache::L3FetchPolicy;
     speedup_sweep(
         ctx,
         "Table 7: wide fetch / next-line prefetch vs DICE (and DICE+NL)\n\
          Paper: 128B fetch +1.9%, next-line PF +1.6%, DICE +19.0%, DICE+NL +20.9%\n\
          — prefetches pay full bandwidth for the extra line; DICE gets it free.",
-        &[
-            Variant::with("128B-PF", "base-128", |c| {
-                let mut cfg = c.cfg(Organization::UncompressedAlloy);
-                cfg.l3_fetch = L3FetchPolicy::Wide128;
-                cfg
-            }),
-            Variant::with("NL-PF", "base-nl", |c| {
-                let mut cfg = c.cfg(Organization::UncompressedAlloy);
-                cfg.l3_fetch = L3FetchPolicy::NextLine;
-                cfg
-            }),
-            Variant::org("DICE", "dice36", DICE),
-            Variant::with("DICE+NL", "dice-nl", |c| {
-                let mut cfg = c.cfg(DICE);
-                cfg.l3_fetch = L3FetchPolicy::NextLine;
-                cfg
-            }),
-        ],
+        &tab7_variants(),
     )
+}
+
+type Adjust = fn(SimConfig) -> SimConfig;
+
+/// Table 8's cache variants: `(baseline tag, DICE tag, adjuster)`.
+const TAB8_VARIANTS: [(&str, &str, Adjust); 4] = [
+    ("base", "dice36", |c| c),
+    ("2xcap", "dice-2xcap", SimConfig::with_double_l4_capacity),
+    ("2xbw", "dice-2xbw", SimConfig::with_double_l4_bandwidth),
+    ("base-hl", "dice-hl", SimConfig::with_half_l4_latency),
+];
+
+fn tab8_cells(ctx: &Ctx) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (_, wl) in all26(ctx.seed) {
+        for (base_tag, dice_tag, adjust) in TAB8_VARIANTS {
+            cells.push(ctx.cell(
+                base_tag,
+                adjust(ctx.cfg(Organization::UncompressedAlloy)),
+                &wl,
+            ));
+            cells.push(ctx.cell(dice_tag, adjust(ctx.cfg(DICE)), &wl));
+        }
+    }
+    cells
 }
 
 /// Table 8: DICE on bigger / wider / faster caches.
 fn tab8(ctx: &Ctx) -> String {
-    type Adjust = fn(SimConfig) -> SimConfig;
-    let variants: [(&str, &str, Adjust); 4] = [
-        ("base", "dice36", |c| c),
-        ("2xcap", "dice-2xcap", SimConfig::with_double_l4_capacity),
-        ("2xbw", "dice-2xbw", SimConfig::with_double_l4_bandwidth),
-        ("base-hl", "dice-hl", SimConfig::with_half_l4_latency),
-    ];
     let sets = all26(ctx.seed);
     let groups: Vec<Group> = sets.iter().map(|(g, _)| *g).collect();
     let mut t = Table::new(&["group", "Base", "2xCap", "2xBW", "50%Lat"]);
     let mut per: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for (_, wl) in &sets {
-        for (i, (base_tag, dice_tag, adjust)) in variants.iter().enumerate() {
+        for (i, (base_tag, dice_tag, adjust)) in TAB8_VARIANTS.iter().enumerate() {
             let base = ctx.run_cfg(
                 base_tag,
                 adjust(ctx.cfg(Organization::UncompressedAlloy)),
@@ -553,26 +784,45 @@ fn tab8(ctx: &Ctx) -> String {
     )
 }
 
+/// The CIP sweep's representative workload subset (keeps it fast; accuracy
+/// is averaged over workloads, weighted by prediction count).
+const CIP_SUBSET: [&str; 8] = [
+    "mcf", "soplex", "gcc", "sphinx", "zeusmp", "astar", "cc_twi", "pr_web",
+];
+const CIP_ENTRIES: [usize; 5] = [512, 1024, 2048, 4096, 8192];
+
+fn cip_cfg(ctx: &Ctx, entries: usize) -> SimConfig {
+    let mut cfg = ctx.cfg(DICE);
+    cfg.l4.ltt_entries = entries;
+    cfg
+}
+
+fn cip_cells(ctx: &Ctx) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for entries in CIP_ENTRIES {
+        let tag = format!("cip-{entries}");
+        for name in CIP_SUBSET {
+            let spec = spec_table().into_iter().find(|w| w.name == name).unwrap();
+            let wl = WorkloadSet::rate(spec, ctx.seed);
+            cells.push(ctx.cell(&tag, cip_cfg(ctx, entries), &wl));
+        }
+    }
+    cells
+}
+
 /// §5.3: CIP accuracy vs LTT size, plus write-prediction accuracy.
 fn cip(ctx: &Ctx) -> String {
     let mut t = Table::new(&["LTT entries", "storage", "read accuracy", "write accuracy"]);
-    // A representative subset keeps this sweep fast; accuracy is averaged
-    // over workloads, weighted by prediction count.
-    let subset = [
-        "mcf", "soplex", "gcc", "sphinx", "zeusmp", "astar", "cc_twi", "pr_web",
-    ];
-    for entries in [512usize, 1024, 2048, 4096, 8192] {
+    for entries in CIP_ENTRIES {
         let mut correct_w = 0.0;
         let mut total = 0.0;
         let mut wcorrect = 0.0;
         let mut wtotal = 0.0;
-        for name in subset {
+        for name in CIP_SUBSET {
             let spec = spec_table().into_iter().find(|w| w.name == name).unwrap();
             let wl = WorkloadSet::rate(spec, ctx.seed);
-            let mut cfg = ctx.cfg(DICE);
-            cfg.l4.ltt_entries = entries;
             let tag = format!("cip-{entries}");
-            let r = ctx.run_cfg(&tag, cfg, &wl);
+            let r = ctx.run_cfg(&tag, cip_cfg(ctx, entries), &wl);
             correct_w += r.cip_accuracy * r.cip_predictions as f64;
             total += r.cip_predictions as f64;
             wcorrect += r.l4.write_prediction_accuracy() * r.l4.wpred_scored as f64;
@@ -640,28 +890,10 @@ fn inspect(ctx: &Ctx, workload: &str) -> String {
     format!("inspect {workload}\n\n{}", t.render())
 }
 
-fn all(ctx: &Ctx) -> String {
-    let parts = [
-        fig4(ctx),
-        fig1f(ctx),
-        fig7(ctx),
-        fig10(ctx),
-        fig11(ctx),
-        fig12(ctx),
-        fig13(ctx),
-        fig14(ctx),
-        fig15(ctx),
-        tab4(ctx),
-        tab5(ctx),
-        tab6(ctx),
-        tab7(ctx),
-        tab8(ctx),
-        cip(ctx),
-    ];
-    parts.join("\n\n================================================================\n\n")
-}
-
 /// Serializes every memoized run plus invocation metadata.
+///
+/// Deliberately excludes scheduling details (jobs, cache hits, wall time)
+/// so the artifact is byte-identical for any `--jobs` / `--cache-dir`.
 fn json_dump(ctx: &Ctx, id: &str) -> Json {
     Json::Obj(vec![
         (
@@ -705,12 +937,72 @@ fn trace_dump(ctx: &Ctx) -> Json {
     Json::Arr(events)
 }
 
+/// Declares every selected experiment's cells, runs them through the
+/// parallel engine, folds the results into `ctx`, and renders each
+/// experiment (unwind-isolated, so one broken figure doesn't lose the
+/// others). Returns the combined output and a list of failures.
+fn run_experiments(
+    ctx: &Ctx,
+    exps: &[&Experiment],
+    runner_cfg: RunnerConfig,
+) -> (String, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut cells = Vec::new();
+    for e in exps {
+        cells.extend((e.cells)(ctx));
+    }
+    if !cells.is_empty() {
+        let runner = Runner::new(runner_cfg).unwrap_or_else(|e| {
+            eprintln!("cannot open --cache-dir: {e}");
+            std::process::exit(2);
+        });
+        let sweep = runner.run(cells);
+        eprintln!("[experiments] {}", sweep.summary());
+        if ctx.verbose {
+            let mut reg = MetricRegistry::new();
+            sweep.register(&mut reg);
+            let h = &sweep.cell_wall_ms;
+            eprintln!(
+                "[experiments] cell wall time: p50 {} ms, p95 {} ms, max {} ms",
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.max()
+            );
+        }
+        for ((tag, wl), outcome) in &sweep.outcomes {
+            if let CellOutcome::Failed { error } = outcome {
+                failures.push(format!("cell {tag}/{wl}: {error}"));
+            }
+        }
+        ctx.absorb(&sweep);
+    }
+    let mut parts = Vec::new();
+    for e in exps {
+        match catch_unwind(AssertUnwindSafe(|| (e.render)(ctx))) {
+            Ok(text) => parts.push(text),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                failures.push(format!("{}: {msg}", e.id));
+                parts.push(format!("{}: FAILED — {msg}", e.id));
+            }
+        }
+    }
+    let out =
+        parts.join("\n\n================================================================\n\n");
+    (out, failures)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ctx = Ctx::standard();
     let mut id: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut runner_cfg = RunnerConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -730,6 +1022,15 @@ fn main() {
                 i += 1;
                 ctx.seed = args[i].parse().expect("--seed N");
             }
+            "--jobs" => {
+                i += 1;
+                runner_cfg.jobs = args[i].parse().expect("--jobs N");
+                assert!(runner_cfg.jobs >= 1, "--jobs must be >= 1");
+            }
+            "--cache-dir" => {
+                i += 1;
+                runner_cfg.cache_dir = Some(PathBuf::from(args.get(i).expect("--cache-dir PATH")));
+            }
             "--quiet" => ctx.verbose = false,
             "--json" => {
                 i += 1;
@@ -748,6 +1049,7 @@ fn main() {
         }
         i += 1;
     }
+    runner_cfg.verbose = ctx.verbose;
     let id = id.unwrap_or_else(|| "all".to_owned());
     // Fail on an unwritable output path now, not after a long run.
     for path in [&json_path, &trace_path].into_iter().flatten() {
@@ -757,33 +1059,22 @@ fn main() {
         }
     }
     let started = std::time::Instant::now();
-    let out = match id.as_str() {
-        "fig1f" => fig1f(&ctx),
-        "fig4" => fig4(&ctx),
-        "fig7" => fig7(&ctx),
-        "fig10" => fig10(&ctx),
-        "fig11" => fig11(&ctx),
-        "fig12" => fig12(&ctx),
-        "fig13" => fig13(&ctx),
-        "fig14" => fig14(&ctx),
-        "fig15" => fig15(&ctx),
-        "tab4" => tab4(&ctx),
-        "tab5" => tab5(&ctx),
-        "tab6" => tab6(&ctx),
-        "tab7" => tab7(&ctx),
-        "tab8" => tab8(&ctx),
-        "cip" => cip(&ctx),
-        "all" => all(&ctx),
+    let (out, failures) = match id.as_str() {
+        "all" => run_experiments(&ctx, &EXPERIMENTS.iter().collect::<Vec<_>>(), runner_cfg),
         other if other.starts_with("inspect=") => {
-            inspect(&ctx, other.trim_start_matches("inspect="))
+            // Developer path: four runs, serial, nothing to parallelize.
+            (inspect(&ctx, other.trim_start_matches("inspect=")), vec![])
         }
-        other => {
-            eprintln!(
-                "unknown experiment '{other}'; try fig1f fig4 fig7 fig10 fig11 fig12 \
-                 fig13 fig14 fig15 tab4 tab5 tab6 tab7 tab8 cip all"
-            );
-            std::process::exit(2);
-        }
+        other => match EXPERIMENTS.iter().find(|e| e.id == other) {
+            Some(e) => run_experiments(&ctx, &[e], runner_cfg),
+            None => {
+                eprintln!(
+                    "unknown experiment '{other}'; try fig1f fig4 fig7 fig10 fig11 fig12 \
+                     fig13 fig14 fig15 tab4 tab5 tab6 tab7 tab8 cip all"
+                );
+                std::process::exit(2);
+            }
+        },
     };
     println!("{out}");
     if let Some(path) = json_path {
@@ -804,4 +1095,11 @@ fn main() {
         ctx.warmup,
         ctx.measure
     );
+    if !failures.is_empty() {
+        eprintln!("[experiments] {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -139,7 +139,15 @@ impl Histogram {
     }
 
     /// Summary + bucket JSON (`count`, `mean`, `min`, `p50`, `p95`, `p99`,
-    /// `max`, `buckets` as `[upper_edge, count]` pairs).
+    /// `max`, `sum`, `buckets` as `[upper_edge, count]` pairs).
+    ///
+    /// `sum` is the exact sample sum as a decimal string (it is a `u128`,
+    /// which JSON numbers cannot hold exactly); together with the buckets
+    /// and `min`/`max` it makes the export lossless — [`from_json`]
+    /// reconstructs a histogram whose every accessor (and therefore its
+    /// re-rendered JSON) matches the original bit for bit.
+    ///
+    /// [`from_json`]: Histogram::from_json
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -150,6 +158,7 @@ impl Histogram {
             ("p95".into(), Json::u64(self.quantile(0.95))),
             ("p99".into(), Json::u64(self.quantile(0.99))),
             ("max".into(), Json::u64(self.max())),
+            ("sum".into(), Json::str(self.sum.to_string())),
             (
                 "buckets".into(),
                 Json::Arr(
@@ -159,6 +168,39 @@ impl Histogram {
                 ),
             ),
         ])
+    }
+
+    /// Rebuilds a histogram from [`to_json`] output. Returns `None` for
+    /// malformed or internally inconsistent documents (wrong types, bucket
+    /// counts that do not add up to `count`, `min > max`).
+    ///
+    /// [`to_json`]: Histogram::to_json
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<Histogram> {
+        let count = j.get("count")?.as_u64()?;
+        let mut h = Histogram::new();
+        if count == 0 {
+            return Some(h);
+        }
+        for pair in j.get("buckets")?.as_arr()? {
+            let edge = pair.idx(0)?.as_u64()?;
+            let n = pair.idx(1)?.as_u64()?;
+            // The upper edge of bucket `b` has bit length `b` (edge 0 is
+            // bucket 0), so the edge maps straight back to its index.
+            let b = Self::bucket(edge).min(BUCKETS - 1);
+            h.counts[b] = h.counts[b].checked_add(n)?;
+            h.count = h.count.checked_add(n)?;
+        }
+        if h.count != count {
+            return None;
+        }
+        h.sum = j.get("sum")?.as_str()?.parse::<u128>().ok()?;
+        h.min = j.get("min")?.as_u64()?;
+        h.max = j.get("max")?.as_u64()?;
+        if h.min > h.max {
+            return None;
+        }
+        Some(h)
     }
 }
 
@@ -212,6 +254,37 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), 1);
         assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 37, 37, 1_000, 65_535, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.to_json().render(), h.to_json().render());
+        // Empty histograms round-trip too.
+        let empty = Histogram::new();
+        assert_eq!(Histogram::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_documents() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let mut j = h.to_json();
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "count" {
+                    *v = Json::Int(99); // no longer matches the buckets
+                }
+            }
+        }
+        assert_eq!(Histogram::from_json(&j), None);
+        assert_eq!(Histogram::from_json(&Json::Null), None);
+        assert_eq!(Histogram::from_json(&Json::Obj(vec![])), None);
     }
 
     #[test]

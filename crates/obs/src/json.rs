@@ -87,6 +87,20 @@ impl Json {
         }
     }
 
+    /// Unsigned-integer view of `Int`/`Num`: exact non-negative integers
+    /// only (the writer degrades `u64`s above `i64::MAX` to floats, which
+    /// this view converts back while the value is exactly representable).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// String view.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

@@ -38,7 +38,9 @@ pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use panel::{LatencyPanel, RequestClass};
 pub use registry::{CounterId, GaugeId, HistId, MetricRegistry};
-pub use snapshot::{delta, register_counters, snapshot_json, FieldKind, Snapshot};
+pub use snapshot::{
+    delta, register_counters, snapshot_from_json, snapshot_json, FieldKind, Snapshot,
+};
 pub use trace::{export_chrome, TraceBuffer, TraceEvent};
 
 /// Observability knobs, embedded in the simulator config.

@@ -42,6 +42,12 @@ impl RequestClass {
             RequestClass::MemFill => "mem_fill",
         }
     }
+
+    /// Inverse of [`name`](RequestClass::name), for JSON round-trips.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<RequestClass> {
+        RequestClass::ALL.into_iter().find(|c| c.name() == name)
+    }
 }
 
 /// One latency [`Histogram`] per [`RequestClass`].
@@ -93,6 +99,22 @@ impl LatencyPanel {
                 .collect(),
         )
     }
+
+    /// Rebuilds a panel from [`to_json`] output (absent classes stay
+    /// empty). Returns `None` for unknown class names or malformed
+    /// histograms.
+    ///
+    /// [`to_json`]: LatencyPanel::to_json
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<LatencyPanel> {
+        let Json::Obj(pairs) = j else { return None };
+        let mut panel = LatencyPanel::new();
+        for (name, hist) in pairs {
+            let class = RequestClass::from_name(name)?;
+            panel.hists[class as usize] = Histogram::from_json(hist)?;
+        }
+        Some(panel)
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +140,23 @@ mod tests {
         let j = panel.to_json();
         assert!(j.get("mem_fill").is_some());
         assert!(j.get("read_hit").is_none());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut panel = LatencyPanel::new();
+        panel.record(RequestClass::ReadHit, 40);
+        panel.record(RequestClass::Writeback, 900);
+        let back = LatencyPanel::from_json(&panel.to_json()).unwrap();
+        assert_eq!(back, panel);
+        assert_eq!(back.to_json().render(), panel.to_json().render());
+        assert_eq!(
+            LatencyPanel::from_json(&LatencyPanel::new().to_json()).unwrap(),
+            LatencyPanel::new()
+        );
+        // Unknown class names are rejected, not ignored.
+        let bogus = Json::Obj(vec![("warp_drive".into(), Histogram::new().to_json())]);
+        assert_eq!(LatencyPanel::from_json(&bogus), None);
     }
 
     #[test]

@@ -136,6 +136,12 @@ impl MetricRegistry {
         self.hists[id.0].1.record(v);
     }
 
+    /// Merges an externally-built histogram into a registered one (for
+    /// mirroring distributions accumulated outside the registry).
+    pub fn merge_histogram(&mut self, id: HistId, h: &Histogram) {
+        self.hists[id.0].1.merge(h);
+    }
+
     /// Current value of a counter handle.
     #[must_use]
     pub fn counter_value_of(&self, id: CounterId) -> u64 {

@@ -70,6 +70,19 @@ pub fn snapshot_json<S: Snapshot>(s: &S) -> Json {
     )
 }
 
+/// Rebuilds a stats struct from [`snapshot_json`] output by field name.
+/// Returns `None` if any declared field is missing or non-integer —
+/// a snapshot written by an older field set does not silently load as
+/// zeros.
+#[must_use]
+pub fn snapshot_from_json<S: Snapshot + Default>(j: &Json) -> Option<S> {
+    let mut s = S::default();
+    for (i, (name, _)) in S::FIELDS.iter().enumerate() {
+        s.set_field(i, j.get(name)?.as_u64()?);
+    }
+    Some(s)
+}
+
 /// Registers every field as `"<prefix><name>"` counters in `reg`.
 pub fn register_counters<S: Snapshot>(reg: &mut MetricRegistry, prefix: &str, s: &S) {
     for (i, (name, _)) in S::FIELDS.iter().enumerate() {
@@ -169,6 +182,16 @@ mod tests {
         let j = snapshot_json(&d);
         assert_eq!(j.get("a"), Some(&Json::Int(1)));
         assert_eq!(j.get("hw"), Some(&Json::Int(3)));
+    }
+
+    #[test]
+    fn json_round_trips_by_field_name() {
+        let d = Demo { a: 1, b: 2, hw: 3 };
+        let back: Demo = snapshot_from_json(&snapshot_json(&d)).unwrap();
+        assert_eq!(back, d);
+        // A document missing a declared field is rejected.
+        let partial = Json::Obj(vec![("a".into(), Json::Int(1))]);
+        assert_eq!(snapshot_from_json::<Demo>(&partial), None);
     }
 
     #[test]

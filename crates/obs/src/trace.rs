@@ -31,7 +31,7 @@ pub struct TraceEvent {
 }
 
 /// Fixed-capacity ring buffer of [`TraceEvent`]s (capacity 0 = disabled).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceBuffer {
     buf: Vec<TraceEvent>,
     cap: usize,
@@ -95,6 +95,70 @@ impl TraceBuffer {
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
         let (newer, older) = self.buf.split_at(self.head);
         older.iter().chain(newer.iter())
+    }
+
+    /// Serializes the buffer state: `capacity`, `dropped`, and the retained
+    /// events oldest-first as `[start, end, class, addr]` rows.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("capacity".into(), Json::u64(self.cap as u64)),
+            ("dropped".into(), Json::u64(self.dropped)),
+            (
+                "events".into(),
+                Json::Arr(
+                    self.events()
+                        .map(|ev| {
+                            Json::Arr(vec![
+                                Json::u64(ev.start),
+                                Json::u64(ev.end),
+                                Json::str(ev.class.name()),
+                                Json::u64(ev.addr),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a buffer from [`to_json`] output. The ring is normalized
+    /// (oldest event first, write position at the start), which leaves the
+    /// observable state — [`events`], [`len`], [`dropped`] — identical.
+    /// Returns `None` for malformed documents or more events than
+    /// `capacity`.
+    ///
+    /// [`to_json`]: TraceBuffer::to_json
+    /// [`events`]: TraceBuffer::events
+    /// [`len`]: TraceBuffer::len
+    /// [`dropped`]: TraceBuffer::dropped
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<TraceBuffer> {
+        let cap = usize::try_from(j.get("capacity")?.as_u64()?).ok()?;
+        let dropped = j.get("dropped")?.as_u64()?;
+        let mut buf = Vec::new();
+        for row in j.get("events")?.as_arr()? {
+            let start = row.idx(0)?.as_u64()?;
+            let end = row.idx(1)?.as_u64()?;
+            if end < start {
+                return None;
+            }
+            buf.push(TraceEvent {
+                start,
+                end,
+                class: RequestClass::from_name(row.idx(2)?.as_str()?)?,
+                addr: row.idx(3)?.as_u64()?,
+            });
+        }
+        if buf.len() > cap {
+            return None;
+        }
+        Some(TraceBuffer {
+            buf,
+            cap,
+            head: 0,
+            dropped,
+        })
     }
 }
 
@@ -165,6 +229,27 @@ mod tests {
         assert_eq!(buf.dropped(), 2);
         let starts: Vec<u64> = buf.events().map(|e| e.start).collect();
         assert_eq!(starts, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_observable_state() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..5 {
+            buf.push(ev(i * 10, i * 10 + 5)); // ring wraps: head != 0
+        }
+        let back = TraceBuffer::from_json(&buf.to_json()).unwrap();
+        assert_eq!(back.len(), buf.len());
+        assert_eq!(back.dropped(), buf.dropped());
+        let a: Vec<TraceEvent> = buf.events().copied().collect();
+        let b: Vec<TraceEvent> = back.events().copied().collect();
+        assert_eq!(a, b);
+        assert_eq!(back.to_json().render(), buf.to_json().render());
+        // Corruption is rejected, not panicked on.
+        assert_eq!(TraceBuffer::from_json(&Json::Null), None);
+        assert_eq!(
+            TraceBuffer::from_json(&Json::parse(r#"{"capacity":1,"dropped":0}"#).unwrap()),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Persistent on-disk result cache.
+//!
+//! One JSON file per cell, named by the cell's [key](crate::cell_key) in
+//! hex. Each file embeds a format version, the key it was written under,
+//! the cell identity (tag + workload, for humans poking around the
+//! directory) and the lossless [`RunReport`] serialization.
+//!
+//! Robustness policy: a cache can always be deleted, so **nothing in here
+//! panics on bad input**. Corrupted, truncated or wrong-format files are
+//! reported to stderr and treated as misses; writes go through a
+//! temp-file-and-rename so a crashed or concurrent run never leaves a
+//! half-written entry under a live key.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use dice_obs::Json;
+use dice_sim::RunReport;
+
+/// On-disk entry format version; bump when the envelope layout changes.
+/// (`RunReport` layout changes are already covered by the crate-version
+/// term in the cell key.)
+const FORMAT: u64 = 1;
+
+/// A directory of cached [`RunReport`]s keyed by cell hash.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory this cache lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key`.
+    #[must_use]
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Loads the report cached under `key`, or `None` on a miss. A file
+    /// that exists but fails to parse or validate is a miss with a stderr
+    /// warning — never a panic.
+    #[must_use]
+    pub fn load(&self, key: u64) -> Option<RunReport> {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!(
+                    "[dice-runner] ignoring unreadable cache entry {}: {e}",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        match Self::decode(key, &text) {
+            Ok(report) => Some(report),
+            Err(why) => {
+                eprintln!(
+                    "[dice-runner] discarding corrupt cache entry {}: {why}",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    fn decode(key: u64, text: &str) -> Result<RunReport, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        match doc.get("format").and_then(Json::as_u64) {
+            Some(FORMAT) => {}
+            other => return Err(format!("unsupported format {other:?} (want {FORMAT})")),
+        }
+        let stored_key = doc.get("key").and_then(Json::as_str).unwrap_or("");
+        if stored_key != format!("{key:016x}") {
+            return Err(format!("key mismatch (file says {stored_key:?})"));
+        }
+        doc.get("report")
+            .and_then(RunReport::from_json)
+            .ok_or_else(|| "malformed report".to_owned())
+    }
+
+    /// Writes `report` under `key`. The write is atomic (temp file +
+    /// rename), so concurrent runs sharing a cache directory at worst
+    /// duplicate work, never corrupt each other.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the entry cannot be written.
+    pub fn store(&self, key: u64, tag: &str, report: &RunReport) -> io::Result<()> {
+        let doc = Json::Obj(vec![
+            ("format".into(), Json::u64(FORMAT)),
+            ("key".into(), Json::str(format!("{key:016x}"))),
+            ("tag".into(), Json::str(tag)),
+            ("workload".into(), Json::str(&report.workload)),
+            ("report".into(), report.to_json()),
+        ]);
+        let final_path = self.entry_path(key);
+        let tmp_path = self.dir.join(format!(
+            ".{key:016x}.{}.tmp",
+            std::process::id() // distinct temp names across processes
+        ));
+        fs::write(&tmp_path, doc.render())?;
+        fs::rename(&tmp_path, &final_path)
+    }
+}

@@ -1,0 +1,350 @@
+//! The parallel experiment engine.
+//!
+//! Declare-then-execute: callers enumerate every `(config, workload)`
+//! [`Cell`] of a sweep up front, and [`Runner::run`] schedules them across
+//! a pool of worker threads. Three properties the harness depends on:
+//!
+//! * **Determinism** — a cell's result depends only on its config and
+//!   workload (the simulator is seeded), and results are keyed and
+//!   returned in a sorted map, so `--jobs 1` and `--jobs N` produce
+//!   byte-identical artifacts.
+//! * **Fault isolation** — each cell runs under `catch_unwind`; a
+//!   diverging configuration turns into a [`CellOutcome::Failed`] entry
+//!   with the panic message, and every other cell still completes.
+//! * **Memoization** — duplicate cells (every figure re-requests the
+//!   uncompressed baseline) are collapsed before scheduling, and with a
+//!   [`DiskCache`] attached, completed cells persist across invocations
+//!   and resume interrupted sweeps for free.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use dice_obs::{Histogram, MetricRegistry};
+use dice_sim::{RunReport, SimConfig, System, WorkloadSet};
+
+use crate::cache::DiskCache;
+use crate::key::cell_key;
+
+/// One schedulable unit: a tagged configuration applied to one workload
+/// set.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Configuration tag; with the workload name it is the memo key, so it
+    /// must uniquely identify `cfg` within a sweep.
+    pub tag: String,
+    /// Full simulator configuration.
+    pub cfg: SimConfig,
+    /// What the cores run.
+    pub workload: WorkloadSet,
+}
+
+impl Cell {
+    /// A cell for `cfg` on `workload` under `tag`.
+    #[must_use]
+    pub fn new(tag: impl Into<String>, cfg: SimConfig, workload: WorkloadSet) -> Self {
+        Self {
+            tag: tag.into(),
+            cfg,
+            workload,
+        }
+    }
+
+    /// The `(tag, workload name)` memo identity.
+    #[must_use]
+    pub fn memo_key(&self) -> (String, String) {
+        (self.tag.clone(), self.workload.name.clone())
+    }
+}
+
+/// How one cell ended.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell completed (freshly simulated or recalled from the
+    /// persistent cache).
+    Completed {
+        /// The run's measurements.
+        report: Arc<RunReport>,
+        /// Whether the result came from the persistent cache.
+        from_cache: bool,
+        /// Wall time spent on this cell (simulation or cache load).
+        wall: Duration,
+    },
+    /// The cell panicked; the sweep continued without it.
+    Failed {
+        /// The panic message.
+        error: String,
+    },
+}
+
+/// Scheduling knobs for one [`Runner`].
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads (≥ 1). Defaults to the host's available parallelism.
+    pub jobs: usize,
+    /// Persistent result cache directory (`None` = in-memory dedupe only).
+    pub cache_dir: Option<PathBuf>,
+    /// Print per-cell progress lines to stderr as cells finish.
+    pub verbose: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            jobs: std::thread::available_parallelism().map_or(1, usize::from),
+            cache_dir: None,
+            verbose: false,
+        }
+    }
+}
+
+/// Everything a sweep produced: per-cell outcomes (sorted by memo key for
+/// deterministic iteration) plus scheduling statistics.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Outcome per unique `(tag, workload)` cell.
+    pub outcomes: BTreeMap<(String, String), CellOutcome>,
+    /// Duplicate cells collapsed before scheduling.
+    pub deduped: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall time for the whole sweep.
+    pub wall: Duration,
+    /// Per-cell wall-time distribution in milliseconds (completed cells).
+    pub cell_wall_ms: Histogram,
+}
+
+impl SweepResult {
+    fn count(&self, f: impl Fn(&CellOutcome) -> bool) -> usize {
+        self.outcomes.values().filter(|o| f(o)).count()
+    }
+
+    /// Cells that were freshly simulated.
+    #[must_use]
+    pub fn simulated(&self) -> usize {
+        self.count(|o| matches!(o, CellOutcome::Completed { from_cache, .. } if !from_cache))
+    }
+
+    /// Cells recalled from the persistent cache.
+    #[must_use]
+    pub fn cached(&self) -> usize {
+        self.count(|o| matches!(o, CellOutcome::Completed { from_cache, .. } if *from_cache))
+    }
+
+    /// Cells that panicked.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.count(|o| matches!(o, CellOutcome::Failed { .. }))
+    }
+
+    /// Registers the sweep's counters and the per-cell wall-time histogram
+    /// under `runner.*` in `reg`.
+    pub fn register(&self, reg: &mut MetricRegistry) {
+        for (name, v) in [
+            ("runner.cells", self.outcomes.len()),
+            ("runner.simulated", self.simulated()),
+            ("runner.cached", self.cached()),
+            ("runner.failed", self.failed()),
+            ("runner.deduped", self.deduped),
+            ("runner.jobs", self.jobs),
+        ] {
+            let id = reg.counter(name);
+            reg.set(id, v as u64);
+        }
+        let id = reg.counter("runner.wall_ms");
+        reg.set(id, self.wall.as_millis() as u64);
+        let h = reg.histogram("runner.cell_wall_ms");
+        reg.merge_histogram(h, &self.cell_wall_ms);
+    }
+
+    /// A one-line human summary (`N cells: a simulated, b cached, …`).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells ({} deduped): {} simulated, {} cached, {} failed in {:.1}s on {} job{}",
+            self.outcomes.len(),
+            self.deduped,
+            self.simulated(),
+            self.cached(),
+            self.failed(),
+            self.wall.as_secs_f64(),
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// The parallel experiment engine. See the module docs for the contract.
+#[derive(Debug)]
+pub struct Runner {
+    config: RunnerConfig,
+    cache: Option<DiskCache>,
+}
+
+impl Runner {
+    /// Builds a runner, opening (and creating if needed) the persistent
+    /// cache directory when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the cache directory cannot be created.
+    pub fn new(config: RunnerConfig) -> io::Result<Self> {
+        let cache = match &config.cache_dir {
+            Some(dir) => Some(DiskCache::open(dir)?),
+            None => None,
+        };
+        Ok(Self { config, cache })
+    }
+
+    /// The effective configuration.
+    #[must_use]
+    pub fn config(&self) -> &RunnerConfig {
+        &self.config
+    }
+
+    /// Executes `cells` across the worker pool and returns every unique
+    /// cell's outcome. Duplicate `(tag, workload)` cells are collapsed
+    /// (first occurrence wins); a duplicate whose configuration hashes
+    /// differently from the kept one is a harness bug and gets a stderr
+    /// warning.
+    #[must_use]
+    pub fn run(&self, cells: Vec<Cell>) -> SweepResult {
+        let started = Instant::now();
+        let jobs = self.config.jobs.max(1);
+
+        // Dedupe, preserving first-seen order for stable scheduling.
+        let mut seen: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut unique: Vec<Cell> = Vec::with_capacity(cells.len());
+        let mut deduped = 0usize;
+        for cell in cells {
+            let key = cell_key(&cell.cfg, &cell.workload);
+            match seen.get(&cell.memo_key()) {
+                None => {
+                    seen.insert(cell.memo_key(), key);
+                    unique.push(cell);
+                }
+                Some(kept) => {
+                    deduped += 1;
+                    if *kept != key {
+                        eprintln!(
+                            "[dice-runner] warning: tag {:?} on workload {:?} requested with \
+                             two different configurations; keeping the first",
+                            cell.tag, cell.workload.name
+                        );
+                    }
+                }
+            }
+        }
+
+        let total = unique.len();
+        let mut outcomes = BTreeMap::new();
+        let mut cell_wall_ms = Histogram::new();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, CellOutcome)>();
+        let cells = &unique;
+
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(total.max(1)) {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let outcome = self.run_cell(&cells[i]);
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            // The spawning thread doubles as the collector so progress
+            // streams while workers are busy.
+            let mut done = 0usize;
+            while let Ok((i, outcome)) = rx.recv() {
+                done += 1;
+                let cell = &cells[i];
+                if self.config.verbose {
+                    let status = match &outcome {
+                        CellOutcome::Completed {
+                            from_cache: true, ..
+                        } => "cache".to_owned(),
+                        CellOutcome::Completed { wall, .. } => {
+                            format!("sim {:.1}s", wall.as_secs_f64())
+                        }
+                        CellOutcome::Failed { .. } => "FAILED".to_owned(),
+                    };
+                    eprintln!(
+                        "  [runner {done}/{total}] {:<12} {:<10} ({status})",
+                        cell.tag, cell.workload.name
+                    );
+                }
+                if let CellOutcome::Completed { wall, .. } = &outcome {
+                    cell_wall_ms.record(wall.as_millis() as u64);
+                }
+                outcomes.insert(cell.memo_key(), outcome);
+            }
+        });
+
+        SweepResult {
+            outcomes,
+            deduped,
+            jobs,
+            wall: started.elapsed(),
+            cell_wall_ms,
+        }
+    }
+
+    /// Runs one cell: persistent-cache probe, then an unwind-isolated
+    /// simulation, then a cache write-back.
+    fn run_cell(&self, cell: &Cell) -> CellOutcome {
+        let t0 = Instant::now();
+        let key = cell_key(&cell.cfg, &cell.workload);
+        if let Some(cached) = self.cache.as_ref().and_then(|c| c.load(key)) {
+            return CellOutcome::Completed {
+                report: Arc::new(cached),
+                from_cache: true,
+                wall: t0.elapsed(),
+            };
+        }
+        let cfg = cell.cfg.clone();
+        let workload = cell.workload.clone();
+        match catch_unwind(AssertUnwindSafe(move || System::new(cfg, &workload).run())) {
+            Ok(report) => {
+                if let Some(cache) = &self.cache {
+                    if let Err(e) = cache.store(key, &cell.tag, &report) {
+                        eprintln!(
+                            "[dice-runner] failed to persist cell {}/{}: {e}",
+                            cell.tag, cell.workload.name
+                        );
+                    }
+                }
+                CellOutcome::Completed {
+                    report: Arc::new(report),
+                    from_cache: false,
+                    wall: t0.elapsed(),
+                }
+            }
+            Err(payload) => CellOutcome::Failed {
+                error: panic_message(payload.as_ref()),
+            },
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

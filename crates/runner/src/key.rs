@@ -1,0 +1,69 @@
+//! Stable cache keys for experiment cells.
+//!
+//! A cell's result is fully determined by its [`SimConfig`] and
+//! [`WorkloadSet`] (the simulator is deterministic), so the persistent
+//! cache keys entries by a hash of both — plus the crate version, so a
+//! rebuilt simulator never replays results produced by different code.
+//!
+//! The fingerprint is the `Debug` rendering of the two structs. Every
+//! field of every nested config struct (`DramCacheConfig`, `DramConfig`,
+//! `ObsConfig`, `L3FetchPolicy`, each `WorkloadSpec`…) appears in it, so
+//! flipping *any* knob — including ones added after this crate was
+//! written — changes the key. That is the property the cache needs;
+//! cross-version key stability is explicitly **not** promised (the
+//! version term already invalidates old entries on every release).
+
+use dice_sim::{SimConfig, WorkloadSet};
+
+/// 64-bit FNV-1a. Stable across platforms and builds, cheap, and good
+/// enough for a cache keyed by a few thousand distinct configurations.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical text a cell's cache key is hashed from: every field of
+/// the configuration and the workload set.
+#[must_use]
+pub fn cell_fingerprint(cfg: &SimConfig, workload: &WorkloadSet) -> String {
+    format!("{cfg:?}|{workload:?}")
+}
+
+/// Cache key for a fingerprint under an explicit crate version (split out
+/// from [`cell_key`] so tests can demonstrate version sensitivity).
+#[must_use]
+pub fn cell_key_with_version(fingerprint: &str, version: &str) -> u64 {
+    fnv1a64(format!("dice-runner/{version}/{fingerprint}").as_bytes())
+}
+
+/// Cache key for one cell: hash of the full fingerprint and this crate's
+/// version.
+#[must_use]
+pub fn cell_key(cfg: &SimConfig, workload: &WorkloadSet) -> u64 {
+    cell_key_with_version(&cell_fingerprint(cfg, workload), env!("CARGO_PKG_VERSION"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn version_term_changes_the_key() {
+        let a = cell_key_with_version("same-fingerprint", "0.1.0");
+        let b = cell_key_with_version("same-fingerprint", "0.2.0");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,205 @@
+//! Cache-key sensitivity and on-disk cache robustness.
+
+use std::fs;
+use std::sync::Arc;
+
+use dice_core::Organization;
+use dice_runner::{
+    cell_fingerprint, cell_key, cell_key_with_version, Cell, CellOutcome, DiskCache, Runner,
+    RunnerConfig,
+};
+use dice_sim::{SimConfig, System, WorkloadSet};
+use dice_workloads::spec_table;
+
+fn spec(name: &str) -> dice_workloads::WorkloadSpec {
+    spec_table().into_iter().find(|w| w.name == name).unwrap()
+}
+
+fn base_cfg() -> SimConfig {
+    SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024).with_records(500, 1_500)
+}
+
+fn base_wl() -> WorkloadSet {
+    WorkloadSet::rate(spec("gcc"), 7)
+}
+
+/// A scratch directory under the target dir, wiped on creation.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dice-runner-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Flipping any configuration or workload field must change the cell key —
+/// otherwise a stale cache entry could masquerade as a different
+/// experiment's result.
+#[test]
+fn every_config_field_feeds_the_key() {
+    type Mutation = Box<dyn Fn(&mut SimConfig, &mut WorkloadSet)>;
+    let mutations: Vec<(&str, Mutation)> = vec![
+        ("cores", Box::new(|c, _| c.cores = 4)),
+        ("l3_bytes", Box::new(|c, _| c.l3_bytes *= 2)),
+        ("l3_ways", Box::new(|c, _| c.l3_ways = 8)),
+        ("l3_hit_latency", Box::new(|c, _| c.l3_hit_latency += 1)),
+        (
+            "organization",
+            Box::new(|c, _| c.l4.organization = Organization::Dice { threshold: 40 }),
+        ),
+        ("l4_capacity", Box::new(|c, _| c.l4.capacity_bytes *= 2)),
+        (
+            "l4_dram",
+            Box::new(|c, _| c.l4_dram = c.l4_dram.clone().with_double_channels()),
+        ),
+        (
+            "mem_dram",
+            Box::new(|c, _| c.mem_dram = c.mem_dram.clone().with_half_latency()),
+        ),
+        (
+            "l3_fetch",
+            Box::new(|c, _| c.l3_fetch = dice_cache::L3FetchPolicy::Wide128),
+        ),
+        (
+            "install_pair_in_l3",
+            Box::new(|c, _| c.install_pair_in_l3 = false),
+        ),
+        ("mlp", Box::new(|c, _| c.mlp = 4)),
+        ("base_cpi", Box::new(|c, _| c.base_cpi = 0.5)),
+        ("scale", Box::new(|c, _| c.scale = 512)),
+        ("warmup_records", Box::new(|c, _| c.warmup_records += 1)),
+        ("measure_records", Box::new(|c, _| c.measure_records += 1)),
+        (
+            "obs.interval_cycles",
+            Box::new(|c, _| c.obs.interval_cycles = 0),
+        ),
+        (
+            "obs.trace_capacity",
+            Box::new(|c, _| c.obs.trace_capacity = 64),
+        ),
+        ("workload seed", Box::new(|_, w| w.seed += 1)),
+        ("workload name", Box::new(|_, w| w.name.push('x'))),
+        ("workload specs", Box::new(|_, w| w.specs[0] = spec("mcf"))),
+        (
+            "spec field",
+            Box::new(|_, w| w.specs[3].footprint_bytes *= 2),
+        ),
+    ];
+
+    let baseline = cell_key(&base_cfg(), &base_wl());
+    let mut seen = std::collections::BTreeMap::new();
+    seen.insert(baseline, "baseline");
+    for (label, mutate) in &mutations {
+        let mut cfg = base_cfg();
+        let mut wl = base_wl();
+        mutate(&mut cfg, &mut wl);
+        let key = cell_key(&cfg, &wl);
+        if let Some(clash) = seen.insert(key, label) {
+            panic!("mutating {label} produced the same key as {clash}");
+        }
+    }
+}
+
+/// The crate version is part of the key, so a report format change
+/// invalidates old caches instead of misparsing them.
+#[test]
+fn crate_version_feeds_the_key() {
+    let fp = cell_fingerprint(&base_cfg(), &base_wl());
+    assert_ne!(
+        cell_key_with_version(&fp, "0.1.0"),
+        cell_key_with_version(&fp, "0.2.0")
+    );
+}
+
+/// Store/load round-trip returns a report whose JSON is byte-identical to
+/// the freshly simulated one.
+#[test]
+fn disk_cache_round_trip_is_lossless() {
+    let dir = scratch("roundtrip");
+    let cache = DiskCache::open(&dir).unwrap();
+    let report = System::new(base_cfg(), &base_wl()).run();
+    let key = cell_key(&base_cfg(), &base_wl());
+    cache.store(key, "dice36", &report).unwrap();
+    let loaded = cache.load(key).expect("entry should load");
+    assert_eq!(loaded.to_json().render(), report.to_json().render());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Corrupted, truncated, wrong-key and non-JSON cache files are misses,
+/// never panics.
+#[test]
+fn corrupt_cache_entries_are_discarded() {
+    let dir = scratch("corrupt");
+    let cache = DiskCache::open(&dir).unwrap();
+    let report = System::new(base_cfg(), &base_wl()).run();
+    let key = cell_key(&base_cfg(), &base_wl());
+    cache.store(key, "dice36", &report).unwrap();
+    let good = fs::read_to_string(cache.entry_path(key)).unwrap();
+
+    let half = good.len() / 2;
+    let cases: Vec<(&str, String)> = vec![
+        ("empty", String::new()),
+        ("not json", "definitely { not json".to_owned()),
+        ("truncated", good[..half].to_owned()),
+        ("wrong type", "[1, 2, 3]".to_owned()),
+        (
+            "wrong format version",
+            good.replacen("\"format\":1", "\"format\":99", 1),
+        ),
+        (
+            "missing report",
+            "{\"format\": 1, \"key\": \"0000000000000000\"}".to_owned(),
+        ),
+    ];
+    for (label, text) in cases {
+        fs::write(cache.entry_path(key), text).unwrap();
+        assert!(
+            cache.load(key).is_none(),
+            "{label} entry should be treated as a miss"
+        );
+    }
+
+    // An entry stored under the wrong key (e.g. a renamed file) is
+    // rejected by the embedded-key check.
+    fs::write(cache.entry_path(key ^ 1), good).unwrap();
+    assert!(cache.load(key ^ 1).is_none());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A warm cache skips every completed cell, and the recalled reports render
+/// the same JSON as the cold run's.
+#[test]
+fn warm_cache_skips_all_simulation() {
+    let dir = scratch("warm");
+    let cells = || {
+        vec![
+            Cell::new("base", base_cfg(), base_wl()),
+            Cell::new("dice36", base_cfg(), WorkloadSet::rate(spec("soplex"), 7)),
+        ]
+    };
+    let runner = Runner::new(RunnerConfig {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+        verbose: false,
+    })
+    .unwrap();
+
+    let cold = runner.run(cells());
+    assert_eq!(cold.simulated(), 2);
+    assert_eq!(cold.cached(), 0);
+
+    let warm = runner.run(cells());
+    assert_eq!(warm.simulated(), 0);
+    assert_eq!(warm.cached(), 2);
+
+    let render = |o: &CellOutcome| match o {
+        CellOutcome::Completed { report, .. } => Arc::clone(report).to_json().render(),
+        CellOutcome::Failed { error } => panic!("unexpected failure: {error}"),
+    };
+    for (k, cold_outcome) in &cold.outcomes {
+        assert_eq!(
+            render(cold_outcome),
+            render(&warm.outcomes[k]),
+            "cell {k:?}"
+        );
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,127 @@
+//! The runner's determinism and fault-isolation contract.
+
+use dice_core::Organization;
+use dice_runner::{Cell, CellOutcome, Runner, RunnerConfig};
+use dice_sim::{SimConfig, WorkloadSet};
+use dice_workloads::spec_table;
+
+fn spec(name: &str) -> dice_workloads::WorkloadSpec {
+    spec_table().into_iter().find(|w| w.name == name).unwrap()
+}
+
+fn quick_cfg(org: Organization) -> SimConfig {
+    SimConfig::scaled(org, 1024).with_records(1_000, 2_500)
+}
+
+fn small_sweep() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for name in ["gcc", "mcf"] {
+        let wl = WorkloadSet::rate(spec(name), 7);
+        cells.push(Cell::new(
+            "base",
+            quick_cfg(Organization::UncompressedAlloy),
+            wl.clone(),
+        ));
+        cells.push(Cell::new(
+            "dice36",
+            quick_cfg(Organization::Dice { threshold: 36 }),
+            wl,
+        ));
+    }
+    cells
+}
+
+fn run_with_jobs(jobs: usize) -> Vec<((String, String), String)> {
+    let runner = Runner::new(RunnerConfig {
+        jobs,
+        cache_dir: None,
+        verbose: false,
+    })
+    .unwrap();
+    let result = runner.run(small_sweep());
+    assert_eq!(result.failed(), 0);
+    result
+        .outcomes
+        .into_iter()
+        .map(|(key, outcome)| match outcome {
+            CellOutcome::Completed { report, .. } => (key, report.to_json().render()),
+            CellOutcome::Failed { error } => panic!("unexpected failure: {error}"),
+        })
+        .collect()
+}
+
+/// The tentpole guarantee: `--jobs 4` and `--jobs 1` produce byte-identical
+/// report JSON for every cell of a sweep.
+#[test]
+fn parallel_and_serial_reports_are_byte_identical() {
+    let serial = run_with_jobs(1);
+    let parallel = run_with_jobs(4);
+    assert_eq!(serial.len(), 4);
+    assert_eq!(serial, parallel);
+}
+
+/// One panicking cell reports as failed; every healthy cell still
+/// completes.
+#[test]
+fn panicking_cell_is_isolated() {
+    let mut cells = small_sweep();
+    // 3 specs on an 8-core config panics in `System::new` ("one spec per
+    // core") — a deterministic stand-in for a diverging configuration.
+    cells.push(Cell::new(
+        "bad",
+        quick_cfg(Organization::UncompressedAlloy),
+        WorkloadSet::mix("bad-mix", vec![spec("gcc"); 3], 7),
+    ));
+    let runner = Runner::new(RunnerConfig {
+        jobs: 3,
+        cache_dir: None,
+        verbose: false,
+    })
+    .unwrap();
+    let result = runner.run(cells);
+    assert_eq!(result.failed(), 1);
+    assert_eq!(result.simulated(), 4);
+    match &result.outcomes[&("bad".to_owned(), "bad-mix".to_owned())] {
+        CellOutcome::Failed { error } => assert!(
+            error.contains("one spec per core"),
+            "panic message should surface, got {error:?}"
+        ),
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+/// Cells repeated across figures are simulated once.
+#[test]
+fn duplicate_cells_are_deduped() {
+    let mut cells = small_sweep();
+    cells.extend(small_sweep()); // every figure re-requests the baseline
+    let runner = Runner::new(RunnerConfig {
+        jobs: 2,
+        cache_dir: None,
+        verbose: false,
+    })
+    .unwrap();
+    let result = runner.run(cells);
+    assert_eq!(result.outcomes.len(), 4);
+    assert_eq!(result.deduped, 4);
+    assert_eq!(result.simulated(), 4);
+}
+
+/// Sweep statistics flow into the shared metric registry.
+#[test]
+fn sweep_registers_runner_metrics() {
+    let runner = Runner::new(RunnerConfig {
+        jobs: 2,
+        cache_dir: None,
+        verbose: false,
+    })
+    .unwrap();
+    let result = runner.run(small_sweep());
+    let mut reg = dice_obs::MetricRegistry::new();
+    result.register(&mut reg);
+    assert_eq!(reg.counter_value("runner.cells"), Some(4));
+    assert_eq!(reg.counter_value("runner.simulated"), Some(4));
+    assert_eq!(reg.counter_value("runner.cached"), Some(0));
+    assert_eq!(reg.counter_value("runner.failed"), Some(0));
+    assert_eq!(reg.histogram_ref("runner.cell_wall_ms").unwrap().count(), 4);
+}

@@ -3,7 +3,7 @@
 use dice_cache::CacheStats;
 use dice_core::L4Stats;
 use dice_dram::{DramStats, EnergyModel};
-use dice_obs::{snapshot_json, Json, LatencyPanel, TraceBuffer};
+use dice_obs::{snapshot_from_json, snapshot_json, Json, LatencyPanel, TraceBuffer};
 
 use crate::timeline::IntervalSample;
 use crate::Cycle;
@@ -131,6 +131,14 @@ impl RunReport {
     /// `dice_obs` snapshot mechanism, so new stats fields appear
     /// automatically), derived metrics, per-class latency quantiles, the
     /// interval time series and energy — as one JSON object.
+    ///
+    /// The export is **lossless**: [`from_json`] rebuilds a report whose
+    /// every field (and therefore its own `to_json` rendering) matches the
+    /// original byte for byte. That property is what lets `dice-runner`
+    /// persist reports to an on-disk cache and replay them into identical
+    /// artifacts.
+    ///
+    /// [`from_json`]: RunReport::from_json
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -144,6 +152,10 @@ impl RunReport {
                         .map(|&i| Json::u64(i))
                         .collect(),
                 ),
+            ),
+            (
+                "core_cycles".into(),
+                Json::Arr(self.core_cycles.iter().map(|&c| Json::u64(c)).collect()),
             ),
             (
                 "core_ipc".into(),
@@ -163,6 +175,7 @@ impl RunReport {
                 "avg_occupied_sets".into(),
                 Json::num(self.avg_occupied_sets),
             ),
+            ("baseline_lines".into(), Json::u64(self.baseline_lines)),
             ("capacity_ratio".into(), Json::num(self.capacity_ratio())),
             (
                 "energy".into(),
@@ -171,6 +184,7 @@ impl RunReport {
                     ("mem_joules".into(), Json::num(self.energy.mem_joules)),
                     ("total_joules".into(), Json::num(self.energy.total_joules())),
                     ("power_watts".into(), Json::num(self.energy.power_watts())),
+                    ("cycles".into(), Json::u64(self.energy.cycles)),
                 ]),
             ),
             ("latency".into(), self.latency.to_json()),
@@ -178,7 +192,53 @@ impl RunReport {
                 "timeline".into(),
                 Json::Arr(self.timeline.iter().map(IntervalSample::to_json).collect()),
             ),
+            ("trace".into(), self.trace.to_json()),
         ])
+    }
+
+    /// Rebuilds a report from [`to_json`] output. Derived quantities
+    /// (IPC, hit rates, capacity ratio, energy totals) are recomputed from
+    /// the primary fields, so `from_json(j).to_json()` re-renders `j`
+    /// byte-identically. Returns `None` for malformed or truncated
+    /// documents — the persistent cache treats that as a miss, never a
+    /// panic.
+    ///
+    /// [`to_json`]: RunReport::to_json
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<RunReport> {
+        fn u64_vec(v: &Json) -> Option<Vec<u64>> {
+            v.as_arr()?.iter().map(Json::as_u64).collect()
+        }
+        let energy = j.get("energy")?;
+        Some(RunReport {
+            workload: j.get("workload")?.as_str()?.to_owned(),
+            cycles: j.get("cycles")?.as_u64()?,
+            core_instructions: u64_vec(j.get("core_instructions")?)?,
+            core_cycles: u64_vec(j.get("core_cycles")?)?,
+            l3: snapshot_from_json(j.get("l3")?)?,
+            l4: snapshot_from_json(j.get("l4")?)?,
+            l4_dram: snapshot_from_json(j.get("l4_dram")?)?,
+            mem_dram: snapshot_from_json(j.get("mem_dram")?)?,
+            cip_accuracy: j.get("cip_accuracy")?.as_f64()?,
+            cip_predictions: j.get("cip_predictions")?.as_u64()?,
+            mapi_accuracy: j.get("mapi_accuracy")?.as_f64()?,
+            avg_valid_lines: j.get("avg_valid_lines")?.as_f64()?,
+            avg_occupied_sets: j.get("avg_occupied_sets")?.as_f64()?,
+            baseline_lines: j.get("baseline_lines")?.as_u64()?,
+            energy: EnergyReport {
+                l4_joules: energy.get("l4_joules")?.as_f64()?,
+                mem_joules: energy.get("mem_joules")?.as_f64()?,
+                cycles: energy.get("cycles")?.as_u64()?,
+            },
+            latency: LatencyPanel::from_json(j.get("latency")?)?,
+            timeline: j
+                .get("timeline")?
+                .as_arr()?
+                .iter()
+                .map(IntervalSample::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            trace: TraceBuffer::from_json(j.get("trace")?)?,
+        })
     }
 
     /// Builds the energy report from device stats and models.
@@ -259,6 +319,36 @@ mod tests {
         assert!((e.total_joules() - 3.0).abs() < 1e-12);
         assert!((e.power_watts() - 3.0).abs() < 1e-12);
         assert!((e.edp() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let mut r = report(1000, 500);
+        r.l4.reads = 42;
+        r.l4.read_hits = 17;
+        r.mem_dram.bytes = 4096;
+        r.cip_accuracy = 0.9381;
+        r.avg_valid_lines = 123.456;
+        r.latency.record(dice_obs::RequestClass::ReadHit, 44);
+        r.latency.record(dice_obs::RequestClass::ReadMiss, 301);
+        let text = r.to_json().render();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.to_json().render(), text);
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.core_cycles, r.core_cycles);
+        assert_eq!(back.l4.read_hits, 17);
+        assert!((back.weighted_speedup(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_json_rejects_truncated_documents() {
+        let r = report(10, 5);
+        let Json::Obj(mut pairs) = r.to_json() else {
+            panic!("report serializes as an object")
+        };
+        pairs.retain(|(k, _)| k != "l4");
+        assert!(RunReport::from_json(&Json::Obj(pairs)).is_none());
+        assert!(RunReport::from_json(&Json::Null).is_none());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use dice_core::L4Stats;
 use dice_dram::DramStats;
-use dice_obs::{ratio, snapshot_json, Json};
+use dice_obs::{ratio, snapshot_from_json, snapshot_json, Json};
 
 use crate::Cycle;
 
@@ -77,6 +77,24 @@ impl IntervalSample {
             ("l4_dram".into(), snapshot_json(&self.l4_dram)),
             ("mem_dram".into(), snapshot_json(&self.mem_dram)),
         ])
+    }
+
+    /// Rebuilds a sample from [`to_json`] output (the derived rates are
+    /// recomputed from the counters, so the round-trip re-renders
+    /// identically). Returns `None` for malformed documents.
+    ///
+    /// [`to_json`]: IntervalSample::to_json
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<IntervalSample> {
+        Some(IntervalSample {
+            end_cycle: j.get("end_cycle")?.as_u64()?,
+            cycles: j.get("cycles")?.as_u64()?,
+            l4: snapshot_from_json(j.get("l4")?)?,
+            l4_dram: snapshot_from_json(j.get("l4_dram")?)?,
+            mem_dram: snapshot_from_json(j.get("mem_dram")?)?,
+            valid_lines: j.get("valid_lines")?.as_u64()?,
+            occupied_sets: j.get("occupied_sets")?.as_u64()?,
+        })
     }
 }
 

@@ -21,6 +21,7 @@
 //! | [`sim`] | `dice-sim` | 8-core trace-driven system simulator |
 //! | [`workloads`] | `dice-workloads` | synthetic SPEC/GAP workload generators |
 //! | [`obs`] | `dice-obs` | metrics, latency histograms, tracing, JSON |
+//! | [`runner`] | `dice-runner` | parallel experiment engine + persistent result cache |
 //!
 //! # Quickstart
 //!
@@ -58,5 +59,6 @@ pub use dice_compress as compress;
 pub use dice_core as core;
 pub use dice_dram as dram;
 pub use dice_obs as obs;
+pub use dice_runner as runner;
 pub use dice_sim as sim;
 pub use dice_workloads as workloads;

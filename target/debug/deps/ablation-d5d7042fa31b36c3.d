@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d5d7042fa31b36c3.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-d5d7042fa31b36c3: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_ops-af883ed68cede7e2.d: crates/bench/benches/cache_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_ops-af883ed68cede7e2.rmeta: crates/bench/benches/cache_ops.rs Cargo.toml
+
+crates/bench/benches/cache_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_ops-f87bd1e15ce22c79.d: crates/bench/benches/cache_ops.rs
+
+/root/repo/target/debug/deps/cache_ops-f87bd1e15ce22c79: crates/bench/benches/cache_ops.rs
+
+crates/bench/benches/cache_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_safety-c7928a39ff4d4305.d: crates/runner/tests/cache_safety.rs
+
+/root/repo/target/debug/deps/cache_safety-c7928a39ff4d4305: crates/runner/tests/cache_safety.rs
+
+crates/runner/tests/cache_safety.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_safety-d320c494547fe873.d: crates/runner/tests/cache_safety.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_safety-d320c494547fe873.rmeta: crates/runner/tests/cache_safety.rs Cargo.toml
+
+crates/runner/tests/cache_safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compress_throughput-7a222a134b8f4f07.d: crates/bench/benches/compress_throughput.rs
+
+/root/repo/target/debug/deps/compress_throughput-7a222a134b8f4f07: crates/bench/benches/compress_throughput.rs
+
+crates/bench/benches/compress_throughput.rs:

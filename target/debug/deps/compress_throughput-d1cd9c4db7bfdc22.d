@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compress_throughput-d1cd9c4db7bfdc22.d: crates/bench/benches/compress_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompress_throughput-d1cd9c4db7bfdc22.rmeta: crates/bench/benches/compress_throughput.rs Cargo.toml
+
+crates/bench/benches/compress_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcache_access-5be0867207c00906.d: crates/bench/benches/dcache_access.rs
+
+/root/repo/target/debug/deps/dcache_access-5be0867207c00906: crates/bench/benches/dcache_access.rs
+
+crates/bench/benches/dcache_access.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcache_access-ded759854bc90010.d: crates/bench/benches/dcache_access.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcache_access-ded759854bc90010.rmeta: crates/bench/benches/dcache_access.rs Cargo.toml
+
+crates/bench/benches/dcache_access.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

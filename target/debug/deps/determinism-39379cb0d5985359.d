@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-39379cb0d5985359.d: crates/runner/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-39379cb0d5985359.rmeta: crates/runner/tests/determinism.rs Cargo.toml
+
+crates/runner/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

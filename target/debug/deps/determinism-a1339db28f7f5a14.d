@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a1339db28f7f5a14.d: crates/runner/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a1339db28f7f5a14: crates/runner/tests/determinism.rs
+
+crates/runner/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dice-5c8a2d04829b2d44.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdice-5c8a2d04829b2d44.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dice-80629d53e6398478.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdice-80629d53e6398478.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdice-80629d53e6398478.rmeta: src/lib.rs
+
+src/lib.rs:

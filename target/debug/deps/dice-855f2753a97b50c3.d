@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dice-855f2753a97b50c3.d: src/lib.rs
+
+/root/repo/target/debug/deps/dice-855f2753a97b50c3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dice_bench-13b777a578f6a657.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/dice_bench-13b777a578f6a657: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dice_bench-56921f60b9a7b408.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libdice_bench-56921f60b9a7b408.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libdice_bench-56921f60b9a7b408.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/table.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/table.rs:
+crates/bench/src/workloads.rs:

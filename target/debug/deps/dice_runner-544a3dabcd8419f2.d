@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dice_runner-544a3dabcd8419f2.d: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs
+
+/root/repo/target/debug/deps/libdice_runner-544a3dabcd8419f2.rlib: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs
+
+/root/repo/target/debug/deps/libdice_runner-544a3dabcd8419f2.rmeta: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/cache.rs:
+crates/runner/src/engine.rs:
+crates/runner/src/key.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dice_runner-e6c02b22a6aa0216.d: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdice_runner-e6c02b22a6aa0216.rmeta: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs Cargo.toml
+
+crates/runner/src/lib.rs:
+crates/runner/src/cache.rs:
+crates/runner/src/engine.rs:
+crates/runner/src/key.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dice_runner-f0c6c751da56989b.d: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs
+
+/root/repo/target/debug/deps/dice_runner-f0c6c751da56989b: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/cache.rs:
+crates/runner/src/engine.rs:
+crates/runner/src/key.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

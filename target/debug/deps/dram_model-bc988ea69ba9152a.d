@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dram_model-bc988ea69ba9152a.d: crates/bench/benches/dram_model.rs
+
+/root/repo/target/debug/deps/dram_model-bc988ea69ba9152a: crates/bench/benches/dram_model.rs
+
+crates/bench/benches/dram_model.rs:

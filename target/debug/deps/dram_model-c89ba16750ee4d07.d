@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dram_model-c89ba16750ee4d07.d: crates/bench/benches/dram_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdram_model-c89ba16750ee4d07.rmeta: crates/bench/benches/dram_model.rs Cargo.toml
+
+crates/bench/benches/dram_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

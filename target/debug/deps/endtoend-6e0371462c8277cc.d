@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/endtoend-6e0371462c8277cc.d: crates/bench/benches/endtoend.rs
+
+/root/repo/target/debug/deps/endtoend-6e0371462c8277cc: crates/bench/benches/endtoend.rs
+
+crates/bench/benches/endtoend.rs:

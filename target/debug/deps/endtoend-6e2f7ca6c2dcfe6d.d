@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/endtoend-6e2f7ca6c2dcfe6d.d: crates/bench/benches/endtoend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libendtoend-6e2f7ca6c2dcfe6d.rmeta: crates/bench/benches/endtoend.rs Cargo.toml
+
+crates/bench/benches/endtoend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-e0fc9776455dc2f4.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-e0fc9776455dc2f4: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-f7e8d01997388d08.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-f7e8d01997388d08: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_mechanisms-4071797a62f6771c.d: tests/paper_mechanisms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_mechanisms-4071797a62f6771c.rmeta: tests/paper_mechanisms.rs Cargo.toml
+
+tests/paper_mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_mechanisms-8bdec2b1e25a2fa2.d: tests/paper_mechanisms.rs
+
+/root/repo/target/debug/deps/paper_mechanisms-8bdec2b1e25a2fa2: tests/paper_mechanisms.rs
+
+tests/paper_mechanisms.rs:

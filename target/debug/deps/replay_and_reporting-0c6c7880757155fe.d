@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replay_and_reporting-0c6c7880757155fe.d: tests/replay_and_reporting.rs
+
+/root/repo/target/debug/deps/replay_and_reporting-0c6c7880757155fe: tests/replay_and_reporting.rs
+
+tests/replay_and_reporting.rs:

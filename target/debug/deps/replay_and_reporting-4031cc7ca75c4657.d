@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay_and_reporting-4031cc7ca75c4657.d: tests/replay_and_reporting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay_and_reporting-4031cc7ca75c4657.rmeta: tests/replay_and_reporting.rs Cargo.toml
+
+tests/replay_and_reporting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

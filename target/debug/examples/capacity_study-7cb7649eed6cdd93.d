@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/capacity_study-7cb7649eed6cdd93.d: examples/capacity_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcapacity_study-7cb7649eed6cdd93.rmeta: examples/capacity_study.rs Cargo.toml
+
+examples/capacity_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

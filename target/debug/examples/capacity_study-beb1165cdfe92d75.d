@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_study-beb1165cdfe92d75.d: examples/capacity_study.rs
+
+/root/repo/target/debug/examples/capacity_study-beb1165cdfe92d75: examples/capacity_study.rs
+
+examples/capacity_study.rs:

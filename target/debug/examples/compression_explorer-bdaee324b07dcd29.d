@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression_explorer-bdaee324b07dcd29.d: examples/compression_explorer.rs
+
+/root/repo/target/debug/examples/compression_explorer-bdaee324b07dcd29: examples/compression_explorer.rs
+
+examples/compression_explorer.rs:

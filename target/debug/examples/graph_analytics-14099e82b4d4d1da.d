@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graph_analytics-14099e82b4d4d1da.d: examples/graph_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraph_analytics-14099e82b4d4d1da.rmeta: examples/graph_analytics.rs Cargo.toml
+
+examples/graph_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

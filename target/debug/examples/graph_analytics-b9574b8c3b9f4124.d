@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_analytics-b9574b8c3b9f4124.d: examples/graph_analytics.rs
+
+/root/repo/target/debug/examples/graph_analytics-b9574b8c3b9f4124: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/indexing_demo-83eae617dc7a1072.d: examples/indexing_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libindexing_demo-83eae617dc7a1072.rmeta: examples/indexing_demo.rs Cargo.toml
+
+examples/indexing_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

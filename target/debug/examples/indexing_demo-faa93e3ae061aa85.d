@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/indexing_demo-faa93e3ae061aa85.d: examples/indexing_demo.rs
+
+/root/repo/target/debug/examples/indexing_demo-faa93e3ae061aa85: examples/indexing_demo.rs
+
+examples/indexing_demo.rs:

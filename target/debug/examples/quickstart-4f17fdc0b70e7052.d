@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4f17fdc0b70e7052.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4f17fdc0b70e7052: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-9f646ef419040c0e.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-9f646ef419040c0e: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dice-6f99d7627d3a598e.d: src/lib.rs
+
+/root/repo/target/release/deps/libdice-6f99d7627d3a598e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdice-6f99d7627d3a598e.rmeta: src/lib.rs
+
+src/lib.rs:

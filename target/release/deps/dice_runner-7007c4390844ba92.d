@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dice_runner-7007c4390844ba92.d: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs
+
+/root/repo/target/release/deps/libdice_runner-7007c4390844ba92.rlib: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs
+
+/root/repo/target/release/deps/libdice_runner-7007c4390844ba92.rmeta: crates/runner/src/lib.rs crates/runner/src/cache.rs crates/runner/src/engine.rs crates/runner/src/key.rs
+
+crates/runner/src/lib.rs:
+crates/runner/src/cache.rs:
+crates/runner/src/engine.rs:
+crates/runner/src/key.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-3350055f0ae3b532.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-3350055f0ae3b532: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:
