@@ -12,7 +12,7 @@ pub struct Eviction {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Way {
     addr: LineAddr,
     dirty: bool,
@@ -23,12 +23,19 @@ struct Way {
 /// A write-back, write-allocate, set-associative cache model.
 ///
 /// Only tags are modeled (the simulator synthesizes data values separately),
-/// which keeps multi-megabyte caches cheap to simulate.
+/// which keeps multi-megabyte caches cheap to simulate. Ways live in one
+/// contiguous array (`sets × ways`, with a per-set occupancy count) rather
+/// than a `Vec` per set: set lookup is pure arithmetic, a whole set scan
+/// touches one cache-resident slab, and construction performs exactly two
+/// allocations regardless of set count.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     ways: usize,
     set_mask: u64,
-    entries: Vec<Vec<Way>>,
+    /// Way storage; set `s` occupies `s * ways ..` with `occ[s]` valid slots.
+    ways_store: Vec<Way>,
+    /// Number of valid ways per set.
+    occ: Vec<u32>,
     clock: u64,
     stats: CacheStats,
 }
@@ -55,7 +62,8 @@ impl SetAssocCache {
         Self {
             ways,
             set_mask: sets as u64 - 1,
-            entries: vec![Vec::with_capacity(ways); sets],
+            ways_store: vec![Way::default(); sets * ways],
+            occ: vec![0; sets],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -64,7 +72,7 @@ impl SetAssocCache {
     /// Number of sets.
     #[must_use]
     pub fn sets(&self) -> usize {
-        self.entries.len()
+        self.occ.len()
     }
 
     /// Associativity.
@@ -77,6 +85,18 @@ impl SetAssocCache {
         (addr & self.set_mask) as usize
     }
 
+    /// The valid slots of `set` as a mutable slice.
+    fn slots_mut(&mut self, set: usize) -> &mut [Way] {
+        let base = set * self.ways;
+        &mut self.ways_store[base..base + self.occ[set] as usize]
+    }
+
+    /// The valid slots of `set`.
+    fn slots(&self, set: usize) -> &[Way] {
+        let base = set * self.ways;
+        &self.ways_store[base..base + self.occ[set] as usize]
+    }
+
     /// Probes for `addr`; on a hit, updates recency (and the dirty bit for
     /// writes) and returns `true`. Does **not** allocate on miss — call
     /// [`install`](Self::install) when the fill returns.
@@ -84,7 +104,7 @@ impl SetAssocCache {
         self.clock += 1;
         let clock = self.clock;
         let set = self.set_of(addr);
-        let hit = self.entries[set].iter_mut().find(|w| w.addr == addr);
+        let hit = self.slots_mut(set).iter_mut().find(|w| w.addr == addr);
         match hit {
             Some(w) => {
                 w.stamp = clock;
@@ -102,9 +122,7 @@ impl SetAssocCache {
     /// Checks residency without touching recency or statistics.
     #[must_use]
     pub fn contains(&self, addr: LineAddr) -> bool {
-        self.entries[self.set_of(addr)]
-            .iter()
-            .any(|w| w.addr == addr)
+        self.slots(self.set_of(addr)).iter().any(|w| w.addr == addr)
     }
 
     /// Installs `addr` (evicting the LRU way if the set is full). If the
@@ -114,44 +132,54 @@ impl SetAssocCache {
         let clock = self.clock;
         let set = self.set_of(addr);
         let ways = self.ways;
-        let set_entries = &mut self.entries[set];
-        if let Some(w) = set_entries.iter_mut().find(|w| w.addr == addr) {
+        if let Some(w) = self.slots_mut(set).iter_mut().find(|w| w.addr == addr) {
             w.stamp = clock;
             w.dirty |= dirty;
             return None;
         }
-        let victim = if set_entries.len() == ways {
-            let (idx, _) = set_entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .expect("full set has entries");
-            let v = set_entries.swap_remove(idx);
-            self.stats.evictions += 1;
-            if v.dirty {
-                self.stats.dirty_evictions += 1;
-            }
-            Some(Eviction {
-                addr: v.addr,
-                dirty: v.dirty,
-            })
-        } else {
-            None
-        };
-        set_entries.push(Way {
+        let new = Way {
             addr,
             dirty,
             stamp: clock,
-        });
-        victim
+        };
+        if (self.occ[set] as usize) < ways {
+            let slot = set * ways + self.occ[set] as usize;
+            self.ways_store[slot] = new;
+            self.occ[set] += 1;
+            return None;
+        }
+        // Full set: overwrite the LRU way in place. Stamps are unique (the
+        // clock advances on every access and install), so the victim choice
+        // matches the old remove-and-push scheme exactly.
+        let (idx, victim) = self
+            .slots(set)
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.stamp)
+            .map(|(i, w)| (i, *w))
+            .expect("full set has entries");
+        self.stats.evictions += 1;
+        if victim.dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        self.ways_store[set * ways + idx] = new;
+        Some(Eviction {
+            addr: victim.addr,
+            dirty: victim.dirty,
+        })
     }
 
     /// Removes `addr` if resident, returning it (used for invalidations).
     pub fn invalidate(&mut self, addr: LineAddr) -> Option<Eviction> {
         let set = self.set_of(addr);
-        let set_entries = &mut self.entries[set];
-        let idx = set_entries.iter().position(|w| w.addr == addr)?;
-        let v = set_entries.swap_remove(idx);
+        let idx = self.slots(set).iter().position(|w| w.addr == addr)?;
+        let base = set * self.ways;
+        let last = self.occ[set] as usize - 1;
+        let v = self.ways_store[base + idx];
+        // Swap the last valid slot into the hole (order is immaterial:
+        // addresses are unique and recency lives in the stamps).
+        self.ways_store[base + idx] = self.ways_store[base + last];
+        self.occ[set] -= 1;
         Some(Eviction {
             addr: v.addr,
             dirty: v.dirty,
@@ -161,7 +189,7 @@ impl SetAssocCache {
     /// Number of valid lines currently resident.
     #[must_use]
     pub fn valid_lines(&self) -> usize {
-        self.entries.iter().map(Vec::len).sum()
+        self.occ.iter().map(|&o| o as usize).sum()
     }
 
     /// Accumulated hit/miss statistics.
@@ -249,6 +277,21 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_middle_way_keeps_the_rest() {
+        let mut c = SetAssocCache::new(4 * 64, 4); // 1 set, 4 ways
+        assert_eq!(c.sets(), 1);
+        for a in [10, 20, 30, 40] {
+            c.install(a, false);
+        }
+        assert!(c.invalidate(20).is_some());
+        assert_eq!(c.valid_lines(), 3);
+        assert!(c.contains(10) && c.contains(30) && c.contains(40));
+        // The freed slot is reusable without an eviction.
+        assert_eq!(c.install(50, false), None);
+        assert_eq!(c.valid_lines(), 4);
+    }
+
+    #[test]
     fn sets_partition_the_address_space() {
         let mut c = SetAssocCache::new(64 * 64, 1); // 64 direct-mapped sets
         c.install(0, false);
@@ -267,6 +310,17 @@ mod tests {
         assert_eq!(c.valid_lines(), 8);
         c.install(100, false); // evicts one
         assert_eq!(c.valid_lines(), 8);
+    }
+
+    #[test]
+    fn eviction_in_one_set_cannot_disturb_neighbors() {
+        let mut c = SetAssocCache::new(4 * 64, 2); // 2 sets, 2 ways
+        c.install(0, false); // set 0
+        c.install(1, true); // set 1
+        c.install(2, false); // set 0 (full)
+        c.install(4, false); // set 0: evicts LRU of set 0 only
+        assert!(c.contains(1), "neighbor set lost a line");
+        assert_eq!(c.valid_lines(), 3);
     }
 
     #[test]

@@ -269,10 +269,40 @@ impl BdiLine {
     }
 }
 
-/// Convenience: the best BDI size for `line`, if any encoding applies.
+/// The best BDI size for `line`, if any encoding applies, computed without
+/// materializing a [`BdiLine`].
+///
+/// Mirrors [`BdiLine::compress`]'s selection order exactly (Zeros, Rep8,
+/// then [`BdiEncoding::BASE_DELTA`] smallest-first) so the reported size
+/// always equals `BdiLine::compress(line).map(|c| c.size())` — a BDI size
+/// is fully determined by the chosen encoding, so only the fit checks run.
 #[must_use]
 pub fn bdi_size(line: &LineData) -> Option<usize> {
-    BdiLine::compress(line).map(|c| c.size())
+    if line.iter().all(|&b| b == 0) {
+        return Some(BdiEncoding::Zeros.size());
+    }
+    let first = elem(line, 8, 0);
+    if (0..8).all(|i| elem(line, 8, i) == first) {
+        return Some(BdiEncoding::Rep8.size());
+    }
+    BdiEncoding::BASE_DELTA
+        .iter()
+        .find(|&&enc| {
+            enc.size() < LINE_BYTES && fits_with_base(line, enc, elem(line, enc.base_bytes(), 0))
+        })
+        .map(|&enc| enc.size())
+}
+
+/// Reads the first little-endian element of `line` at `enc`'s base width —
+/// the base value [`BdiLine::compress`] would pick (and the one paired
+/// compression shares between neighbors).
+#[must_use]
+pub fn natural_base(line: &LineData, enc: BdiEncoding) -> u64 {
+    let b = enc.base_bytes();
+    if b == 0 {
+        return 0;
+    }
+    elem(line, b, 0)
 }
 
 #[cfg(test)]
@@ -436,6 +466,32 @@ mod tests {
     fn deltas_only_size() {
         assert_eq!(BdiEncoding::B4D2.deltas_only_size(), 32);
         assert_eq!(BdiEncoding::B8D1.deltas_only_size(), 8);
+    }
+
+    #[test]
+    fn size_kernel_matches_materialized() {
+        let mut lines: Vec<LineData> = vec![zero_line()];
+        lines.push(line_from_u64s([0x0102_0304_0506_0708; 8]));
+        lines.push(line_from_u32s(core::array::from_fn(|i| {
+            0x0040_0000 + i as u32 * 1000
+        })));
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut noise = zero_line();
+        for chunk in noise.chunks_exact_mut(8) {
+            x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9).wrapping_add(1);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        lines.push(noise);
+        for line in lines {
+            assert_eq!(bdi_size(&line), BdiLine::compress(&line).map(|c| c.size()));
+        }
+    }
+
+    #[test]
+    fn natural_base_matches_compressor_choice() {
+        let line = line_from_u32s(core::array::from_fn(|i| 0x0040_0000 + i as u32 * 4));
+        let c = BdiLine::compress(&line).expect("b4d1");
+        assert_eq!(natural_base(&line, c.encoding()), c.base());
     }
 
     #[test]

@@ -212,10 +212,33 @@ impl FpcLine {
     }
 }
 
-/// Convenience: the FPC-compressed byte size of `line`.
+/// The FPC-compressed byte size of `line`, computed without materializing
+/// the bit-stream.
+///
+/// This is the simulator's hot path: capacity accounting only ever needs
+/// sizes, so the kernel sums the per-word bit widths ([`classify`] plus the
+/// zero-run rule) instead of packing payload bits through a [`BitWriter`].
+/// The contract — enforced by a property test — is exact equality with
+/// `FpcLine::compress(line).size()` for every input.
 #[must_use]
 pub fn fpc_size(line: &LineData) -> usize {
-    FpcLine::compress(line).size()
+    let words = words_of_line(line);
+    let mut bits: u32 = 0;
+    let mut i = 0;
+    while i < words.len() {
+        if words[i] == 0 {
+            let mut run = 1;
+            while i + run < words.len() && words[i + run] == 0 && run < 8 {
+                run += 1;
+            }
+            bits += PREFIX_BITS + 3; // prefix + 3-bit run length
+            i += run;
+        } else {
+            bits += PREFIX_BITS + classify(words[i]).payload_bits;
+            i += 1;
+        }
+    }
+    (bits as usize).div_ceil(8)
 }
 
 #[cfg(test)]
@@ -334,6 +357,32 @@ mod tests {
         // runs: 5 zeros, value, 5 zeros, value, 4 zeros
         // bits: 6 + 7 + 6 + 11 + 6 = 36 -> 5 bytes
         assert_eq!(c.size(), 5);
+    }
+
+    #[test]
+    fn size_kernel_matches_bitstream_length() {
+        let cases: [[u32; 16]; 6] = [
+            [0u32; 16],
+            [3u32; 16],
+            [0x1234_5678u32; 16],
+            [0x5a5a_5a5au32; 16],
+            core::array::from_fn(|i| {
+                if i % 3 == 0 {
+                    0
+                } else {
+                    0xabcd_0000 + i as u32
+                }
+            }),
+            core::array::from_fn(|i| (i as u32).wrapping_mul(0x9e37_79b9)),
+        ];
+        for words in cases {
+            let line = line_from_words(&words);
+            assert_eq!(
+                fpc_size(&line),
+                FpcLine::compress(&line).size(),
+                "size kernel diverged for {words:x?}"
+            );
+        }
     }
 
     #[test]

@@ -109,13 +109,20 @@ pub fn decompress(c: &Compressed) -> LineData {
     }
 }
 
-/// Convenience: the hybrid compressed size of `line` in bytes.
+/// The hybrid compressed size of `line` in bytes, computed without building
+/// a [`Compressed`] value (no `Vec<u8>` payloads, no heap traffic).
 ///
-/// Equivalent to `compress(line).size()` but what the simulator's hot path
-/// calls when only the size matters (e.g. the DICE 36 B insertion decision).
+/// This is what the simulator's hot path calls when only the size matters
+/// (e.g. the DICE 36 B insertion decision, set occupancy accounting). The
+/// contract is exact equality with `compress(line).size()`: the size-only
+/// FPC and BDI kernels replicate the materializing selection logic, and the
+/// raw fallback caps the result at [`LINE_BYTES`] just as [`compress`]
+/// stores the line uncompressed when neither codec helps.
 #[must_use]
 pub fn compressed_size(line: &LineData) -> usize {
-    compress(line).size()
+    let fpc = crate::fpc::fpc_size(line);
+    let bdi = crate::bdi::bdi_size(line).unwrap_or(usize::MAX);
+    fpc.min(bdi).min(LINE_BYTES)
 }
 
 #[cfg(test)]
@@ -185,6 +192,31 @@ mod tests {
         // Even for the FPC worst case (70 B), the hybrid caps at 64 B raw.
         let line = line_from_words(&[0x1357_9bdf; 16]);
         assert!(compress(&line).size() <= LINE_BYTES);
+    }
+
+    #[test]
+    fn size_kernel_matches_materialized() {
+        let mut lines: Vec<crate::LineData> = vec![zero_line()];
+        lines.push(line_from_words(&core::array::from_fn(|i| {
+            [3u32, 5, 7][i % 3]
+        })));
+        lines.push(line_from_words(&[3u32; 16]));
+        lines.push(line_from_words(&core::array::from_fn(|i| {
+            0x1234_5678 + i as u32
+        })));
+        lines.push(line_from_words(&[0x1357_9bdf; 16]));
+        let mut noise = zero_line();
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        for chunk in noise.chunks_exact_mut(8) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        lines.push(noise);
+        for line in lines {
+            assert_eq!(compressed_size(&line), compress(&line).size());
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Base sharing is what lets two 36 B `B4D2` lines fit one TAD:
 //! 4 B base + 32 B deltas + 32 B deltas = 68 B ≤ 72 B − 4 B shared tag.
 
-use crate::bdi::{BdiEncoding, BdiLine};
+use crate::bdi::{fits_with_base, BdiEncoding, BdiLine};
 use crate::hybrid::{compress, decompress, Compressed};
 use crate::LineData;
 
@@ -115,13 +115,39 @@ pub fn compress_pair(a: &LineData, b: &LineData) -> PairCompressed {
     }
 }
 
-/// Convenience: the joint compressed size of a pair in bytes.
+/// The joint compressed size of a pair in bytes, computed without building
+/// [`PairCompressed`] (or any intermediate `Vec<u8>` payloads).
 ///
 /// This is the quantity Figure 4's "Double ≤ 68 B" metric measures: a pair
 /// whose joint size is ≤ 68 B fits a 72 B TAD alongside one shared 4 B tag.
+///
+/// The selection loop is a size-only replica of [`compress_pair`] — same
+/// candidate order, same skip rules, same shared-base fit checks — so the
+/// result always equals `compress_pair(a, b).total_size()` (enforced by a
+/// property test).
 #[must_use]
 pub fn pair_compressed_size(a: &LineData, b: &LineData) -> usize {
-    compress_pair(a, b).total_size()
+    let concat_size = crate::hybrid::compressed_size(a) + crate::hybrid::compressed_size(b);
+
+    let mut best: Option<BdiEncoding> = None;
+    for enc in BdiEncoding::BASE_DELTA {
+        let shared_size = enc.size() + enc.deltas_only_size();
+        if shared_size >= concat_size {
+            continue;
+        }
+        if best.is_some_and(|e| e.size() + e.deltas_only_size() <= shared_size) {
+            continue;
+        }
+        let base = first_elem(a, enc.base_bytes());
+        if fits_with_base(a, enc, base) && fits_with_base(b, enc, base) {
+            best = Some(enc);
+        }
+    }
+
+    match best {
+        Some(enc) => enc.size() + enc.deltas_only_size(),
+        None => concat_size,
+    }
 }
 
 fn first_elem(line: &LineData, b: usize) -> u64 {
@@ -210,6 +236,33 @@ mod tests {
             chunk.copy_from_slice(&x.wrapping_mul(0x2545_f491_4f6c_dd1d).to_le_bytes());
         }
         assert!(pair_compressed_size(&worst, &worst) <= 2 * LINE_BYTES);
+    }
+
+    #[test]
+    fn pair_size_kernel_matches_materialized() {
+        let shared_a: LineData =
+            line_from_u32s(core::array::from_fn(|i| 0x0800_0000 + i as u32 * 900));
+        let shared_b: LineData =
+            line_from_u32s(core::array::from_fn(|i| 0x0800_4000 + i as u32 * 900));
+        let mut noise = zero_line();
+        let mut x = 0x0123_4567_89ab_cdefu64;
+        for chunk in noise.chunks_exact_mut(8) {
+            x = x.rotate_left(17).wrapping_mul(0x2545_f491_4f6c_dd1d);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        let cases = [
+            (shared_a, shared_b),
+            (zero_line(), zero_line()),
+            (line_from_u32s([7u32; 16]), noise),
+            (noise, noise),
+            (zero_line(), line_from_u32s([1u32; 16])),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                pair_compressed_size(&a, &b),
+                compress_pair(&a, &b).total_size()
+            );
+        }
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! format relies on.
 
 use dice_compress::{
-    bdi::BdiLine, compress, compress_pair, compressed_size, cpack::CpackLine, decompress,
-    fpc::FpcLine, pair_compressed_size, LineData, LINE_BYTES,
+    bdi::{bdi_size, BdiLine},
+    compress, compress_pair, compressed_size,
+    cpack::CpackLine,
+    decompress,
+    fpc::{fpc_size, FpcLine},
+    pair_compressed_size, LineData, LINE_BYTES,
 };
 use proptest::prelude::*;
 
@@ -137,5 +141,54 @@ proptest! {
         // both must stay within two raw lines.
         prop_assert!(pair_compressed_size(&a, &b) <= 2 * LINE_BYTES);
         prop_assert!(pair_compressed_size(&b, &a) <= 2 * LINE_BYTES);
+    }
+
+    // The size-only hot-path kernels must report *exactly* the sizes the
+    // materializing compressors produce — the DRAM-cache capacity and
+    // indexing decisions ride on them being interchangeable.
+
+    #[test]
+    fn fpc_size_kernel_matches_materialized(line in arb_line()) {
+        prop_assert_eq!(fpc_size(&line), FpcLine::compress(&line).size());
+    }
+
+    #[test]
+    fn fpc_size_kernel_matches_materialized_structured(line in arb_structured_line()) {
+        prop_assert_eq!(fpc_size(&line), FpcLine::compress(&line).size());
+    }
+
+    #[test]
+    fn bdi_size_kernel_matches_materialized(line in arb_line()) {
+        prop_assert_eq!(bdi_size(&line), BdiLine::compress(&line).map(|c| c.size()));
+    }
+
+    #[test]
+    fn bdi_size_kernel_matches_materialized_structured(line in arb_structured_line()) {
+        prop_assert_eq!(bdi_size(&line), BdiLine::compress(&line).map(|c| c.size()));
+    }
+
+    #[test]
+    fn hybrid_size_kernel_matches_materialized(line in arb_line()) {
+        prop_assert_eq!(compressed_size(&line), compress(&line).size());
+    }
+
+    #[test]
+    fn hybrid_size_kernel_matches_materialized_structured(line in arb_structured_line()) {
+        prop_assert_eq!(compressed_size(&line), compress(&line).size());
+    }
+
+    #[test]
+    fn pair_size_kernel_matches_materialized(a in arb_line(), b in arb_line()) {
+        prop_assert_eq!(pair_compressed_size(&a, &b), compress_pair(&a, &b).total_size());
+    }
+
+    #[test]
+    fn pair_size_kernel_matches_materialized_structured(
+        a in arb_structured_line(),
+        b in arb_structured_line(),
+    ) {
+        prop_assert_eq!(pair_compressed_size(&a, &b), compress_pair(&a, &b).total_size());
+        // Mixed random/structured pairs exercise the concat fallback.
+        prop_assert_eq!(pair_compressed_size(&b, &a), compress_pair(&b, &a).total_size());
     }
 }

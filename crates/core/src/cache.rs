@@ -9,8 +9,9 @@
 //! directly.
 
 use crate::cip::CachePredictor;
-use crate::cset::{CompressedSet, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES};
+use crate::cset::{CompressedSet, Evicted, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES};
 use crate::indexing::{IndexScheme, Indexer, SetIndex};
+use crate::inline_vec::InlineVec;
 use crate::mapi::HitPredictor;
 use crate::stats::L4Stats;
 use crate::LineAddr;
@@ -106,7 +107,7 @@ impl DramCacheConfig {
 }
 
 /// One physical access to the DRAM-cache array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Probe {
     /// The set accessed.
     pub set: SetIndex,
@@ -116,16 +117,28 @@ pub struct Probe {
     pub bytes: u32,
 }
 
+/// Probe sequence of one operation. Worst case is four probes (SCC hit:
+/// three tag lookups plus data), so the buffer never spills to the heap.
+pub type ProbeList = InlineVec<Probe, 4>;
+
+/// Free pair-partner lines delivered with a hit. At most one partner per
+/// aligned pair; two slots leave headroom without leaving the stack.
+pub type FreeLineList = InlineVec<LineAddr, 2>;
+
+/// Dirty victims of one insertion. A set holds at most
+/// [`MAX_LINES_PER_SET`] lines, bounding evictions per operation.
+pub type WritebackList = InlineVec<LineAddr, MAX_LINES_PER_SET>;
+
 /// Result of a demand read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadOutcome {
     /// Whether the line was found (in either candidate location).
     pub hit: bool,
     /// Physical accesses performed, in order.
-    pub probes: Vec<Probe>,
+    pub probes: ProbeList,
     /// Adjacent lines delivered free with the hit (pair partners resident
     /// in the same set) — candidates for L3 installation.
-    pub free_lines: Vec<LineAddr>,
+    pub free_lines: FreeLineList,
     /// MAP-I's prediction for this access (made before probing); the
     /// simulator overlaps the memory access when this is `false`.
     pub predicted_hit: bool,
@@ -135,9 +148,16 @@ pub struct ReadOutcome {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteOutcome {
     /// Physical accesses performed, in order.
-    pub probes: Vec<Probe>,
+    pub probes: ProbeList,
     /// Dirty victims that must be written to main memory.
-    pub memory_writebacks: Vec<LineAddr>,
+    pub memory_writebacks: WritebackList,
+}
+
+/// A one-element probe list (the common single-access case).
+fn one_probe(set: SetIndex, write: bool, bytes: u32) -> ProbeList {
+    let mut probes = ProbeList::new();
+    probes.push(Probe { set, write, bytes });
+    probes
 }
 
 /// The DRAM-cache controller.
@@ -169,6 +189,9 @@ pub struct DramCacheController {
     mapi: HitPredictor,
     stamp: u64,
     stats: L4Stats,
+    /// Reusable eviction buffer: after warmup its capacity covers any
+    /// insertion, so steady-state fills and writebacks never allocate.
+    evict_scratch: Vec<Evicted>,
 }
 
 impl DramCacheController {
@@ -187,6 +210,7 @@ impl DramCacheController {
             mapi: HitPredictor::new(cfg.mapi_entries),
             stamp: 0,
             stats: L4Stats::default(),
+            evict_scratch: Vec::with_capacity(MAX_LINES_PER_SET),
             cfg,
         }
     }
@@ -309,15 +333,11 @@ impl DramCacheController {
                 let free_lines = if hit && self.set_mode() == SetMode::Compressed {
                     self.partner_in(set, line, stamp).into_iter().collect()
                 } else {
-                    Vec::new()
+                    FreeLineList::new()
                 };
                 ReadOutcome {
                     hit,
-                    probes: vec![Probe {
-                        set,
-                        write: false,
-                        bytes: rb,
-                    }],
+                    probes: one_probe(set, false, rb),
                     free_lines,
                     predicted_hit,
                 }
@@ -346,15 +366,11 @@ impl DramCacheController {
             let free_lines = if hit {
                 self.partner_in(set, line, stamp).into_iter().collect()
             } else {
-                Vec::new()
+                FreeLineList::new()
             };
             return ReadOutcome {
                 hit,
-                probes: vec![Probe {
-                    set,
-                    write: false,
-                    bytes: rb,
-                }],
+                probes: one_probe(set, false, rb),
                 free_lines,
                 predicted_hit,
             };
@@ -364,11 +380,7 @@ impl DramCacheController {
         let s_pred = self.ix.index(line, pred_scheme);
         let s_alt = self.ix.index(line, pred_scheme.other());
         debug_assert_eq!(s_alt, s_pred ^ 1, "BAI/TSI candidates are LSB-adjacent");
-        let mut probes = vec![Probe {
-            set: s_pred,
-            write: false,
-            bytes: rb,
-        }];
+        let mut probes = one_probe(s_pred, false, rb);
 
         if self.sets[s_pred as usize]
             .touch(line, stamp, false)
@@ -424,7 +436,7 @@ impl DramCacheController {
                 self.cip.update(line, pred_scheme.other());
                 self.partner_in(s, line, stamp).into_iter().collect()
             }
-            None => Vec::new(),
+            None => FreeLineList::new(),
         };
         ReadOutcome {
             hit,
@@ -445,23 +457,14 @@ impl DramCacheController {
         // Tag lookups transfer only the tag region of each candidate set
         // (one 16 B burst); the data access moves the full TAD.
         let tag_bytes = 16;
-        let mut probes = vec![
-            Probe {
-                set: home,
+        let mut probes = ProbeList::new();
+        for set in [home, skew1, skew2] {
+            probes.push(Probe {
+                set,
                 write: false,
                 bytes: tag_bytes,
-            },
-            Probe {
-                set: skew1,
-                write: false,
-                bytes: tag_bytes,
-            },
-            Probe {
-                set: skew2,
-                write: false,
-                bytes: tag_bytes,
-            },
-        ];
+            });
+        }
         let hit = self.sets[home as usize].touch(line, stamp, false).is_some();
         if hit {
             probes.push(Probe {
@@ -473,7 +476,7 @@ impl DramCacheController {
         ReadOutcome {
             hit,
             probes,
-            free_lines: Vec::new(),
+            free_lines: FreeLineList::new(),
             predicted_hit,
         }
     }
@@ -513,6 +516,37 @@ impl DramCacheController {
         }
     }
 
+    /// Inserts `line` into `set` through the reusable eviction scratch
+    /// buffer and returns the dirty victims needing memory writebacks.
+    fn install(
+        &mut self,
+        set: SetIndex,
+        line: LineAddr,
+        dirty: bool,
+        scheme: IndexScheme,
+        mode: SetMode,
+        info: &mut dyn SizeInfo,
+    ) -> WritebackList {
+        let stamp = self.next_stamp();
+        self.sets[set as usize].insert_into(
+            line,
+            dirty,
+            scheme,
+            stamp,
+            mode,
+            info,
+            &mut self.evict_scratch,
+        );
+        let memory_writebacks: WritebackList = self
+            .evict_scratch
+            .iter()
+            .filter(|e| e.dirty)
+            .map(|e| e.line)
+            .collect();
+        self.stats.memory_writebacks += memory_writebacks.len() as u64;
+        memory_writebacks
+    }
+
     /// Installs `line` after a memory fetch. `probed` is the set already
     /// read on the miss path, if any — installing there needs no second
     /// read-modify-write read.
@@ -530,7 +564,7 @@ impl DramCacheController {
             self.cip.train(line, scheme);
         }
 
-        let mut probes = Vec::with_capacity(2);
+        let mut probes = ProbeList::new();
         let needs_rmw = self.set_mode() == SetMode::Compressed && probed != Some(set);
         if needs_rmw {
             probes.push(Probe {
@@ -545,12 +579,8 @@ impl DramCacheController {
             bytes: self.cfg.write_bytes(),
         });
 
-        let stamp = self.next_stamp();
         let mode = self.set_mode();
-        let evicted = self.sets[set as usize].insert(line, dirty, scheme, stamp, mode, info);
-        let memory_writebacks: Vec<LineAddr> =
-            evicted.iter().filter(|e| e.dirty).map(|e| e.line).collect();
-        self.stats.memory_writebacks += memory_writebacks.len() as u64;
+        let memory_writebacks = self.install(set, line, dirty, scheme, mode, info);
         WriteOutcome {
             probes,
             memory_writebacks,
@@ -572,24 +602,14 @@ impl DramCacheController {
             // One candidate location: read-modify-write it.
             let (scheme, set, invariant) = self.install_target(line, info);
             self.record_install(scheme, invariant);
-            let probes = vec![
-                Probe {
-                    set,
-                    write: false,
-                    bytes: rb,
-                },
-                Probe {
-                    set,
-                    write: true,
-                    bytes: wbts,
-                },
-            ];
-            let stamp = self.next_stamp();
+            let mut probes = one_probe(set, false, rb);
+            probes.push(Probe {
+                set,
+                write: true,
+                bytes: wbts,
+            });
             let mode = self.set_mode();
-            let evicted = self.sets[set as usize].insert(line, true, scheme, stamp, mode, info);
-            let memory_writebacks: Vec<LineAddr> =
-                evicted.iter().filter(|e| e.dirty).map(|e| e.line).collect();
-            self.stats.memory_writebacks += memory_writebacks.len() as u64;
+            let memory_writebacks = self.install(set, line, true, scheme, mode, info);
             return WriteOutcome {
                 probes,
                 memory_writebacks,
@@ -599,11 +619,7 @@ impl DramCacheController {
         // DICE, non-invariant line: predict by compressibility.
         let (pred_scheme, s_pred, _) = self.install_target(line, info);
         let s_alt = s_pred ^ 1;
-        let mut probes = vec![Probe {
-            set: s_pred,
-            write: false,
-            bytes: rb,
-        }];
+        let mut probes = one_probe(s_pred, false, rb);
 
         let resident_pred = self.sets[s_pred as usize].get(line).is_some();
         let resident_alt = self.sets[s_alt as usize].get(line).is_some();
@@ -639,12 +655,7 @@ impl DramCacheController {
             bytes: wbts,
         });
 
-        let stamp = self.next_stamp();
-        let evicted =
-            self.sets[set as usize].insert(line, true, scheme, stamp, SetMode::Compressed, info);
-        let memory_writebacks: Vec<LineAddr> =
-            evicted.iter().filter(|e| e.dirty).map(|e| e.line).collect();
-        self.stats.memory_writebacks += memory_writebacks.len() as u64;
+        let memory_writebacks = self.install(set, line, true, scheme, SetMode::Compressed, info);
         WriteOutcome {
             probes,
             memory_writebacks,

@@ -125,6 +125,10 @@ impl CompressedSet {
     /// Inserts (or refreshes) `line`, evicting least-recently-used entries
     /// until the contents fit `mode`'s capacity. The inserted line itself is
     /// never evicted (a single raw line always fits: 4 + 64 ≤ 72).
+    ///
+    /// Convenience wrapper over [`insert_into`](Self::insert_into) that
+    /// allocates a fresh eviction vector; hot paths should hold a reusable
+    /// scratch buffer and call `insert_into` directly.
     pub fn insert(
         &mut self,
         line: LineAddr,
@@ -134,6 +138,27 @@ impl CompressedSet {
         mode: SetMode,
         info: &mut dyn SizeInfo,
     ) -> Vec<Evicted> {
+        let mut evicted = Vec::new();
+        self.insert_into(line, dirty, scheme, stamp, mode, info, &mut evicted);
+        evicted
+    }
+
+    /// [`insert`](Self::insert), but reporting evictions through a
+    /// caller-owned buffer: `evicted` is cleared, then the victims (if any)
+    /// are appended. With a reused buffer the steady-state path performs no
+    /// heap allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_into(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        scheme: IndexScheme,
+        stamp: u64,
+        mode: SetMode,
+        info: &mut dyn SizeInfo,
+        evicted: &mut Vec<Evicted>,
+    ) {
+        evicted.clear();
         if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
             e.stamp = stamp;
             e.dirty |= dirty;
@@ -147,7 +172,6 @@ impl CompressedSet {
             });
         }
 
-        let mut evicted = Vec::new();
         loop {
             let over = match mode {
                 SetMode::Uncompressed => self.entries.len() > 1,
@@ -172,7 +196,6 @@ impl CompressedSet {
                 dirty: v.dirty,
             });
         }
-        evicted
     }
 
     /// Removes `line` if resident.

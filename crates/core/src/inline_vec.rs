@@ -1,0 +1,279 @@
+//! A small vector with inline storage for per-access outcome buffers.
+//!
+//! Every DRAM-cache operation reports its probes, free lines and memory
+//! writebacks. With `Vec` those reports cost one-to-three heap allocations
+//! per simulated access; [`InlineVec`] keeps the common case (a handful of
+//! elements) on the stack and falls back to a heap `Vec` only past its
+//! inline capacity, so steady-state access handling allocates nothing.
+
+/// A vector storing up to `N` elements inline, spilling to the heap beyond.
+///
+/// Semantically interchangeable with `Vec<T>` for the operations the
+/// outcome types need: push, iteration, slice access and equality (which
+/// compares *contents*, never representation). `T: Copy + Default` keeps
+/// the implementation free of `unsafe` (the crate forbids it): the inline
+/// array is default-initialized and elements are copied in.
+#[derive(Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    repr: Repr<T, N>,
+}
+
+#[derive(Clone)]
+enum Repr<T: Copy + Default, const N: usize> {
+    Inline { buf: [T; N], len: usize },
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no heap allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            repr: Repr::Inline {
+                buf: [T::default(); N],
+                len: 0,
+            },
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// True when no element is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when elements live in the inline buffer (introspection for the
+    /// allocation-free tests).
+    #[must_use]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+
+    /// Appends `value`, moving all elements to the heap only when the
+    /// inline capacity `N` is exceeded.
+    pub fn push(&mut self, value: T) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    v.extend_from_slice(&buf[..*len]);
+                    v.push(value);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes all elements, keeping the current representation's storage.
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Heap(v) => v.clear(),
+        }
+    }
+
+    /// The elements as a contiguous slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Inline { buf, len } => &buf[..*len],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> core::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> core::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default + core::fmt::Debug, const N: usize> core::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+// Equality is over contents: two InlineVecs compare equal regardless of
+// whether either has spilled, and comparisons against Vec/slices/arrays
+// keep existing call sites and tests source-compatible.
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<InlineVec<T, M>>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &InlineVec<T, M>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<InlineVec<T, N>> for Vec<T> {
+    fn eq(&self, other: &InlineVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<&[T]> for InlineVec<T, N> {
+    fn eq(&self, other: &&[T]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = core::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// By-value iterator over an [`InlineVec`] (elements are `Copy`).
+pub struct IntoIter<T: Copy + Default, const N: usize> {
+    vec: InlineVec<T, N>,
+    next: usize,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        let v = self.vec.as_slice().get(self.next).copied()?;
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter { vec: self, next: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+            assert!(v.is_inline());
+        }
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i * 10);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v, vec![0, 10, 20, 30, 40]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let mut a: InlineVec<u32, 2> = (0..5).collect();
+        let b: InlineVec<u32, 8> = (0..5).collect();
+        assert!(!a.is_inline());
+        assert!(b.is_inline());
+        assert_eq!(a, b);
+        a.push(9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clear_keeps_heap_storage_reusable() {
+        let mut v: InlineVec<u8, 1> = (0..4).collect();
+        assert!(!v.is_inline());
+        v.clear();
+        assert!(v.is_empty());
+        assert!(
+            !v.is_inline(),
+            "clear must not shrink back (capacity reuse)"
+        );
+        v.push(7);
+        assert_eq!(v, vec![7]);
+    }
+
+    #[test]
+    fn by_value_iteration_yields_all_elements() {
+        let v: InlineVec<u16, 3> = (0..7).collect();
+        let collected: Vec<u16> = v.into_iter().collect();
+        assert_eq!(collected, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_access_via_deref() {
+        let v: InlineVec<u32, 4> = (0..3).collect();
+        assert_eq!(v.last(), Some(&2));
+        assert_eq!(&v[..2], &[0, 1]);
+    }
+}

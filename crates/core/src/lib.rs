@@ -57,18 +57,20 @@ mod cache;
 mod cip;
 mod cset;
 mod indexing;
+mod inline_vec;
 mod mapi;
 mod stats;
 
 pub use cache::{
-    DramCacheConfig, DramCacheController, Organization, Probe, ReadOutcome, TagVariant,
-    WriteOutcome,
+    DramCacheConfig, DramCacheController, FreeLineList, Organization, Probe, ProbeList,
+    ReadOutcome, TagVariant, WriteOutcome, WritebackList,
 };
 pub use cip::CachePredictor;
 pub use cset::{
     CompressedSet, Entry, Evicted, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES,
 };
 pub use indexing::{IndexScheme, Indexer, SetIndex};
+pub use inline_vec::InlineVec;
 pub use mapi::HitPredictor;
 pub use stats::L4Stats;
 

@@ -3,8 +3,8 @@
 //! operation sequences.
 
 use dice_core::{
-    DramCacheConfig, DramCacheController, IndexScheme, Indexer, Organization, SizeInfo, TagVariant,
-    MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES,
+    CompressedSet, DramCacheConfig, DramCacheController, Evicted, IndexScheme, Indexer, InlineVec,
+    Organization, SetMode, SizeInfo, TagVariant, MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES,
 };
 use proptest::prelude::*;
 
@@ -185,5 +185,103 @@ proptest! {
     fn format_constants_are_consistent(_x in 0u8..1) {
         prop_assert!(TAG_BYTES * MAX_LINES_PER_SET as u32 >= SET_BYTES,
             "28 lines only fit via tag sharing — the cap must exceed the byte budget");
+    }
+
+    #[test]
+    fn insert_into_with_reused_scratch_matches_fresh_insert(
+        inserts in proptest::collection::vec((any::<u8>(), any::<bool>(), any::<bool>()), 1..120),
+    ) {
+        // The allocation-free path (`insert_into` + one reused buffer) must
+        // be observationally identical to the allocating `insert` wrapper:
+        // same evictions in the same order, same resulting set contents.
+        let mut fresh = CompressedSet::default();
+        let mut reused = CompressedSet::default();
+        let mut scratch: Vec<Evicted> = Vec::new();
+        let mut sizes_a = HashSizes;
+        let mut sizes_b = HashSizes;
+        for (stamp, &(line, dirty, bai)) in inserts.iter().enumerate() {
+            let scheme = if bai { IndexScheme::Bai } else { IndexScheme::Tsi };
+            let ev = fresh.insert(
+                u64::from(line),
+                dirty,
+                scheme,
+                stamp as u64,
+                SetMode::Compressed,
+                &mut sizes_a,
+            );
+            reused.insert_into(
+                u64::from(line),
+                dirty,
+                scheme,
+                stamp as u64,
+                SetMode::Compressed,
+                &mut sizes_b,
+                &mut scratch,
+            );
+            prop_assert_eq!(&ev, &scratch, "evictions diverged at stamp {}", stamp);
+            prop_assert_eq!(fresh.entries(), reused.entries());
+        }
+    }
+
+    #[test]
+    fn controller_outcomes_are_reproducible(ops in arb_ops()) {
+        // Two fresh controllers fed the same sequence must report identical
+        // outcome *contents* (probes, free lines, writebacks) — the inline
+        // buffers carry exactly what the Vec-returning outcomes carried.
+        for org in [Organization::Dice { threshold: 36 }, Organization::CompressedBai] {
+            let cfg = DramCacheConfig::with_capacity(org, 256 * 64);
+            let mut a = DramCacheController::new(cfg);
+            let mut b = DramCacheController::new(cfg);
+            let mut sizes_a = HashSizes;
+            let mut sizes_b = HashSizes;
+            for op in &ops {
+                match *op {
+                    Op::Read(l) => {
+                        let (ra, rb) = (a.read(u64::from(l)), b.read(u64::from(l)));
+                        prop_assert_eq!(&ra, &rb);
+                        prop_assert!(ra.probes.len() <= 4, "probe list spilled its bound");
+                    }
+                    Op::Fill(l, d) => {
+                        let wa = a.fill(u64::from(l), d, None, &mut sizes_a);
+                        let wb = b.fill(u64::from(l), d, None, &mut sizes_b);
+                        prop_assert_eq!(&wa, &wb);
+                        prop_assert!(wa.memory_writebacks.len() <= MAX_LINES_PER_SET);
+                    }
+                    Op::Writeback(l) => {
+                        let wa = a.writeback(u64::from(l), &mut sizes_a);
+                        let wb = b.writeback(u64::from(l), &mut sizes_b);
+                        prop_assert_eq!(&wa, &wb);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inline_vec_behaves_like_vec(
+        values in proptest::collection::vec(any::<u64>(), 0..40),
+        clear_at in 0u8..60,
+    ) {
+        // Model check: InlineVec (inline capacity 4, well below the input
+        // length bound) tracks Vec through pushes, clears and iteration.
+        // `clear_at` past the input length simply means no clear happens.
+        let mut iv: InlineVec<u64, 4> = InlineVec::new();
+        let mut model: Vec<u64> = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i == usize::from(clear_at) {
+                iv.clear();
+                model.clear();
+            }
+            iv.push(v);
+            model.push(v);
+            prop_assert_eq!(iv.len(), model.len());
+            prop_assert_eq!(iv.as_slice(), model.as_slice());
+            prop_assert_eq!(iv.last(), model.last());
+        }
+        prop_assert_eq!(&iv, &model);
+        let roundtrip: Vec<u64> = iv.clone().into_iter().collect();
+        prop_assert_eq!(&roundtrip, &model);
+        let collected: InlineVec<u64, 4> = model.iter().copied().collect();
+        prop_assert_eq!(collected, model);
     }
 }

@@ -45,7 +45,7 @@ mod spec;
 mod trace;
 mod value;
 
-pub use data::{DataModel, MixDataModel};
+pub use data::{DataModel, MixDataModel, PAIR_SIZE_SATURATED};
 pub use rng::SplitMix64;
 pub use source::{load_trace, save_trace, RecordSource, ReplaySource};
 pub use spec::{

@@ -50,6 +50,33 @@ proptest! {
     }
 
     #[test]
+    fn size_kernels_match_materialized_over_all_page_classes(
+        seed in any::<u64>(),
+        line in 0u64..1_000_000,
+    ) {
+        // The size-only kernels must equal the materializing compressors on
+        // every value class the workload generators can synthesize — these
+        // bytes are exactly what the simulator's hot path sizes up.
+        let even = line & !1;
+        for class in PageClass::ALL {
+            let a = line_data(seed, class, even);
+            let b = line_data(seed, class, even | 1);
+            prop_assert_eq!(
+                dice_compress::compressed_size(&a),
+                dice_compress::compress(&a).size(),
+                "single size kernel diverged for {:?}",
+                class
+            );
+            prop_assert_eq!(
+                dice_compress::pair_compressed_size(&a, &b),
+                dice_compress::compress_pair(&a, &b).total_size(),
+                "pair size kernel diverged for {:?}",
+                class
+            );
+        }
+    }
+
+    #[test]
     fn line_data_matches_cached_size(idx in arb_spec_index(), line in 0u64..1_000_000) {
         let spec = spec_table().swap_remove(idx);
         let mut m = DataModel::new(&spec, 7);

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_free-38dd32a394eac6d5.d: crates/core/tests/alloc_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_free-38dd32a394eac6d5.rmeta: crates/core/tests/alloc_free.rs Cargo.toml
+
+crates/core/tests/alloc_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unnecessary_to_owned__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-786214d7fae24983.d: crates/core/tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-786214d7fae24983: crates/core/tests/alloc_free.rs
+
+crates/core/tests/alloc_free.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-5791463584310c81.d: crates/bench/src/bin/bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-5791463584310c81.rmeta: crates/bench/src/bin/bench.rs Cargo.toml
+
+crates/bench/src/bin/bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unnecessary_to_owned__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-d8280ff81305d49f.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-d8280ff81305d49f: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/dice_core-35a0479caf3d3bfc.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+/root/repo/target/debug/deps/dice_core-35a0479caf3d3bfc.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs
 
-/root/repo/target/debug/deps/libdice_core-35a0479caf3d3bfc.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+/root/repo/target/debug/deps/libdice_core-35a0479caf3d3bfc.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs
 
-/root/repo/target/debug/deps/libdice_core-35a0479caf3d3bfc.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+/root/repo/target/debug/deps/libdice_core-35a0479caf3d3bfc.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cache.rs:
 crates/core/src/cip.rs:
 crates/core/src/cset.rs:
 crates/core/src/indexing.rs:
+crates/core/src/inline_vec.rs:
 crates/core/src/mapi.rs:
 crates/core/src/stats.rs:

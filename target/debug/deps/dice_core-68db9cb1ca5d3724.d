@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/dice_core-68db9cb1ca5d3724.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+/root/repo/target/debug/deps/dice_core-68db9cb1ca5d3724.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs
 
-/root/repo/target/debug/deps/dice_core-68db9cb1ca5d3724: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+/root/repo/target/debug/deps/dice_core-68db9cb1ca5d3724: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cache.rs:
 crates/core/src/cip.rs:
 crates/core/src/cset.rs:
 crates/core/src/indexing.rs:
+crates/core/src/inline_vec.rs:
 crates/core/src/mapi.rs:
 crates/core/src/stats.rs:

@@ -1,15 +1,16 @@
-/root/repo/target/debug/deps/dice_core-d458d9be3def0b7b.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/dice_core-d458d9be3def0b7b.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdice_core-d458d9be3def0b7b.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libdice_core-d458d9be3def0b7b.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/cache.rs:
 crates/core/src/cip.rs:
 crates/core/src/cset.rs:
 crates/core/src/indexing.rs:
+crates/core/src/inline_vec.rs:
 crates/core/src/mapi.rs:
 crates/core/src/stats.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unnecessary_to_owned__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::redundant_clone__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

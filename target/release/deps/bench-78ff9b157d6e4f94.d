@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-78ff9b157d6e4f94.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-78ff9b157d6e4f94: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/dice_core-5e53f4abcb8ac8fc.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+/root/repo/target/release/deps/dice_core-5e53f4abcb8ac8fc.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs
 
-/root/repo/target/release/deps/libdice_core-5e53f4abcb8ac8fc.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+/root/repo/target/release/deps/libdice_core-5e53f4abcb8ac8fc.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs
 
-/root/repo/target/release/deps/libdice_core-5e53f4abcb8ac8fc.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/mapi.rs crates/core/src/stats.rs
+/root/repo/target/release/deps/libdice_core-5e53f4abcb8ac8fc.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/cip.rs crates/core/src/cset.rs crates/core/src/indexing.rs crates/core/src/inline_vec.rs crates/core/src/mapi.rs crates/core/src/stats.rs
 
 crates/core/src/lib.rs:
 crates/core/src/cache.rs:
 crates/core/src/cip.rs:
 crates/core/src/cset.rs:
 crates/core/src/indexing.rs:
+crates/core/src/inline_vec.rs:
 crates/core/src/mapi.rs:
 crates/core/src/stats.rs:
