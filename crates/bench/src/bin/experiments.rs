@@ -20,6 +20,17 @@
 //!                       latency quantiles, interval time series) as JSON
 //!        --trace PATH   capture per-run transaction traces and write them
 //!                       as one Chrome trace_event file (open in Perfetto)
+//!        --audit N      run the invariant auditor every N demand records
+//!                       (read-only on a healthy system: results are
+//!                       identical to an unaudited run)
+//!        --inject KIND  arm a deterministic fault injector: tag-flip,
+//!                       size-lie, garbled-trace, poisoned-cache,
+//!                       cell-panic or cell-timeout (pair with --audit to
+//!                       watch detection and recovery)
+//!        --cell-timeout S  per-cell wall-clock budget in seconds; cells
+//!                       over budget report as timed out, the sweep goes on
+//!        --retries N    retry a panicked cell up to N times before
+//!                       recording it as failed
 //! ```
 //!
 //! Each experiment first *declares* its `(config, workload)` cells; the
@@ -802,7 +813,10 @@ fn cip_cells(ctx: &Ctx) -> Vec<Cell> {
     for entries in CIP_ENTRIES {
         let tag = format!("cip-{entries}");
         for name in CIP_SUBSET {
-            let spec = spec_table().into_iter().find(|w| w.name == name).unwrap();
+            let spec = spec_table()
+                .into_iter()
+                .find(|w| w.name == name)
+                .expect("spec table covers every rate-mode workload name");
             let wl = WorkloadSet::rate(spec, ctx.seed);
             cells.push(ctx.cell(&tag, cip_cfg(ctx, entries), &wl));
         }
@@ -819,7 +833,10 @@ fn cip(ctx: &Ctx) -> String {
         let mut wcorrect = 0.0;
         let mut wtotal = 0.0;
         for name in CIP_SUBSET {
-            let spec = spec_table().into_iter().find(|w| w.name == name).unwrap();
+            let spec = spec_table()
+                .into_iter()
+                .find(|w| w.name == name)
+                .expect("spec table covers every rate-mode workload name");
             let wl = WorkloadSet::rate(spec, ctx.seed);
             let tag = format!("cip-{entries}");
             let r = ctx.run_cfg(&tag, cip_cfg(ctx, entries), &wl);
@@ -970,8 +987,17 @@ fn run_experiments(
             );
         }
         for ((tag, wl), outcome) in &sweep.outcomes {
-            if let CellOutcome::Failed { error } = outcome {
-                failures.push(format!("cell {tag}/{wl}: {error}"));
+            match outcome {
+                CellOutcome::Completed { .. } => {}
+                CellOutcome::Failed { error } => {
+                    failures.push(format!("cell {tag}/{wl}: {error}"));
+                }
+                CellOutcome::TimedOut { budget } => {
+                    failures.push(format!(
+                        "cell {tag}/{wl}: timed out after {:.1}s",
+                        budget.as_secs_f64()
+                    ));
+                }
             }
         }
         ctx.absorb(&sweep);
@@ -994,6 +1020,60 @@ fn run_experiments(
     let out =
         parts.join("\n\n================================================================\n\n");
     (out, failures)
+}
+
+/// `--inject garbled-trace`: writes a trace file with a corrupted record
+/// and verifies the loader reports a typed parse error with line context.
+/// Exits 0 on detection, 1 if the corruption slips through.
+fn garbled_trace_selftest(seed: u64) -> ! {
+    let dir = std::env::temp_dir().join(format!("dice-inject-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creating temp dir");
+    let path = dir.join("garbled.trace");
+    // One valid record, then a record whose address field is garbled.
+    std::fs::write(&path, format!("# dice trace v1\n1 {seed:x} r\n2 zz w\n"))
+        .expect("writing garbled trace");
+    let outcome = dice_workloads::ReplaySource::from_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+    match outcome {
+        Err(e) => {
+            eprintln!("[experiments] garbled trace detected: {e}");
+            std::process::exit(0);
+        }
+        Ok(_) => {
+            eprintln!("[experiments] FAULT NOT DETECTED: garbled trace parsed cleanly");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--inject poisoned-cache`: corrupts every entry in the persistent cache
+/// directory — truncating odd-indexed files, garbling even ones — and
+/// returns how many were poisoned. The subsequent sweep must treat each as
+/// a miss and re-simulate.
+fn poison_cache_entries(dir: &std::path::Path) -> usize {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    entries.sort();
+    for (i, path) in entries.iter().enumerate() {
+        let poison = if i % 2 == 0 {
+            "this is not json".to_owned()
+        } else {
+            let text = std::fs::read_to_string(path).unwrap_or_default();
+            // Truncate mid-document (entries are ASCII JSON; `get` guards
+            // the boundary anyway).
+            text.get(..text.len() / 2).unwrap_or("{").to_owned()
+        };
+        if let Err(e) = std::fs::write(path, poison) {
+            eprintln!("[experiments] could not poison {}: {e}", path.display());
+        }
+    }
+    entries.len()
 }
 
 fn main() {
@@ -1032,6 +1112,31 @@ fn main() {
                 runner_cfg.cache_dir = Some(PathBuf::from(args.get(i).expect("--cache-dir PATH")));
             }
             "--quiet" => ctx.verbose = false,
+            "--audit" => {
+                i += 1;
+                ctx.audit_every = args[i].parse().expect("--audit N");
+            }
+            "--inject" => {
+                i += 1;
+                let name = args.get(i).expect("--inject KIND");
+                let kind = dice_core::FaultKind::parse(name).unwrap_or_else(|| {
+                    let names: Vec<_> =
+                        dice_core::FaultKind::ALL.iter().map(|k| k.name()).collect();
+                    eprintln!("unknown fault {name:?}; one of: {}", names.join(", "));
+                    std::process::exit(2);
+                });
+                ctx.inject = Some(dice_core::FaultPlan::seeded(kind));
+            }
+            "--cell-timeout" => {
+                i += 1;
+                let secs: f64 = args[i].parse().expect("--cell-timeout SECONDS");
+                assert!(secs > 0.0, "--cell-timeout must be positive");
+                runner_cfg.cell_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                i += 1;
+                runner_cfg.retries = args[i].parse().expect("--retries N");
+            }
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).expect("--json PATH").clone());
@@ -1050,6 +1155,32 @@ fn main() {
         i += 1;
     }
     runner_cfg.verbose = ctx.verbose;
+    // Two fault kinds live outside the simulator: garbled-trace is a
+    // self-test of the trace parser, and poisoned-cache corrupts the
+    // persistent cache on disk before the sweep (the runner must then
+    // detect every poisoned entry and degrade it to a miss).
+    match ctx.inject {
+        Some(plan) if plan.kind == dice_core::FaultKind::GarbledTrace => {
+            garbled_trace_selftest(plan.seed);
+        }
+        Some(plan) if plan.kind == dice_core::FaultKind::PoisonedCache => {
+            let Some(dir) = &runner_cfg.cache_dir else {
+                eprintln!("--inject poisoned-cache needs --cache-dir to poison");
+                std::process::exit(2);
+            };
+            let n = poison_cache_entries(dir);
+            eprintln!(
+                "[experiments] poisoned {n} cache entr{} under {}",
+                if n == 1 { "y" } else { "ies" },
+                dir.display()
+            );
+            // The fault lives on disk, not in the simulator; clear the
+            // plan so cell keys match the clean run's (otherwise the
+            // poisoned entries would never even be probed).
+            ctx.inject = None;
+        }
+        _ => {}
+    }
     let id = id.unwrap_or_else(|| "all".to_owned());
     // Fail on an unwritable output path now, not after a long run.
     for path in [&json_path, &trace_path].into_iter().flatten() {

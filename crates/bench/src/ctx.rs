@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use dice_core::Organization;
+use dice_core::{FaultPlan, Organization};
 use dice_obs::ObsConfig;
 use dice_runner::{Cell, CellOutcome, SweepResult};
 use dice_sim::{RunReport, SimConfig, System, WorkloadSet};
@@ -34,6 +34,12 @@ pub struct Ctx {
     ///
     /// [`cfg`]: Ctx::cfg
     pub obs: ObsConfig,
+    /// Invariant-audit period (demand records) applied to every run built
+    /// through [`cfg`](Ctx::cfg); 0 disables auditing.
+    pub audit_every: u64,
+    /// Fault injector armed on every run built through
+    /// [`cfg`](Ctx::cfg); `None` in normal operation.
+    pub inject: Option<FaultPlan>,
     cache: Mutex<HashMap<(String, String), Arc<RunReport>>>,
     /// Cells the runner reported as failed; [`run_cfg`](Ctx::run_cfg)
     /// re-panics with the recorded message instead of re-simulating a
@@ -54,6 +60,8 @@ impl Ctx {
             seed: 0xd1ce,
             verbose: true,
             obs: ObsConfig::default(),
+            audit_every: 0,
+            inject: None,
             cache: Mutex::new(HashMap::new()),
             failed: Mutex::new(HashMap::new()),
         }
@@ -69,6 +77,8 @@ impl Ctx {
             seed: 0xd1ce,
             verbose: false,
             obs: ObsConfig::default(),
+            audit_every: 0,
+            inject: None,
             cache: Mutex::new(HashMap::new()),
             failed: Mutex::new(HashMap::new()),
         }
@@ -77,9 +87,12 @@ impl Ctx {
     /// Baseline [`SimConfig`] for `org` at this context's scale/windows.
     #[must_use]
     pub fn cfg(&self, org: Organization) -> SimConfig {
-        SimConfig::scaled(org, self.scale)
+        let mut cfg = SimConfig::scaled(org, self.scale)
             .with_records(self.warmup, self.measure)
             .with_obs(self.obs)
+            .with_audit(self.audit_every);
+        cfg.inject = self.inject;
+        cfg
     }
 
     /// A runner [`Cell`] for `cfg` on `wl` under `tag` (the declarative
@@ -93,8 +106,8 @@ impl Ctx {
     /// hits, failed cells are recorded so later lookups fail fast with the
     /// original panic message.
     pub fn absorb(&self, sweep: &SweepResult) {
-        let mut cache = self.cache.lock().unwrap();
-        let mut failed = self.failed.lock().unwrap();
+        let mut cache = self.cache.lock().expect("ctx memo mutex poisoned");
+        let mut failed = self.failed.lock().expect("ctx memo mutex poisoned");
         for (key, outcome) in &sweep.outcomes {
             match outcome {
                 CellOutcome::Completed { report, .. } => {
@@ -102,6 +115,12 @@ impl Ctx {
                 }
                 CellOutcome::Failed { error } => {
                     failed.insert(key.clone(), error.clone());
+                }
+                CellOutcome::TimedOut { budget } => {
+                    failed.insert(
+                        key.clone(),
+                        format!("timed out after {:.1}s", budget.as_secs_f64()),
+                    );
                 }
             }
         }
@@ -116,17 +135,30 @@ impl Ctx {
     /// reported this cell as failed.
     pub fn run_cfg(&self, tag: &str, cfg: SimConfig, wl: &WorkloadSet) -> Arc<RunReport> {
         let key = (tag.to_owned(), wl.name.clone());
-        if let Some(r) = self.cache.lock().unwrap().get(&key) {
+        if let Some(r) = self
+            .cache
+            .lock()
+            .expect("ctx memo mutex poisoned")
+            .get(&key)
+        {
             return Arc::clone(r);
         }
-        if let Some(error) = self.failed.lock().unwrap().get(&key) {
+        if let Some(error) = self
+            .failed
+            .lock()
+            .expect("ctx memo mutex poisoned")
+            .get(&key)
+        {
             panic!("cell {tag}/{} failed in the runner: {error}", wl.name);
         }
         if self.verbose {
             eprintln!("  [run] {:<12} {}", tag, wl.name);
         }
         let report = Arc::new(System::new(cfg, wl).run());
-        self.cache.lock().unwrap().insert(key, Arc::clone(&report));
+        self.cache
+            .lock()
+            .expect("ctx memo mutex poisoned")
+            .insert(key, Arc::clone(&report));
         report
     }
 
@@ -148,14 +180,14 @@ impl Ctx {
     /// Number of memoized runs (introspection for tests).
     #[must_use]
     pub fn cached_runs(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.cache.lock().expect("ctx memo mutex poisoned").len()
     }
 
     /// Every memoized run as `(tag, workload, report)`, sorted by key for
     /// deterministic export.
     #[must_use]
     pub fn reports(&self) -> Vec<(String, String, Arc<RunReport>)> {
-        let cache = self.cache.lock().unwrap();
+        let cache = self.cache.lock().expect("ctx memo mutex poisoned");
         let mut out: Vec<_> = cache
             .iter()
             .map(|((tag, wl), r)| (tag.clone(), wl.clone(), Arc::clone(r)))
@@ -210,8 +242,7 @@ mod tests {
         let cells = vec![ctx.cell("base", ctx.cfg(Organization::UncompressedAlloy), &wl)];
         let sweep = Runner::new(RunnerConfig {
             jobs: 1,
-            cache_dir: None,
-            verbose: false,
+            ..RunnerConfig::default()
         })
         .unwrap()
         .run(cells);
@@ -220,7 +251,7 @@ mod tests {
         // A memo hit: identical Arc, no second simulation.
         let from_runner = match &sweep.outcomes[&("base".to_owned(), "gcc".to_owned())] {
             CellOutcome::Completed { report, .. } => Arc::clone(report),
-            CellOutcome::Failed { error } => panic!("unexpected failure: {error}"),
+            other => panic!("unexpected outcome: {other:?}"),
         };
         assert!(Arc::ptr_eq(&from_runner, &ctx.baseline(&wl)));
     }
@@ -236,8 +267,7 @@ mod tests {
         let cells = vec![ctx.cell("base", ctx.cfg(Organization::UncompressedAlloy), &bad)];
         let sweep = Runner::new(RunnerConfig {
             jobs: 1,
-            cache_dir: None,
-            verbose: false,
+            ..RunnerConfig::default()
         })
         .unwrap()
         .run(cells);

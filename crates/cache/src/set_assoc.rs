@@ -203,6 +203,91 @@ impl SetAssocCache {
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
     }
+
+    /// Audits the way slab's structural invariants, returning one
+    /// human-readable detail per violation (the hierarchy wraps them in
+    /// typed errors with the level name as context):
+    ///
+    /// * per-set occupancy within associativity (the valid/dirty partition
+    ///   is sound — metadata only ever describes valid ways);
+    /// * tag uniqueness within each set;
+    /// * every valid way's address maps back to the set holding it;
+    /// * no recency stamp from the future (stamps are issued by the
+    ///   monotonic clock, so a larger one means corrupted metadata).
+    ///
+    /// Read-only and allocation-free until the first violation. Each
+    /// finding reports the violating set (for set-granular recovery via
+    /// [`clear_set`](Self::clear_set)) and a human-readable detail.
+    #[must_use]
+    pub fn audit(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for set in 0..self.sets() {
+            if self.occ[set] as usize > self.ways {
+                out.push((
+                    set,
+                    format!("occupancy {} exceeds {} ways", self.occ[set], self.ways),
+                ));
+                continue; // slots() would index out of the set's slab region
+            }
+            let slots = self.slots(set);
+            for (i, w) in slots.iter().enumerate() {
+                if slots[..i].iter().any(|o| o.addr == w.addr) {
+                    out.push((set, format!("line {:#x} tagged twice", w.addr)));
+                }
+                if self.set_of(w.addr) != set {
+                    out.push((
+                        set,
+                        format!("line {:#x} belongs in set {}", w.addr, self.set_of(w.addr)),
+                    ));
+                }
+                if w.stamp > self.clock {
+                    out.push((
+                        set,
+                        format!(
+                            "line {:#x} stamped {} past clock {}",
+                            w.addr, w.stamp, self.clock
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Integrity recovery: drops every way of `set` without writebacks
+    /// (the set's metadata is untrusted, dirty bits included), returning
+    /// the number of lines dropped. Subsequent accesses miss and refetch.
+    pub fn clear_set(&mut self, set: usize) -> usize {
+        let n = self.occ[set] as usize;
+        self.occ[set] = 0;
+        n
+    }
+
+    /// Fault injector: flips the lowest set-index bit of one resident
+    /// way's address, chosen pseudo-randomly from `seed`, so the tag no
+    /// longer maps to the set holding it. Returns `(set, old, new)`, or
+    /// `None` when the cache is empty or direct-indexed with a single set
+    /// (no index bit to corrupt).
+    pub fn inject_tag_flip(&mut self, seed: u64) -> Option<(usize, LineAddr, LineAddr)> {
+        if self.set_mask == 0 {
+            return None;
+        }
+        let sets = self.sets();
+        let start = (seed % sets as u64) as usize;
+        for off in 0..sets {
+            let set = (start + off) % sets;
+            let occ = self.occ[set] as usize;
+            if occ == 0 {
+                continue;
+            }
+            let idx = (seed >> 32) as usize % occ;
+            let w = &mut self.ways_store[set * self.ways + idx];
+            let old = w.addr;
+            w.addr ^= 1;
+            return Some((set, old, w.addr));
+        }
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,219 @@
+//! Runtime invariant auditor for the DRAM cache.
+//!
+//! DICE's premise is that the memory controller may reinterpret any DRAM
+//! bit as tag or data, so a single flipped tag bit or a wrong size-class
+//! decision silently poisons an entire compressed set. The auditor is the
+//! integrity layer's detector: an opt-in, read-only sweep over every set
+//! that re-derives the invariants the controller relies on and reports
+//! each violation as a structured [`InvariantViolation`] (convertible to
+//! [`DiceError::Invariant`](dice_obs::DiceError)) instead of asserting.
+//!
+//! Checked per set:
+//!
+//! * **tag uniqueness** — no line address appears twice;
+//! * **size accounting** — compressed occupancy ≤ 72 B
+//!   ([`SET_BYTES`](crate::SET_BYTES)) and ≤ 28 lines
+//!   ([`MAX_LINES_PER_SET`](crate::MAX_LINES_PER_SET), which also bounds
+//!   the [`WritebackList`](crate::WritebackList) inline capacity);
+//! * **BAI/TSI flag consistency** — the index scheme recorded in each
+//!   entry must map the entry's line address back to the set it actually
+//!   resides in;
+//! * **mode coherence** — an uncompressed (baseline Alloy) set holds at
+//!   most one line.
+//!
+//! The recovery policy lives with the caller (`dice-sim`): a violating
+//! set is treated as invalid and cleared, so subsequent accesses miss and
+//! refill from memory — the same degradation a real controller applies to
+//! an uncorrectable-ECC TAD.
+
+use crate::cset::SizeInfo;
+use crate::indexing::SetIndex;
+use crate::LineAddr;
+use dice_obs::DiceError;
+
+/// Which invariant a set violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// The same line address is tagged more than once in one set.
+    DuplicateTag,
+    /// Compressed contents exceed the 72 B TAD payload.
+    OverCapacity {
+        /// Re-derived occupancy in bytes.
+        occupancy: u32,
+    },
+    /// More lines than the set format can reference.
+    TooManyLines {
+        /// Resident line count.
+        count: usize,
+    },
+    /// An entry's recorded index scheme does not map its line address to
+    /// the set it resides in (a flipped tag bit or a stale BAI/TSI flag).
+    IndexMismatch {
+        /// Where the recorded (line, scheme) pair says the line belongs.
+        expected: SetIndex,
+    },
+    /// An uncompressed (baseline Alloy) set holds more than one line.
+    MultiLineUncompressed {
+        /// Resident line count.
+        count: usize,
+    },
+}
+
+/// One audit finding: which set, which line (when attributable), and what
+/// was wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The set that failed the check.
+    pub set: SetIndex,
+    /// The offending line, for per-line checks.
+    pub line: Option<LineAddr>,
+    /// The violated invariant.
+    pub kind: InvariantKind,
+}
+
+impl InvariantViolation {
+    /// Renders the violation as the workspace's typed error.
+    #[must_use]
+    pub fn to_error(&self) -> DiceError {
+        let detail = match (self.kind, self.line) {
+            (InvariantKind::DuplicateTag, Some(l)) => {
+                format!("line {l:#x} tagged more than once")
+            }
+            (InvariantKind::DuplicateTag, None) => "duplicate tag".to_owned(),
+            (InvariantKind::OverCapacity { occupancy }, _) => {
+                format!(
+                    "occupancy {occupancy} B exceeds the {} B payload",
+                    crate::SET_BYTES
+                )
+            }
+            (InvariantKind::TooManyLines { count }, _) => {
+                format!(
+                    "{count} lines exceed the {}-line format cap",
+                    crate::MAX_LINES_PER_SET
+                )
+            }
+            (InvariantKind::IndexMismatch { expected }, Some(l)) => {
+                format!("line {l:#x} belongs in set {expected} per its index flag")
+            }
+            (InvariantKind::IndexMismatch { expected }, None) => {
+                format!("entry belongs in set {expected} per its index flag")
+            }
+            (InvariantKind::MultiLineUncompressed { count }, _) => {
+                format!("{count} lines in an uncompressed direct-mapped set")
+            }
+        };
+        DiceError::Invariant {
+            context: format!("l4 set {}", self.set),
+            detail,
+        }
+    }
+}
+
+/// Scratch-free duplicate scan over a small slice (sets hold ≤ 28 lines,
+/// so the quadratic scan beats hashing).
+pub(crate) fn first_duplicate(lines: &[LineAddr]) -> Option<LineAddr> {
+    for (i, &a) in lines.iter().enumerate() {
+        if lines[..i].contains(&a) {
+            return Some(a);
+        }
+    }
+    None
+}
+
+/// A [`SizeInfo`] decorator that deterministically under-reports the
+/// compressed size of a subset of lines — the "size lie" fault injector.
+///
+/// A controller trusting a lying size oracle packs more bytes into a set
+/// than the 72 B TAD can hold; auditing with the *honest* oracle then
+/// re-derives the true occupancy and reports
+/// [`InvariantKind::OverCapacity`]. The lie is a pure function of
+/// `(line, seed)`, so runs are reproducible.
+pub struct LyingSizes<'a> {
+    inner: &'a mut dyn SizeInfo,
+    seed: u64,
+}
+
+impl<'a> LyingSizes<'a> {
+    /// Wraps `inner`, lying about roughly one line in four.
+    #[must_use]
+    pub fn new(inner: &'a mut dyn SizeInfo, seed: u64) -> Self {
+        Self { inner, seed }
+    }
+
+    /// True when the oracle lies about this line (≈ one line in four).
+    /// Public so callers can count how many faulty sizes they absorbed.
+    #[must_use]
+    pub fn lies_about(&self, line: LineAddr) -> bool {
+        // splitmix-style hash: cheap, seeded, uniform in the low bits.
+        let mut x = line ^ self.seed;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (x ^ (x >> 31)) & 3 == 0
+    }
+}
+
+impl SizeInfo for LyingSizes<'_> {
+    fn single_size(&mut self, line: LineAddr) -> u32 {
+        if self.lies_about(line) {
+            1
+        } else {
+            self.inner.single_size(line)
+        }
+    }
+
+    fn pair_size(&mut self, even_line: LineAddr) -> u32 {
+        if self.lies_about(even_line) {
+            2
+        } else {
+            self.inner.pair_size(even_line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_renders_context() {
+        let v = InvariantViolation {
+            set: 12,
+            line: Some(0xab),
+            kind: InvariantKind::IndexMismatch { expected: 14 },
+        };
+        let e = v.to_error();
+        let s = e.to_string();
+        assert!(s.contains("l4 set 12"), "{s}");
+        assert!(s.contains("set 14"), "{s}");
+        assert_eq!(e.class(), dice_obs::ErrorClass::Invariant);
+    }
+
+    #[test]
+    fn duplicate_scan_finds_first_repeat() {
+        assert_eq!(first_duplicate(&[1, 2, 3]), None);
+        assert_eq!(first_duplicate(&[1, 2, 1, 2]), Some(1));
+        assert_eq!(first_duplicate(&[]), None);
+    }
+
+    #[test]
+    fn lying_sizes_is_deterministic_and_partial() {
+        struct Honest;
+        impl SizeInfo for Honest {
+            fn single_size(&mut self, _: LineAddr) -> u32 {
+                64
+            }
+            fn pair_size(&mut self, _: LineAddr) -> u32 {
+                128
+            }
+        }
+        let mut h1 = Honest;
+        let mut h2 = Honest;
+        let mut a = LyingSizes::new(&mut h1, 7);
+        let mut b = LyingSizes::new(&mut h2, 7);
+        let lies = (0..1000u64).filter(|&l| a.single_size(l) == 1).count();
+        assert!(lies > 100 && lies < 500, "lie rate {lies}/1000 off target");
+        for l in 0..1000u64 {
+            assert_eq!(a.single_size(l), b.single_size(l), "line {l}");
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! timing model; unit tests here assert on contents and probe counts
 //! directly.
 
+use crate::audit::{first_duplicate, InvariantKind, InvariantViolation};
 use crate::cip::CachePredictor;
 use crate::cset::{CompressedSet, Evicted, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES};
 use crate::indexing::{IndexScheme, Indexer, SetIndex};
@@ -662,6 +663,110 @@ impl DramCacheController {
         }
     }
 
+    /// Where the recorded `(line, scheme)` pair says a resident entry
+    /// belongs. Static organizations ignore the flag (they have one index
+    /// function); DICE re-applies the entry's own BAI/TSI decision.
+    fn expected_set(&self, line: LineAddr, scheme: IndexScheme) -> SetIndex {
+        match self.cfg.organization {
+            Organization::Dice { .. } => self.ix.index(line, scheme),
+            _ => self.static_set(line).expect("static organization"),
+        }
+    }
+
+    /// Audits every set against the compressed-set invariants (see
+    /// [`crate::audit`]): tag uniqueness, ≤ 72 B occupancy re-derived from
+    /// the honest size oracle, the 28-line format cap, BAI/TSI flag
+    /// consistency, and single-line residency for uncompressed sets.
+    ///
+    /// Read-only: auditing never changes contents, recency or statistics,
+    /// so an audited run is cycle-identical to an unaudited one.
+    pub fn audit(&self, info: &mut dyn SizeInfo) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        let mode = self.set_mode();
+        let mut lines: Vec<LineAddr> = Vec::with_capacity(MAX_LINES_PER_SET);
+        for (s, set) in self.sets.iter().enumerate() {
+            let s = s as SetIndex;
+            lines.clear();
+            lines.extend(set.entries().iter().map(|e| e.line));
+            if let Some(dup) = first_duplicate(&lines) {
+                out.push(InvariantViolation {
+                    set: s,
+                    line: Some(dup),
+                    kind: InvariantKind::DuplicateTag,
+                });
+            }
+            match mode {
+                SetMode::Uncompressed => {
+                    if set.len() > 1 {
+                        out.push(InvariantViolation {
+                            set: s,
+                            line: None,
+                            kind: InvariantKind::MultiLineUncompressed { count: set.len() },
+                        });
+                    }
+                }
+                SetMode::Compressed => {
+                    if set.len() > MAX_LINES_PER_SET {
+                        out.push(InvariantViolation {
+                            set: s,
+                            line: None,
+                            kind: InvariantKind::TooManyLines { count: set.len() },
+                        });
+                    }
+                    let occupancy = set.occupancy(info);
+                    if occupancy > SET_BYTES {
+                        out.push(InvariantViolation {
+                            set: s,
+                            line: None,
+                            kind: InvariantKind::OverCapacity { occupancy },
+                        });
+                    }
+                }
+            }
+            for e in set.entries() {
+                let expected = self.expected_set(e.line, e.scheme);
+                if expected != s {
+                    out.push(InvariantViolation {
+                        set: s,
+                        line: Some(e.line),
+                        kind: InvariantKind::IndexMismatch { expected },
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Integrity recovery: drops every line in `set` (metadata there can no
+    /// longer be trusted, dirty bits included), so subsequent accesses miss
+    /// and refill from memory. Returns the number of lines dropped.
+    pub fn invalidate_set(&mut self, set: SetIndex) -> usize {
+        self.sets[set as usize].clear()
+    }
+
+    /// Fault injector: flips bit 1 of one resident entry's stored line
+    /// address, chosen pseudo-randomly from `seed`. Bit 1 lies inside the
+    /// set-index field of every organization (TSI, NSI, BAI and the skews
+    /// all consume it, and `sets ≥ 4`), so the corrupted tag is always
+    /// detectable by [`audit`](Self::audit) as an index mismatch (or, on
+    /// collision, a duplicate tag). Returns `(set, old_line, new_line)`,
+    /// or `None` when the cache is empty.
+    pub fn inject_tag_flip(&mut self, seed: u64) -> Option<(SetIndex, LineAddr, LineAddr)> {
+        let n = self.sets.len() as u64;
+        let start = seed % n;
+        for off in 0..n {
+            let s = ((start + off) % n) as usize;
+            let len = self.sets[s].len();
+            if len == 0 {
+                continue;
+            }
+            let idx = (seed >> 32) as usize % len;
+            let (old, new) = self.sets[s].corrupt_line_at(idx, 1)?;
+            return Some((s as SetIndex, old, new));
+        }
+        None
+    }
+
     /// Maximum lines one set can hold (re-exported format constant).
     #[must_use]
     pub fn max_lines_per_set() -> usize {
@@ -979,5 +1084,120 @@ mod tests {
         assert_eq!(c.row_of(0), 0);
         assert_eq!(c.row_of(27), 0);
         assert_eq!(c.row_of(28), 1);
+    }
+
+    #[test]
+    fn audit_of_healthy_cache_is_clean() {
+        for org in [
+            Organization::UncompressedAlloy,
+            Organization::CompressedTsi,
+            Organization::CompressedNsi,
+            Organization::CompressedBai,
+            Organization::Dice { threshold: 36 },
+            Organization::Scc,
+        ] {
+            let mut c = DramCacheController::new(DramCacheConfig::with_capacity(org, 1 << 16));
+            let mut sizes = Fixed(30);
+            for line in 0..4096u64 {
+                c.fill(line * 3, false, None, &mut sizes);
+                if line % 5 == 0 {
+                    c.writeback(line * 3, &mut sizes);
+                }
+            }
+            assert_eq!(c.audit(&mut sizes), vec![], "org {org:?} audit dirty");
+        }
+    }
+
+    #[test]
+    fn audit_is_read_only() {
+        let mut c = dice_cache();
+        let mut sizes = Fixed(30);
+        for line in 0..512u64 {
+            c.fill(line, false, None, &mut sizes);
+        }
+        let before = (c.valid_lines(), c.stats().clone());
+        let _ = c.audit(&mut sizes);
+        assert_eq!(before.0, c.valid_lines());
+        assert_eq!(&before.1, c.stats());
+    }
+
+    #[test]
+    fn injected_tag_flip_is_detected_and_recoverable() {
+        let mut c = dice_cache();
+        let mut sizes = Fixed(30);
+        // Stride-4 fill: the flipped address `old ^ 2` is never a
+        // legitimately resident line, so the final read must miss.
+        for line in 0..2048u64 {
+            c.fill(line * 4, false, None, &mut sizes);
+        }
+        let (set, old, new) = c.inject_tag_flip(0xD1CE).expect("cache is populated");
+        assert_eq!(old ^ new, 2, "injector flips bit 1");
+        let violations = c.audit(&mut sizes);
+        assert!(
+            violations.iter().any(|v| v.set == set),
+            "flip in set {set} not reported: {violations:?}"
+        );
+        // Recovery: invalidating the poisoned set restores a clean audit.
+        let dropped = c.invalidate_set(set);
+        assert!(dropped > 0);
+        assert_eq!(c.audit(&mut sizes), vec![]);
+        // The flipped line now misses and can refill from memory.
+        assert!(!c.read(new).hit);
+    }
+
+    #[test]
+    fn tag_flip_detected_in_every_organization() {
+        for org in [
+            Organization::UncompressedAlloy,
+            Organization::CompressedTsi,
+            Organization::CompressedNsi,
+            Organization::CompressedBai,
+            Organization::Scc,
+        ] {
+            let mut c = DramCacheController::new(DramCacheConfig::with_capacity(org, 1 << 16));
+            let mut sizes = Fixed(30);
+            for line in 0..1024u64 {
+                c.fill(line * 7, false, None, &mut sizes);
+            }
+            let (set, ..) = c.inject_tag_flip(42).expect("populated");
+            assert!(
+                c.audit(&mut sizes).iter().any(|v| v.set == set),
+                "org {org:?} missed the flip"
+            );
+        }
+    }
+
+    #[test]
+    fn size_lie_overpacks_and_honest_audit_catches_it() {
+        let mut c = dice_cache();
+        let mut honest = Fixed(30);
+        // Fill through a lying oracle: ~1/4 of lines claim 1 B, so sets
+        // pack more lines than 72 B truly holds.
+        {
+            let mut liar = crate::LyingSizes::new(&mut honest, 0xD1CE);
+            for line in 0..4096u64 {
+                c.fill(line, false, None, &mut liar);
+            }
+        }
+        let violations = c.audit(&mut honest);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v.kind, InvariantKind::OverCapacity { .. })),
+            "no over-capacity violation from a lying size oracle"
+        );
+        // Recovery: clear every violating set, then the audit is clean.
+        let mut sets: Vec<_> = violations.iter().map(|v| v.set).collect();
+        sets.dedup();
+        for s in sets {
+            c.invalidate_set(s);
+        }
+        assert_eq!(c.audit(&mut honest), vec![]);
+    }
+
+    #[test]
+    fn inject_into_empty_cache_is_none() {
+        let mut c = dice_cache();
+        assert_eq!(c.inject_tag_flip(1), None);
     }
 }

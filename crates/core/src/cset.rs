@@ -203,6 +203,28 @@ impl CompressedSet {
         let idx = self.entries.iter().position(|e| e.line == line)?;
         Some(self.entries.swap_remove(idx))
     }
+
+    /// Drops every entry, returning how many were resident. Used by the
+    /// integrity layer when an audit finds the set's metadata untrustworthy:
+    /// contents (dirty bits included) can no longer be believed, so the set
+    /// is treated as invalid and refilled from memory on later accesses.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Fault injector: XORs `bit` into the stored line address of the entry
+    /// at `idx`, modeling a flipped tag bit in the DRAM array. Returns the
+    /// (old, new) line addresses, or `None` when `idx` is out of range.
+    /// The resulting state intentionally violates set invariants — it is
+    /// meant to be caught by the auditor, never used in normal operation.
+    pub fn corrupt_line_at(&mut self, idx: usize, bit: u32) -> Option<(LineAddr, LineAddr)> {
+        let e = self.entries.get_mut(idx)?;
+        let old = e.line;
+        e.line ^= 1 << bit;
+        Some((old, e.line))
+    }
 }
 
 #[cfg(test)]

@@ -53,14 +53,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod cache;
 mod cip;
 mod cset;
+mod faults;
 mod indexing;
 mod inline_vec;
 mod mapi;
 mod stats;
 
+pub use audit::{InvariantKind, InvariantViolation, LyingSizes};
 pub use cache::{
     DramCacheConfig, DramCacheController, FreeLineList, Organization, Probe, ProbeList,
     ReadOutcome, TagVariant, WriteOutcome, WritebackList,
@@ -69,6 +72,7 @@ pub use cip::CachePredictor;
 pub use cset::{
     CompressedSet, Entry, Evicted, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES,
 };
+pub use faults::{FaultKind, FaultPlan};
 pub use indexing::{IndexScheme, Indexer, SetIndex};
 pub use inline_vec::InlineVec;
 pub use mapi::HitPredictor;

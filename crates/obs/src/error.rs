@@ -1,0 +1,276 @@
+//! The workspace-wide typed error hierarchy.
+//!
+//! Every fallible path in the DICE reproduction — trace parsing, config
+//! validation, on-disk cache decoding, runtime invariant audits, runner
+//! cells — reports a [`DiceError`] instead of panicking. Errors carry
+//! enough structured context (path, line, set index, cell tag) to be
+//! actionable without a backtrace, and each maps to an [`ErrorClass`]
+//! with a stable per-class counter name so sweeps can aggregate failure
+//! modes in the [`MetricRegistry`](crate::MetricRegistry).
+//!
+//! Hand-rolled like the rest of `dice-obs`: no `thiserror`, no
+//! dependencies.
+
+use std::fmt;
+
+use crate::registry::MetricRegistry;
+
+/// Result alias used across the workspace.
+pub type DiceResult<T> = Result<T, DiceError>;
+
+/// Coarse error classification, one obs counter per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorClass {
+    /// Malformed or truncated trace/spec input.
+    TraceParse,
+    /// Invalid configuration (empty workload set, bad flag value, …).
+    Config,
+    /// Unreadable or corrupt on-disk result-cache entry.
+    CacheEntry,
+    /// A runtime invariant audit found corrupted simulator state.
+    Invariant,
+    /// An underlying I/O operation failed.
+    Io,
+    /// A runner cell panicked mid-simulation.
+    CellPanic,
+    /// A runner cell exceeded its wall-clock budget.
+    CellTimeout,
+}
+
+impl ErrorClass {
+    /// Every class, in counter-registration order.
+    pub const ALL: [ErrorClass; 7] = [
+        ErrorClass::TraceParse,
+        ErrorClass::Config,
+        ErrorClass::CacheEntry,
+        ErrorClass::Invariant,
+        ErrorClass::Io,
+        ErrorClass::CellPanic,
+        ErrorClass::CellTimeout,
+    ];
+
+    /// Stable short name (`trace_parse`, `invariant`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorClass::TraceParse => "trace_parse",
+            ErrorClass::Config => "config",
+            ErrorClass::CacheEntry => "cache_entry",
+            ErrorClass::Invariant => "invariant",
+            ErrorClass::Io => "io",
+            ErrorClass::CellPanic => "cell_panic",
+            ErrorClass::CellTimeout => "cell_timeout",
+        }
+    }
+
+    /// The obs-registry counter name for this class
+    /// (`errors.trace_parse`, …).
+    #[must_use]
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            ErrorClass::TraceParse => "errors.trace_parse",
+            ErrorClass::Config => "errors.config",
+            ErrorClass::CacheEntry => "errors.cache_entry",
+            ErrorClass::Invariant => "errors.invariant",
+            ErrorClass::Io => "errors.io",
+            ErrorClass::CellPanic => "errors.cell_panic",
+            ErrorClass::CellTimeout => "errors.cell_timeout",
+        }
+    }
+}
+
+/// A structured, classified error. All context is owned `String`s so the
+/// error is `Clone + Send + 'static` and survives thread boundaries and
+/// `catch_unwind` payload extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiceError {
+    /// A trace or spec file failed to parse.
+    TraceParse {
+        /// Source path (or `"<memory>"` for in-memory input).
+        path: String,
+        /// 1-based line number of the offending record.
+        line: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A configuration value is invalid.
+    Config {
+        /// The field or flag at fault.
+        field: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An on-disk result-cache entry could not be used.
+    CacheEntry {
+        /// Path of the rejected entry.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A runtime invariant audit detected corrupted state.
+    Invariant {
+        /// Where the audit ran (`"l4 set 12"`, `"l3"`, …).
+        context: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// An I/O operation failed.
+    Io {
+        /// What was being done (`"read trace /path"`, …).
+        context: String,
+        /// Stringified `std::io::Error`.
+        reason: String,
+    },
+    /// A runner cell panicked.
+    CellPanic {
+        /// `"tag/workload"` identifier of the cell.
+        cell: String,
+        /// Extracted panic message.
+        message: String,
+    },
+    /// A runner cell exceeded its wall-clock budget.
+    CellTimeout {
+        /// `"tag/workload"` identifier of the cell.
+        cell: String,
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl DiceError {
+    /// Build an [`DiceError::Io`] from a `std::io::Error` with context.
+    #[must_use]
+    pub fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        DiceError::Io {
+            context: context.into(),
+            reason: err.to_string(),
+        }
+    }
+
+    /// The class this error belongs to (selects its obs counter).
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            DiceError::TraceParse { .. } => ErrorClass::TraceParse,
+            DiceError::Config { .. } => ErrorClass::Config,
+            DiceError::CacheEntry { .. } => ErrorClass::CacheEntry,
+            DiceError::Invariant { .. } => ErrorClass::Invariant,
+            DiceError::Io { .. } => ErrorClass::Io,
+            DiceError::CellPanic { .. } => ErrorClass::CellPanic,
+            DiceError::CellTimeout { .. } => ErrorClass::CellTimeout,
+        }
+    }
+}
+
+impl fmt::Display for DiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiceError::TraceParse { path, line, reason } => {
+                write!(f, "trace parse error at {path}:{line}: {reason}")
+            }
+            DiceError::Config { field, reason } => {
+                write!(f, "invalid config `{field}`: {reason}")
+            }
+            DiceError::CacheEntry { path, reason } => {
+                write!(f, "unusable cache entry {path}: {reason}")
+            }
+            DiceError::Invariant { context, detail } => {
+                write!(f, "invariant violated in {context}: {detail}")
+            }
+            DiceError::Io { context, reason } => {
+                write!(f, "io error while {context}: {reason}")
+            }
+            DiceError::CellPanic { cell, message } => {
+                write!(f, "cell {cell} panicked: {message}")
+            }
+            DiceError::CellTimeout { cell, budget_ms } => {
+                write!(f, "cell {cell} exceeded its {budget_ms} ms budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiceError {}
+
+/// Pre-register one counter per [`ErrorClass`] so sweeps report zeroes
+/// for classes that never fired (absent counters read as "not measured").
+pub fn register_error_counters(reg: &mut MetricRegistry) {
+    for class in ErrorClass::ALL {
+        reg.counter(class.metric_name());
+    }
+}
+
+/// Bump the per-class counter for `err`.
+pub fn record_error(reg: &mut MetricRegistry, err: &DiceError) {
+    let id = reg.counter(err.class().metric_name());
+    reg.inc(id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_has_distinct_names() {
+        let mut names: Vec<_> = ErrorClass::ALL.iter().map(|c| c.metric_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ErrorClass::ALL.len());
+        for c in ErrorClass::ALL {
+            assert_eq!(c.metric_name(), format!("errors.{}", c.name()));
+        }
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let e = DiceError::TraceParse {
+            path: "/tmp/t.trace".into(),
+            line: 12,
+            reason: "expected 3 fields, got 2".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "trace parse error at /tmp/t.trace:12: expected 3 fields, got 2"
+        );
+        assert_eq!(e.class(), ErrorClass::TraceParse);
+
+        let e = DiceError::CellTimeout {
+            cell: "dice36/gcc".into(),
+            budget_ms: 1500,
+        };
+        assert!(e.to_string().contains("1500 ms"));
+        assert_eq!(e.class(), ErrorClass::CellTimeout);
+    }
+
+    #[test]
+    fn io_helper_keeps_context_and_reason() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = DiceError::io("read trace /x", &io);
+        assert_eq!(e.class(), ErrorClass::Io);
+        assert!(e.to_string().contains("read trace /x"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_feed_per_class_counters() {
+        let mut reg = MetricRegistry::new();
+        register_error_counters(&mut reg);
+        let e = DiceError::Config {
+            field: "jobs".into(),
+            reason: "must be nonzero".into(),
+        };
+        record_error(&mut reg, &e);
+        record_error(&mut reg, &e);
+        assert_eq!(reg.counter_value("errors.config"), Some(2));
+        assert_eq!(reg.counter_value("errors.io"), Some(0));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let e = DiceError::Invariant {
+            context: "l4 set 3".into(),
+            detail: "duplicate tag".into(),
+        };
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -402,7 +402,8 @@ impl Parser<'_> {
                     // Consume one UTF-8 character.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    // `Some(_)` above guarantees at least one byte, hence one char.
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
                     if (c as u32) < 0x20 {
                         return Err(self.err("raw control character in string"));
                     }

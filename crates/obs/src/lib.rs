@@ -15,7 +15,9 @@
 //!   (off by default, one branch per transaction when disabled) exported
 //!   in Chrome `trace_event` format for Perfetto;
 //! - [`Json`] — a zero-dependency JSON value, writer and parser used for
-//!   every machine-readable artifact above.
+//!   every machine-readable artifact above;
+//! - [`DiceError`] / [`ErrorClass`] — the workspace-wide typed error
+//!   hierarchy, with one obs counter per class via [`record_error`].
 //!
 //! # Conventions
 //!
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod hist;
 mod json;
 mod panel;
@@ -34,6 +37,7 @@ mod registry;
 mod snapshot;
 mod trace;
 
+pub use error::{record_error, register_error_counters, DiceError, DiceResult, ErrorClass};
 pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use panel::{LatencyPanel, RequestClass};

@@ -14,6 +14,7 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dice_obs::Json;
 use dice_sim::RunReport;
@@ -27,6 +28,9 @@ const FORMAT: u64 = 1;
 #[derive(Debug)]
 pub struct DiskCache {
     dir: PathBuf,
+    /// Entries found unreadable or corrupt and treated as misses
+    /// (atomic: `load` takes `&self` and runs from worker threads).
+    discarded: AtomicU64,
 }
 
 impl DiskCache {
@@ -39,7 +43,17 @@ impl DiskCache {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            discarded: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of cache entries discarded as unreadable or corrupt since
+    /// this handle was opened.
+    #[must_use]
+    pub fn discarded(&self) -> u64 {
+        self.discarded.load(Ordering::Relaxed)
     }
 
     /// The directory this cache lives in.
@@ -64,6 +78,7 @@ impl DiskCache {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
             Err(e) => {
+                self.discarded.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
                     "[dice-runner] ignoring unreadable cache entry {}: {e}",
                     path.display()
@@ -74,6 +89,7 @@ impl DiskCache {
         match Self::decode(key, &text) {
             Ok(report) => Some(report),
             Err(why) => {
+                self.discarded.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
                     "[dice-runner] discarding corrupt cache entry {}: {why}",
                     path.display()

@@ -74,10 +74,17 @@ pub enum CellOutcome {
         /// Wall time spent on this cell (simulation or cache load).
         wall: Duration,
     },
-    /// The cell panicked; the sweep continued without it.
+    /// The cell panicked (after exhausting any configured retries); the
+    /// sweep continued without it.
     Failed {
         /// The panic message.
         error: String,
+    },
+    /// The cell exceeded the per-cell wall-clock budget; its worker
+    /// thread was abandoned and the sweep continued without it.
+    TimedOut {
+        /// The budget it blew through.
+        budget: Duration,
     },
 }
 
@@ -90,6 +97,17 @@ pub struct RunnerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Print per-cell progress lines to stderr as cells finish.
     pub verbose: bool,
+    /// Per-cell wall-clock budget (`None` = unlimited). With a budget
+    /// set, each simulation runs on its own watchdog-monitored thread; a
+    /// cell that blows the budget becomes [`CellOutcome::TimedOut`] and
+    /// its thread is abandoned (the simulator allocates nothing global,
+    /// so an abandoned thread can only waste CPU until process exit).
+    pub cell_timeout: Option<Duration>,
+    /// Retries for a panicked cell before recording it as
+    /// [`CellOutcome::Failed`] (0 = fail on first panic). Timed-out cells
+    /// are never retried — a deterministic simulator that blew its budget
+    /// once will blow it again.
+    pub retries: u32,
 }
 
 impl Default for RunnerConfig {
@@ -98,6 +116,8 @@ impl Default for RunnerConfig {
             jobs: std::thread::available_parallelism().map_or(1, usize::from),
             cache_dir: None,
             verbose: false,
+            cell_timeout: None,
+            retries: 0,
         }
     }
 }
@@ -116,6 +136,11 @@ pub struct SweepResult {
     pub wall: Duration,
     /// Per-cell wall-time distribution in milliseconds (completed cells).
     pub cell_wall_ms: Histogram,
+    /// Panicked attempts that were retried (whether or not the retry
+    /// eventually succeeded).
+    pub retried: usize,
+    /// Persistent-cache entries discarded as corrupt during this sweep.
+    pub cache_discarded: u64,
 }
 
 impl SweepResult {
@@ -141,6 +166,12 @@ impl SweepResult {
         self.count(|o| matches!(o, CellOutcome::Failed { .. }))
     }
 
+    /// Cells killed by the per-cell watchdog.
+    #[must_use]
+    pub fn timed_out(&self) -> usize {
+        self.count(|o| matches!(o, CellOutcome::TimedOut { .. }))
+    }
+
     /// Registers the sweep's counters and the per-cell wall-time histogram
     /// under `runner.*` in `reg`.
     pub fn register(&self, reg: &mut MetricRegistry) {
@@ -149,23 +180,63 @@ impl SweepResult {
             ("runner.simulated", self.simulated()),
             ("runner.cached", self.cached()),
             ("runner.failed", self.failed()),
+            ("runner.timed_out", self.timed_out()),
+            ("runner.retried", self.retried),
             ("runner.deduped", self.deduped),
             ("runner.jobs", self.jobs),
         ] {
             let id = reg.counter(name);
             reg.set(id, v as u64);
         }
+        let id = reg.counter("runner.cache_discarded");
+        reg.set(id, self.cache_discarded);
         let id = reg.counter("runner.wall_ms");
         reg.set(id, self.wall.as_millis() as u64);
         let h = reg.histogram("runner.cell_wall_ms");
         reg.merge_histogram(h, &self.cell_wall_ms);
+
+        // Per-class error counters (`errors.*`): the sweep's failures
+        // expressed in the shared DiceError taxonomy.
+        dice_obs::register_error_counters(reg);
+        for ((tag, wl), outcome) in &self.outcomes {
+            let err = match outcome {
+                CellOutcome::Completed { .. } => continue,
+                CellOutcome::Failed { error } => dice_obs::DiceError::CellPanic {
+                    cell: format!("{tag}/{wl}"),
+                    message: error.clone(),
+                },
+                CellOutcome::TimedOut { budget } => dice_obs::DiceError::CellTimeout {
+                    cell: format!("{tag}/{wl}"),
+                    budget_ms: budget.as_millis() as u64,
+                },
+            };
+            dice_obs::record_error(reg, &err);
+        }
+        for _ in 0..self.cache_discarded {
+            dice_obs::record_error(
+                reg,
+                &dice_obs::DiceError::CacheEntry {
+                    path: String::new(),
+                    reason: String::new(),
+                },
+            );
+        }
     }
 
     /// A one-line human summary (`N cells: a simulated, b cached, …`).
+    /// Watchdog and retry counts appear only when nonzero, keeping the
+    /// healthy-path wording (which CI greps) stable.
     #[must_use]
     pub fn summary(&self) -> String {
+        let mut extras = String::new();
+        if self.timed_out() > 0 {
+            extras.push_str(&format!(" ({} timed out)", self.timed_out()));
+        }
+        if self.retried > 0 {
+            extras.push_str(&format!(" ({} retried)", self.retried));
+        }
         format!(
-            "{} cells ({} deduped): {} simulated, {} cached, {} failed in {:.1}s on {} job{}",
+            "{} cells ({} deduped): {} simulated, {} cached, {} failed{extras} in {:.1}s on {} job{}",
             self.outcomes.len(),
             self.deduped,
             self.simulated(),
@@ -243,8 +314,10 @@ impl Runner {
         let total = unique.len();
         let mut outcomes = BTreeMap::new();
         let mut cell_wall_ms = Histogram::new();
+        let mut retried = 0usize;
+        let discarded_before = self.cache.as_ref().map_or(0, DiskCache::discarded);
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, CellOutcome)>();
+        let (tx, rx) = mpsc::channel::<(usize, CellOutcome, u32)>();
         let cells = &unique;
 
         std::thread::scope(|scope| {
@@ -256,8 +329,8 @@ impl Runner {
                     if i >= cells.len() {
                         break;
                     }
-                    let outcome = self.run_cell(&cells[i]);
-                    if tx.send((i, outcome)).is_err() {
+                    let (outcome, retries) = self.run_cell(&cells[i]);
+                    if tx.send((i, outcome, retries)).is_err() {
                         break;
                     }
                 });
@@ -267,8 +340,9 @@ impl Runner {
             // The spawning thread doubles as the collector so progress
             // streams while workers are busy.
             let mut done = 0usize;
-            while let Ok((i, outcome)) = rx.recv() {
+            while let Ok((i, outcome, retries)) = rx.recv() {
                 done += 1;
+                retried += retries as usize;
                 let cell = &cells[i];
                 if self.config.verbose {
                     let status = match &outcome {
@@ -279,6 +353,9 @@ impl Runner {
                             format!("sim {:.1}s", wall.as_secs_f64())
                         }
                         CellOutcome::Failed { .. } => "FAILED".to_owned(),
+                        CellOutcome::TimedOut { budget } => {
+                            format!("TIMED OUT after {:.1}s", budget.as_secs_f64())
+                        }
                     };
                     eprintln!(
                         "  [runner {done}/{total}] {:<12} {:<10} ({status})",
@@ -298,44 +375,103 @@ impl Runner {
             jobs,
             wall: started.elapsed(),
             cell_wall_ms,
+            retried,
+            cache_discarded: self.cache.as_ref().map_or(0, DiskCache::discarded) - discarded_before,
         }
     }
 
-    /// Runs one cell: persistent-cache probe, then an unwind-isolated
-    /// simulation, then a cache write-back.
-    fn run_cell(&self, cell: &Cell) -> CellOutcome {
+    /// Runs one cell: persistent-cache probe, then a watchdog-supervised,
+    /// unwind-isolated simulation (with bounded retries on panic), then a
+    /// cache write-back. Returns the outcome and how many retries it took.
+    fn run_cell(&self, cell: &Cell) -> (CellOutcome, u32) {
         let t0 = Instant::now();
         let key = cell_key(&cell.cfg, &cell.workload);
         if let Some(cached) = self.cache.as_ref().and_then(|c| c.load(key)) {
-            return CellOutcome::Completed {
-                report: Arc::new(cached),
-                from_cache: true,
-                wall: t0.elapsed(),
-            };
+            return (
+                CellOutcome::Completed {
+                    report: Arc::new(cached),
+                    from_cache: true,
+                    wall: t0.elapsed(),
+                },
+                0,
+            );
         }
-        let cfg = cell.cfg.clone();
-        let workload = cell.workload.clone();
-        match catch_unwind(AssertUnwindSafe(move || System::new(cfg, &workload).run())) {
-            Ok(report) => {
-                if let Some(cache) = &self.cache {
-                    if let Err(e) = cache.store(key, &cell.tag, &report) {
+        let attempts = self.config.retries.saturating_add(1);
+        let mut last_error = String::new();
+        for attempt in 0..attempts {
+            match self.simulate_once(cell) {
+                Ok(report) => {
+                    if let Some(cache) = &self.cache {
+                        if let Err(e) = cache.store(key, &cell.tag, &report) {
+                            eprintln!(
+                                "[dice-runner] failed to persist cell {}/{}: {e}",
+                                cell.tag, cell.workload.name
+                            );
+                        }
+                    }
+                    return (
+                        CellOutcome::Completed {
+                            report: Arc::new(report),
+                            from_cache: false,
+                            wall: t0.elapsed(),
+                        },
+                        attempt,
+                    );
+                }
+                Err(CellFailure::TimedOut(budget)) => {
+                    // Deterministic simulations that blew the budget once
+                    // will blow it again; retrying only multiplies the
+                    // wasted wall time.
+                    return (CellOutcome::TimedOut { budget }, attempt);
+                }
+                Err(CellFailure::Panicked(msg)) => {
+                    if attempt + 1 < attempts {
                         eprintln!(
-                            "[dice-runner] failed to persist cell {}/{}: {e}",
-                            cell.tag, cell.workload.name
+                            "[dice-runner] cell {}/{} panicked ({msg}); retry {}/{}",
+                            cell.tag,
+                            cell.workload.name,
+                            attempt + 1,
+                            attempts - 1
                         );
                     }
-                }
-                CellOutcome::Completed {
-                    report: Arc::new(report),
-                    from_cache: false,
-                    wall: t0.elapsed(),
+                    last_error = msg;
                 }
             }
-            Err(payload) => CellOutcome::Failed {
-                error: panic_message(payload.as_ref()),
-            },
+        }
+        (CellOutcome::Failed { error: last_error }, attempts - 1)
+    }
+
+    /// One simulation attempt. With no budget the attempt runs inline on
+    /// the worker thread; with a budget it runs on a dedicated thread the
+    /// watchdog can abandon.
+    fn simulate_once(&self, cell: &Cell) -> Result<RunReport, CellFailure> {
+        let cfg = cell.cfg.clone();
+        let workload = cell.workload.clone();
+        let sim = move || System::new(cfg, &workload).run();
+        let Some(budget) = self.config.cell_timeout else {
+            return catch_unwind(AssertUnwindSafe(sim))
+                .map_err(|p| CellFailure::Panicked(panic_message(p.as_ref())));
+        };
+        let (tx, rx) = mpsc::channel();
+        // Owned (non-scoped) thread: if the simulation hangs, the watchdog
+        // abandons it rather than joining, so the sweep keeps moving. The
+        // send can fail only after abandonment, which is fine to ignore.
+        std::thread::spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(sim)).map_err(|p| panic_message(p.as_ref()));
+            let _ = tx.send(result);
+        });
+        match rx.recv_timeout(budget) {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(msg)) => Err(CellFailure::Panicked(msg)),
+            Err(_) => Err(CellFailure::TimedOut(budget)),
         }
     }
+}
+
+/// Why one simulation attempt did not produce a report.
+enum CellFailure {
+    Panicked(String),
+    TimedOut(Duration),
 }
 
 /// Best-effort extraction of a panic payload's message.

@@ -75,6 +75,19 @@ fn every_config_field_feeds_the_key() {
             "obs.trace_capacity",
             Box::new(|c, _| c.obs.trace_capacity = 64),
         ),
+        ("audit_every", Box::new(|c, _| c.audit_every = 4096)),
+        (
+            "inject",
+            Box::new(|c, _| {
+                c.inject = Some(dice_core::FaultPlan::seeded(dice_core::FaultKind::TagFlip));
+            }),
+        ),
+        (
+            "inject kind",
+            Box::new(|c, _| {
+                c.inject = Some(dice_core::FaultPlan::seeded(dice_core::FaultKind::SizeLie));
+            }),
+        ),
         ("workload seed", Box::new(|_, w| w.seed += 1)),
         ("workload name", Box::new(|_, w| w.name.push('x'))),
         ("workload specs", Box::new(|_, w| w.specs[0] = spec("mcf"))),
@@ -137,8 +150,13 @@ fn corrupt_cache_entries_are_discarded() {
     let half = good.len() / 2;
     let cases: Vec<(&str, String)> = vec![
         ("empty", String::new()),
+        ("zero-byte truncation", String::new()),
         ("not json", "definitely { not json".to_owned()),
         ("truncated", good[..half].to_owned()),
+        (
+            "truncated mid-report JSON",
+            good[..good.len() - 2].to_owned(),
+        ),
         ("wrong type", "[1, 2, 3]".to_owned()),
         (
             "wrong format version",
@@ -148,7 +166,12 @@ fn corrupt_cache_entries_are_discarded() {
             "missing report",
             "{\"format\": 1, \"key\": \"0000000000000000\"}".to_owned(),
         ),
+        (
+            "wrong embedded key hash",
+            good.replacen(&format!("{key:016x}"), "00000000deadbeef", 1),
+        ),
     ];
+    let n_cases = cases.len() as u64;
     for (label, text) in cases {
         fs::write(cache.entry_path(key), text).unwrap();
         assert!(
@@ -156,11 +179,59 @@ fn corrupt_cache_entries_are_discarded() {
             "{label} entry should be treated as a miss"
         );
     }
+    assert_eq!(
+        cache.discarded(),
+        n_cases,
+        "every corrupt entry should count as discarded"
+    );
 
     // An entry stored under the wrong key (e.g. a renamed file) is
     // rejected by the embedded-key check.
     fs::write(cache.entry_path(key ^ 1), good).unwrap();
     assert!(cache.load(key ^ 1).is_none());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// End-to-end degrade-to-miss: poisoning the cache between sweeps makes
+/// the runner re-simulate (reporting the discards) and still produce
+/// byte-identical results.
+#[test]
+fn poisoned_cache_degrades_to_misses_and_resimulates() {
+    let dir = scratch("poisoned");
+    let cells = || vec![Cell::new("base", base_cfg(), base_wl())];
+    let runner = Runner::new(RunnerConfig {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        ..RunnerConfig::default()
+    })
+    .unwrap();
+
+    let cold = runner.run(cells());
+    assert_eq!(cold.simulated(), 1);
+    assert_eq!(cold.cache_discarded, 0);
+
+    // Poison every entry on disk (truncate to a zero-byte file).
+    let mut poisoned = 0;
+    for e in fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+        if e.path().extension().is_some_and(|x| x == "json") {
+            fs::write(e.path(), "").unwrap();
+            poisoned += 1;
+        }
+    }
+    assert_eq!(poisoned, 1);
+
+    let after = runner.run(cells());
+    assert_eq!(after.simulated(), 1, "poisoned entry must re-simulate");
+    assert_eq!(after.cached(), 0);
+    assert_eq!(after.failed(), 0);
+    assert_eq!(after.cache_discarded, 1);
+
+    let render = |o: &CellOutcome| match o {
+        CellOutcome::Completed { report, .. } => Arc::clone(report).to_json().render(),
+        other => panic!("unexpected outcome: {other:?}"),
+    };
+    let k = ("base".to_owned(), "gcc".to_owned());
+    assert_eq!(render(&cold.outcomes[&k]), render(&after.outcomes[&k]));
     fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -178,7 +249,7 @@ fn warm_cache_skips_all_simulation() {
     let runner = Runner::new(RunnerConfig {
         jobs: 2,
         cache_dir: Some(dir.clone()),
-        verbose: false,
+        ..RunnerConfig::default()
     })
     .unwrap();
 
@@ -192,7 +263,7 @@ fn warm_cache_skips_all_simulation() {
 
     let render = |o: &CellOutcome| match o {
         CellOutcome::Completed { report, .. } => Arc::clone(report).to_json().render(),
-        CellOutcome::Failed { error } => panic!("unexpected failure: {error}"),
+        other => panic!("unexpected outcome: {other:?}"),
     };
     for (k, cold_outcome) in &cold.outcomes {
         assert_eq!(

@@ -34,8 +34,7 @@ fn small_sweep() -> Vec<Cell> {
 fn run_with_jobs(jobs: usize) -> Vec<((String, String), String)> {
     let runner = Runner::new(RunnerConfig {
         jobs,
-        cache_dir: None,
-        verbose: false,
+        ..RunnerConfig::default()
     })
     .unwrap();
     let result = runner.run(small_sweep());
@@ -45,7 +44,7 @@ fn run_with_jobs(jobs: usize) -> Vec<((String, String), String)> {
         .into_iter()
         .map(|(key, outcome)| match outcome {
             CellOutcome::Completed { report, .. } => (key, report.to_json().render()),
-            CellOutcome::Failed { error } => panic!("unexpected failure: {error}"),
+            other => panic!("unexpected outcome: {other:?}"),
         })
         .collect()
 }
@@ -74,8 +73,7 @@ fn panicking_cell_is_isolated() {
     ));
     let runner = Runner::new(RunnerConfig {
         jobs: 3,
-        cache_dir: None,
-        verbose: false,
+        ..RunnerConfig::default()
     })
     .unwrap();
     let result = runner.run(cells);
@@ -97,8 +95,7 @@ fn duplicate_cells_are_deduped() {
     cells.extend(small_sweep()); // every figure re-requests the baseline
     let runner = Runner::new(RunnerConfig {
         jobs: 2,
-        cache_dir: None,
-        verbose: false,
+        ..RunnerConfig::default()
     })
     .unwrap();
     let result = runner.run(cells);
@@ -112,8 +109,7 @@ fn duplicate_cells_are_deduped() {
 fn sweep_registers_runner_metrics() {
     let runner = Runner::new(RunnerConfig {
         jobs: 2,
-        cache_dir: None,
-        verbose: false,
+        ..RunnerConfig::default()
     })
     .unwrap();
     let result = runner.run(small_sweep());
@@ -123,5 +119,9 @@ fn sweep_registers_runner_metrics() {
     assert_eq!(reg.counter_value("runner.simulated"), Some(4));
     assert_eq!(reg.counter_value("runner.cached"), Some(0));
     assert_eq!(reg.counter_value("runner.failed"), Some(0));
+    assert_eq!(reg.counter_value("runner.timed_out"), Some(0));
+    assert_eq!(reg.counter_value("runner.retried"), Some(0));
+    assert_eq!(reg.counter_value("errors.cell_panic"), Some(0));
+    assert_eq!(reg.counter_value("errors.cell_timeout"), Some(0));
     assert_eq!(reg.histogram_ref("runner.cell_wall_ms").unwrap().count(), 4);
 }

@@ -1,7 +1,7 @@
 //! Simulation configuration (paper Table 2, with a scale knob).
 
 use dice_cache::L3FetchPolicy;
-use dice_core::{DramCacheConfig, Organization};
+use dice_core::{DramCacheConfig, FaultPlan, Organization};
 use dice_dram::DramConfig;
 use dice_obs::ObsConfig;
 use dice_workloads::WorkloadSpec;
@@ -45,6 +45,15 @@ pub struct SimConfig {
     /// Observability knobs: interval time-series sampling and the
     /// transaction trace (see `dice_obs::ObsConfig`).
     pub obs: ObsConfig,
+    /// Run the invariant auditor every this many demand records (0
+    /// disables it). The audit is read-only on a healthy system, so an
+    /// audited run produces results identical to an unaudited one; it
+    /// only acts (set invalidate → refill) when corruption is found.
+    pub audit_every: u64,
+    /// Armed fault injector, `None` in normal operation. Feeds the
+    /// runner's cache key via `Debug`, so injected runs never collide
+    /// with clean ones.
+    pub inject: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -77,6 +86,8 @@ impl SimConfig {
             warmup_records: 60_000,
             measure_records: 150_000,
             obs: ObsConfig::default(),
+            audit_every: 0,
+            inject: None,
         }
     }
 
@@ -114,6 +125,20 @@ impl SimConfig {
     #[must_use]
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Enables the invariant auditor every `every` demand records.
+    #[must_use]
+    pub fn with_audit(mut self, every: u64) -> Self {
+        self.audit_every = every;
+        self
+    }
+
+    /// Arms a fault injector.
+    #[must_use]
+    pub fn with_inject(mut self, plan: FaultPlan) -> Self {
+        self.inject = Some(plan);
         self
     }
 }

@@ -44,6 +44,45 @@ impl EnergyReport {
     }
 }
 
+/// Integrity-layer accounting for one run: auditor activity, detected
+/// invariant violations, and the recovery work they triggered. All zeros
+/// on a healthy run (or when `SimConfig::audit_every` is 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntegrityReport {
+    /// Number of auditor sweeps executed.
+    pub audits: u64,
+    /// Invariant violations detected across all sweeps.
+    pub violations: u64,
+    /// L4 sets invalidated (and later refilled on demand) to recover.
+    pub l4_sets_refilled: u64,
+    /// L3 lines dropped by scrubbing corrupted SRAM sets.
+    pub l3_lines_dropped: u64,
+    /// Faults deliberately injected by an armed `FaultPlan`.
+    pub faults_injected: u64,
+}
+
+impl IntegrityReport {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("audits".into(), Json::u64(self.audits)),
+            ("violations".into(), Json::u64(self.violations)),
+            ("l4_sets_refilled".into(), Json::u64(self.l4_sets_refilled)),
+            ("l3_lines_dropped".into(), Json::u64(self.l3_lines_dropped)),
+            ("faults_injected".into(), Json::u64(self.faults_injected)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<Self> {
+        Some(Self {
+            audits: j.get("audits")?.as_u64()?,
+            violations: j.get("violations")?.as_u64()?,
+            l4_sets_refilled: j.get("l4_sets_refilled")?.as_u64()?,
+            l3_lines_dropped: j.get("l3_lines_dropped")?.as_u64()?,
+            faults_injected: j.get("faults_injected")?.as_u64()?,
+        })
+    }
+}
+
 /// Everything measured in one run's post-warm-up window.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -77,6 +116,8 @@ pub struct RunReport {
     pub baseline_lines: u64,
     /// Off-chip energy.
     pub energy: EnergyReport,
+    /// Auditor/fault-injection accounting (all zeros on a clean run).
+    pub integrity: IntegrityReport,
     /// Per-request-class latency histograms over the measured window.
     pub latency: LatencyPanel,
     /// Interval time series over the measured window (empty when interval
@@ -187,6 +228,7 @@ impl RunReport {
                     ("cycles".into(), Json::u64(self.energy.cycles)),
                 ]),
             ),
+            ("integrity".into(), self.integrity.to_json()),
             ("latency".into(), self.latency.to_json()),
             (
                 "timeline".into(),
@@ -230,6 +272,7 @@ impl RunReport {
                 mem_joules: energy.get("mem_joules")?.as_f64()?,
                 cycles: energy.get("cycles")?.as_u64()?,
             },
+            integrity: IntegrityReport::from_json(j.get("integrity")?)?,
             latency: LatencyPanel::from_json(j.get("latency")?)?,
             timeline: j
                 .get("timeline")?
@@ -290,6 +333,7 @@ mod tests {
                 mem_joules: 2.0,
                 cycles,
             },
+            integrity: IntegrityReport::default(),
             latency: LatencyPanel::new(),
             timeline: Vec::new(),
             trace: TraceBuffer::default(),
@@ -329,6 +373,9 @@ mod tests {
         r.mem_dram.bytes = 4096;
         r.cip_accuracy = 0.9381;
         r.avg_valid_lines = 123.456;
+        r.integrity.audits = 9;
+        r.integrity.violations = 2;
+        r.integrity.l4_sets_refilled = 2;
         r.latency.record(dice_obs::RequestClass::ReadHit, 44);
         r.latency.record(dice_obs::RequestClass::ReadMiss, 301);
         let text = r.to_json().render();
@@ -337,6 +384,7 @@ mod tests {
         assert_eq!(back.cycles, r.cycles);
         assert_eq!(back.core_cycles, r.core_cycles);
         assert_eq!(back.l4.read_hits, 17);
+        assert_eq!(back.integrity, r.integrity);
         assert!((back.weighted_speedup(&r) - 1.0).abs() < 1e-12);
     }
 

@@ -4,14 +4,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use dice_cache::{HierarchyConfig, SramHierarchy};
-use dice_core::{DramCacheController, L4Stats, Probe, SetIndex};
+use dice_core::{DramCacheController, FaultKind, FaultPlan, L4Stats, LyingSizes, Probe, SetIndex};
 use dice_dram::{AccessKind, DramDevice, DramStats, Location};
 use dice_obs::{LatencyPanel, RequestClass, TraceBuffer, TraceEvent};
 use dice_workloads::{MixDataModel, RecordSource, TraceGen, TraceRecord};
 
 use crate::config::{SimConfig, WorkloadSet};
 use crate::core_model::CoreModel;
-use crate::report::RunReport;
+use crate::report::{IntegrityReport, RunReport};
 use crate::timeline::IntervalSample;
 use crate::Cycle;
 
@@ -19,6 +19,9 @@ use crate::Cycle;
 const MEM_LINES_PER_ROW: u64 = 32;
 /// Sample the resident-line count every this many demand records.
 const CAPACITY_SAMPLE_EVERY: u64 = 2048;
+/// When a tag-flip injector is armed, corrupt a tag every this many demand
+/// records (frequent enough that short test windows see several faults).
+const FAULT_INJECT_EVERY: u64 = 4096;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
@@ -77,6 +80,8 @@ pub struct System {
     occupied_sum: f64,
     valid_samples: u64,
     records_since_sample: u64,
+    demand_records: u64,
+    integrity: IntegrityReport,
     sampling: bool,
     latency: LatencyPanel,
     trace: TraceBuffer,
@@ -167,6 +172,8 @@ impl System {
             occupied_sum: 0.0,
             valid_samples: 0,
             records_since_sample: 0,
+            demand_records: 0,
+            integrity: IntegrityReport::default(),
             sampling: false,
             latency: LatencyPanel::new(),
             trace: TraceBuffer::new(cfg.obs.trace_capacity),
@@ -320,7 +327,68 @@ impl System {
         }
     }
 
+    /// The seed of an armed size-lie injector, if any.
+    fn size_lie_seed(&self) -> Option<u64> {
+        match self.cfg.inject {
+            Some(FaultPlan {
+                kind: FaultKind::SizeLie,
+                seed,
+            }) => Some(seed),
+            _ => None,
+        }
+    }
+
+    /// Periodic fault injection (when armed) and invariant auditing,
+    /// clocked by demand records so both are deterministic.
+    fn integrity_tick(&mut self) {
+        if let Some(plan) = self.cfg.inject {
+            if plan.kind == FaultKind::TagFlip
+                && self.demand_records.is_multiple_of(FAULT_INJECT_EVERY)
+            {
+                // Evolve the seed so successive flips land on different
+                // sets; corrupt both the L4 TAD array and the L3 tags.
+                let seed = plan.seed.wrapping_add(self.demand_records);
+                if self.l4.inject_tag_flip(seed).is_some() {
+                    self.integrity.faults_injected += 1;
+                }
+                if self.hierarchy.l3_inject_tag_flip(seed ^ 0x5a5a).is_some() {
+                    self.integrity.faults_injected += 1;
+                }
+            }
+        }
+        if self.cfg.audit_every > 0 && self.demand_records.is_multiple_of(self.cfg.audit_every) {
+            self.audit_now();
+        }
+    }
+
+    /// One auditor sweep: validate every L4 set against the honest size
+    /// oracle and every SRAM level's tag store. Recovery is set-granular —
+    /// a violating set's contents cannot be trusted (least of all its
+    /// dirty bits), so it is dropped whole and refilled on demand.
+    fn audit_now(&mut self) {
+        self.integrity.audits += 1;
+        let violations = self.l4.audit(&mut self.data);
+        self.integrity.violations += violations.len() as u64;
+        // Violations arrive grouped by set in ascending order, so a
+        // linear dedup yields each damaged set exactly once.
+        let mut sets: Vec<SetIndex> = violations.iter().map(|v| v.set).collect();
+        sets.dedup();
+        for s in sets {
+            self.l4.invalidate_set(s);
+            self.integrity.l4_sets_refilled += 1;
+        }
+        let l3_violations = self.hierarchy.audit();
+        if !l3_violations.is_empty() {
+            self.integrity.violations += l3_violations.len() as u64;
+            self.integrity.l3_lines_dropped += self.hierarchy.l3_scrub() as u64;
+        }
+    }
+
     fn handle_record(&mut self, rec: TraceRecord, t: Cycle) -> Cycle {
+        self.demand_records += 1;
+        if self.cfg.audit_every > 0 || self.cfg.inject.is_some() {
+            self.integrity_tick();
+        }
         if self.sampling {
             self.records_since_sample += 1;
             if self.records_since_sample >= CAPACITY_SAMPLE_EVERY {
@@ -365,13 +433,32 @@ impl System {
                 }
             }
             EventKind::Fill { line, probed } => {
-                let out = self.l4.fill(line, false, probed, &mut self.data);
+                // With a size-lie injector armed, the controller consults a
+                // corrupted oracle on installs; the honest-oracle audit is
+                // what catches the resulting over-packed sets.
+                let out = if let Some(seed) = self.size_lie_seed() {
+                    let mut liar = LyingSizes::new(&mut self.data, seed);
+                    if liar.lies_about(line) {
+                        self.integrity.faults_injected += 1;
+                    }
+                    self.l4.fill(line, false, probed, &mut liar)
+                } else {
+                    self.l4.fill(line, false, probed, &mut self.data)
+                };
                 let end = self.run_probes(ev.time, &out.probes);
                 self.mem_writes(end, &out.memory_writebacks);
                 self.observe(RequestClass::MemFill, ev.time, end, line);
             }
             EventKind::L4Writeback { line } => {
-                let out = self.l4.writeback(line, &mut self.data);
+                let out = if let Some(seed) = self.size_lie_seed() {
+                    let mut liar = LyingSizes::new(&mut self.data, seed);
+                    if liar.lies_about(line) {
+                        self.integrity.faults_injected += 1;
+                    }
+                    self.l4.writeback(line, &mut liar)
+                } else {
+                    self.l4.writeback(line, &mut self.data)
+                };
                 let end = self.run_probes(ev.time, &out.probes);
                 self.mem_writes(end, &out.memory_writebacks);
                 self.observe(RequestClass::Writeback, ev.time, end, line);
@@ -406,8 +493,33 @@ impl System {
     }
 
     /// Runs warm-up then the measured window and reports the measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`FaultKind::CellPanic`] injector is armed — that is
+    /// the injector's whole purpose (the runner's `catch_unwind` isolation
+    /// is what's under test).
     pub fn run(mut self) -> RunReport {
         self.run_phase(self.cfg.warmup_records);
+
+        // Mid-cell process faults fire at the measurement boundary —
+        // halfway through the cell's work, the worst case for the
+        // runner's isolation and watchdog machinery.
+        match self.cfg.inject {
+            Some(FaultPlan {
+                kind: FaultKind::CellPanic,
+                seed,
+            }) => panic!("injected mid-cell panic (seed {seed:#x})"),
+            Some(FaultPlan {
+                kind: FaultKind::CellTimeout,
+                ..
+            }) => {
+                // Hang far past any reasonable watchdog budget; the
+                // runner reports the cell as timed out and moves on.
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+            _ => {}
+        }
 
         // Snapshot at the measurement boundary.
         self.hierarchy.reset_stats();
@@ -475,6 +587,7 @@ impl System {
             avg_occupied_sets,
             baseline_lines: self.l4.num_sets(),
             energy: RunReport::energy_of(&l4_dram, &mem_dram, cycles),
+            integrity: self.integrity,
             latency: self.latency,
             timeline: self.timeline,
             trace: self.trace,
@@ -616,6 +729,72 @@ mod tests {
         // Latency histograms still fill — they are part of the report
         // proper, not the optional trace.
         assert!(r.latency.total_count() > 0);
+    }
+
+    /// The acceptance property behind `--audit`: the auditor is read-only
+    /// on a healthy system, so an audited run is cycle-identical (in fact
+    /// report-identical) to an unaudited one.
+    #[test]
+    fn audited_clean_run_is_identical_to_unaudited() {
+        let run = |audit_every| {
+            let cfg = SimConfig::scaled(Organization::Dice { threshold: 36 }, 256)
+                .with_records(4_000, 8_000)
+                .with_audit(audit_every);
+            System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7)).run()
+        };
+        let plain = run(0);
+        let audited = run(512);
+        assert!(audited.integrity.audits > 0);
+        assert_eq!(
+            audited.integrity.violations, 0,
+            "healthy run must audit clean"
+        );
+        assert_eq!(audited.integrity.l4_sets_refilled, 0);
+        assert_eq!(audited.cycles, plain.cycles);
+        assert_eq!(audited.l4.reads, plain.l4.reads);
+        assert_eq!(audited.mem_dram.reads, plain.mem_dram.reads);
+    }
+
+    #[test]
+    fn injected_tag_flips_are_detected_and_recovered() {
+        let cfg = SimConfig::scaled(Organization::Dice { threshold: 36 }, 256)
+            .with_records(4_000, 8_000)
+            .with_audit(512)
+            .with_inject(dice_core::FaultPlan::seeded(dice_core::FaultKind::TagFlip));
+        let r = System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7)).run();
+        assert!(r.integrity.faults_injected > 0, "no faults landed");
+        assert!(r.integrity.violations > 0, "auditor missed the flips");
+        assert!(
+            r.integrity.l4_sets_refilled > 0 || r.integrity.l3_lines_dropped > 0,
+            "no recovery happened"
+        );
+        // Degradation is graceful: the run still completes and measures.
+        assert!(r.cycles > 0);
+        assert!(r.core_instructions.iter().all(|&i| i > 0));
+    }
+
+    #[test]
+    fn injected_size_lies_are_caught_by_honest_audit() {
+        let cfg = SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024)
+            .with_records(6_000, 12_000)
+            .with_audit(512)
+            .with_inject(dice_core::FaultPlan::seeded(dice_core::FaultKind::SizeLie));
+        let r = System::new(cfg, &WorkloadSet::rate(spec("cc_twi"), 7)).run();
+        assert!(r.integrity.faults_injected > 0, "oracle never lied");
+        assert!(r.integrity.violations > 0, "over-packed sets not detected");
+        assert!(r.integrity.l4_sets_refilled > 0, "no sets recovered");
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected mid-cell panic")]
+    fn cell_panic_injector_fires_at_measurement_boundary() {
+        let cfg = SimConfig::scaled(Organization::UncompressedAlloy, 256)
+            .with_records(200, 200)
+            .with_inject(dice_core::FaultPlan::seeded(
+                dice_core::FaultKind::CellPanic,
+            ));
+        let _ = System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7)).run();
     }
 
     #[test]

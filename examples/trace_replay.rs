@@ -12,7 +12,7 @@ use dice::workloads::{
     load_trace, save_trace, spec_table, MixDataModel, RecordSource, ReplaySource, TraceGen,
 };
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = spec_table()
         .into_iter()
         .find(|w| w.name == "soplex")
