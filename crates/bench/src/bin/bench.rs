@@ -337,7 +337,10 @@ fn main() {
 
     if let Some(against) = &args.against {
         let baseline = load_entries(against);
-        match baseline.last() {
+        // The results file is shared with dice-serve-loadgen, whose
+        // serving-throughput entries carry no "benches" section; compare
+        // against the newest entry that actually has micro-bench numbers.
+        match baseline.iter().rev().find(|e| e.get("benches").is_some()) {
             None => {
                 eprintln!("warning: no baseline entry in {against}; skipping comparison");
             }

@@ -7,7 +7,10 @@
 //!
 //! ids:   fig1f fig4 fig7 fig10 fig11 fig12 fig13 fig14 fig15
 //!        tab4 tab5 tab6 tab7 tab8 cip all
-//! flags: --scale N      footprint/capacity divisor (default 64)
+//! flags: --list         print the experiment id/description catalog as
+//!                       JSON (the same bytes `dice-serve` serves at
+//!                       /v1/experiments) and exit
+//!        --scale N      footprint/capacity divisor (default 64)
 //!        --warmup N     warm-up records per core (default 30000)
 //!        --measure N    measured records per core (default 80000)
 //!        --seed N       workload seed
@@ -1086,6 +1089,12 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--list" => {
+                // The shared catalog: byte-identical to dice-serve's
+                // /v1/experiments (asserted by tests on both sides).
+                println!("{}", dice_bench::catalog_json().render());
+                return;
+            }
             "--scale" => {
                 i += 1;
                 ctx.scale = args[i].parse().expect("--scale N");
@@ -1232,5 +1241,21 @@ fn main() {
             eprintln!("  {f}");
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::EXPERIMENTS;
+    use dice_bench::EXPERIMENT_CATALOG;
+
+    /// The dispatch table and the shared catalog must agree exactly —
+    /// same ids, same order — so `--list` / `/v1/experiments` can never
+    /// drift from what the binary actually runs.
+    #[test]
+    fn dispatch_table_matches_shared_catalog() {
+        let dispatch: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
+        let catalog: Vec<&str> = EXPERIMENT_CATALOG.iter().map(|e| e.id).collect();
+        assert_eq!(dispatch, catalog);
     }
 }

@@ -8,6 +8,8 @@
 //!   each workload is simulated once and reused by every figure;
 //! * [`workloads`] — the paper's workload lists (RATE / MIX / GAP /
 //!   ALL26 / non-memory-intensive) in Table 3 order;
+//! * [`catalog`] — the experiment id/description table shared by
+//!   `experiments --list` and `dice-serve`'s `/v1/experiments`;
 //! * [`table`] — plain-text table rendering for harness output.
 //!
 //! Run the harness with `cargo run --release -p dice-bench --bin
@@ -17,9 +19,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod ctx;
 pub mod table;
 pub mod workloads;
 
+pub use catalog::{catalog_json, ExperimentInfo, EXPERIMENT_CATALOG};
 pub use ctx::Ctx;
 pub use table::Table;

@@ -1115,7 +1115,7 @@ mod tests {
         for line in 0..512u64 {
             c.fill(line, false, None, &mut sizes);
         }
-        let before = (c.valid_lines(), c.stats().clone());
+        let before = (c.valid_lines(), *c.stats());
         let _ = c.audit(&mut sizes);
         assert_eq!(before.0, c.valid_lines());
         assert_eq!(&before.1, c.stats());

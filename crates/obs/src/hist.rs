@@ -88,6 +88,13 @@ impl Histogram {
         self.max
     }
 
+    /// Exact sum of recorded samples (a `u128`: 2⁶⁴ max-valued samples
+    /// cannot overflow it).
+    #[must_use]
+    pub fn sum_exact(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of recorded samples (0.0 when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {

@@ -16,6 +16,8 @@
 //!   in Chrome `trace_event` format for Perfetto;
 //! - [`Json`] — a zero-dependency JSON value, writer and parser used for
 //!   every machine-readable artifact above;
+//! - [`render_prometheus`] — Prometheus text exposition of a whole
+//!   registry (served by `dice-serve`'s `/metrics`);
 //! - [`DiceError`] / [`ErrorClass`] — the workspace-wide typed error
 //!   hierarchy, with one obs counter per class via [`record_error`].
 //!
@@ -33,6 +35,7 @@ mod error;
 mod hist;
 mod json;
 mod panel;
+mod prom;
 mod registry;
 mod snapshot;
 mod trace;
@@ -41,6 +44,7 @@ pub use error::{record_error, register_error_counters, DiceError, DiceResult, Er
 pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use panel::{LatencyPanel, RequestClass};
+pub use prom::{prom_name, render_prometheus};
 pub use registry::{CounterId, GaugeId, HistId, MetricRegistry};
 pub use snapshot::{
     delta, register_counters, snapshot_from_json, snapshot_json, FieldKind, Snapshot,

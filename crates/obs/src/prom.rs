@@ -1,0 +1,166 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricRegistry`].
+//!
+//! The encoder maps the registry's three metric kinds onto the matching
+//! Prometheus families:
+//!
+//! * counters → `# TYPE name counter` + one sample;
+//! * gauges → `# TYPE name gauge` + one sample (non-finite readings are
+//!   emitted as `NaN` / `+Inf` / `-Inf`, which the exposition format
+//!   allows);
+//! * histograms → `# TYPE name histogram` with one cumulative
+//!   `name_bucket{le="…"}` sample per **occupied** log₂ bucket (the `le`
+//!   value is the bucket's upper edge), the mandatory
+//!   `name_bucket{le="+Inf"}` sample, and `name_sum` / `name_count`.
+//!
+//! Registry names use `.` as a separator (`serve.requests`); Prometheus
+//! metric names cannot contain dots, so [`prom_name`] rewrites every
+//! character outside `[a-zA-Z0-9_:]` to `_` (and prefixes `_` when the
+//! name would start with a digit). Two registry names that sanitize to
+//! the same Prometheus name would produce a duplicate family; the
+//! workspace's dotted-lowercase naming convention never does.
+
+use std::fmt::Write;
+
+use crate::hist::Histogram;
+use crate::registry::MetricRegistry;
+
+/// Sanitizes a registry metric name into a valid Prometheus metric name.
+#[must_use]
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Renders one `f64` sample value the way Prometheus expects it.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Appends one histogram family: cumulative buckets, `+Inf`, sum, count.
+fn write_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (edge, count) in h.buckets() {
+        cumulative += count;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{edge}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    // The exact sample sum is a u128; Prometheus values are decimal text,
+    // so the integer renders losslessly.
+    let _ = writeln!(out, "{name}_sum {}", h.sum_exact());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+/// Renders the whole registry in Prometheus text exposition format.
+///
+/// Families appear in registration order: all counters, then all gauges,
+/// then all histograms. The output always ends with a newline (required
+/// by the format) and is safe to serve as
+/// `text/plain; version=0.0.4; charset=utf-8`.
+#[must_use]
+pub fn render_prometheus(reg: &MetricRegistry) -> String {
+    let mut out = String::new();
+    for (name, v) in reg.counters() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in reg.gauges() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", prom_f64(v));
+    }
+    for (name, h) in reg.histograms() {
+        write_histogram(&mut out, &prom_name(name), h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(prom_name("serve.requests"), "serve_requests");
+        assert_eq!(prom_name("l4.read-latency µs"), "l4_read_latency__s");
+        assert_eq!(prom_name("2xcap"), "_2xcap");
+        assert_eq!(prom_name("already_fine:ok"), "already_fine:ok");
+    }
+
+    #[test]
+    fn renders_expected_exposition() {
+        let mut reg = MetricRegistry::new();
+        let c = reg.counter("serve.requests");
+        reg.add(c, 3);
+        let g = reg.gauge("queue.depth");
+        reg.set_gauge(g, 2.5);
+        let h = reg.histogram("req.micros");
+        for v in [0, 5, 5, 1000] {
+            reg.observe(h, v);
+        }
+        // Hand-written expected output: 0 lands in the le="0" bucket, the
+        // fives in le="7" (bit length 3), 1000 in le="1023"; buckets are
+        // cumulative; sum and count are exact.
+        let expected = "\
+# TYPE serve_requests counter
+serve_requests 3
+# TYPE queue_depth gauge
+queue_depth 2.5
+# TYPE req_micros histogram
+req_micros_bucket{le=\"0\"} 1
+req_micros_bucket{le=\"7\"} 3
+req_micros_bucket{le=\"1023\"} 4
+req_micros_bucket{le=\"+Inf\"} 4
+req_micros_sum 1010
+req_micros_count 4
+";
+        assert_eq!(render_prometheus(&reg), expected);
+    }
+
+    #[test]
+    fn empty_histogram_still_emits_inf_sum_count() {
+        let mut reg = MetricRegistry::new();
+        reg.histogram("empty.lat");
+        let expected = "\
+# TYPE empty_lat histogram
+empty_lat_bucket{le=\"+Inf\"} 0
+empty_lat_sum 0
+empty_lat_count 0
+";
+        assert_eq!(render_prometheus(&reg), expected);
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_prometheus_keywords() {
+        let mut reg = MetricRegistry::new();
+        let g = reg.gauge("weird");
+        reg.set_gauge(g, f64::NAN);
+        assert!(render_prometheus(&reg).contains("weird NaN\n"));
+        reg.set_gauge(g, f64::INFINITY);
+        assert!(render_prometheus(&reg).contains("weird +Inf\n"));
+        reg.set_gauge(g, f64::NEG_INFINITY);
+        assert!(render_prometheus(&reg).contains("weird -Inf\n"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_string() {
+        assert_eq!(render_prometheus(&MetricRegistry::new()), "");
+    }
+}

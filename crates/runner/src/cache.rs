@@ -115,13 +115,17 @@ impl DiskCache {
     }
 
     /// Writes `report` under `key`. The write is atomic (temp file +
-    /// rename), so concurrent runs sharing a cache directory at worst
-    /// duplicate work, never corrupt each other.
+    /// rename), so concurrent runs — and concurrent threads within one
+    /// run — sharing a cache directory at worst duplicate work, never
+    /// corrupt each other. Temp names carry the process id *and* a
+    /// process-wide sequence number, so two threads storing the same key
+    /// simultaneously never write through the same temp file.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the entry cannot be written.
     pub fn store(&self, key: u64, tag: &str, report: &RunReport) -> io::Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let doc = Json::Obj(vec![
             ("format".into(), Json::u64(FORMAT)),
             ("key".into(), Json::str(format!("{key:016x}"))),
@@ -131,8 +135,9 @@ impl DiskCache {
         ]);
         let final_path = self.entry_path(key);
         let tmp_path = self.dir.join(format!(
-            ".{key:016x}.{}.tmp",
-            std::process::id() // distinct temp names across processes
+            ".{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
         ));
         fs::write(&tmp_path, doc.render())?;
         fs::rename(&tmp_path, &final_path)

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -29,6 +29,30 @@ use dice_sim::{RunReport, SimConfig, System, WorkloadSet};
 
 use crate::cache::DiskCache;
 use crate::key::cell_key;
+
+/// Process-wide count of [`Runner::run`] invocations (sweeps started).
+static ENGINE_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of simulation attempts actually started (cache hits
+/// and coalesced duplicates never reach this counter).
+static SIMULATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of sweeps started through the engine since process start.
+///
+/// Single-flight layers (e.g. `dice-serve`) assert on deltas of this
+/// counter to prove that N identical submissions executed exactly one
+/// sweep.
+#[must_use]
+pub fn engine_runs() -> u64 {
+    ENGINE_RUNS.load(Ordering::Relaxed)
+}
+
+/// Number of simulation attempts started since process start (excludes
+/// persistent-cache hits).
+#[must_use]
+pub fn simulations_started() -> u64 {
+    SIMULATIONS.load(Ordering::Relaxed)
+}
 
 /// One schedulable unit: a tagged configuration applied to one workload
 /// set.
@@ -108,6 +132,12 @@ pub struct RunnerConfig {
     /// are never retried — a deterministic simulator that blew its budget
     /// once will blow it again.
     pub retries: u32,
+    /// Cooperative cancellation hook. When the flag flips to `true`,
+    /// workers finish the cells they already claimed (in-flight work is
+    /// never abandoned mid-simulation) but claim no further ones; the
+    /// sweep returns early with the skipped cells counted in
+    /// [`SweepResult::cancelled`]. `None` = never cancelled.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for RunnerConfig {
@@ -118,6 +148,7 @@ impl Default for RunnerConfig {
             verbose: false,
             cell_timeout: None,
             retries: 0,
+            cancel: None,
         }
     }
 }
@@ -141,6 +172,9 @@ pub struct SweepResult {
     pub retried: usize,
     /// Persistent-cache entries discarded as corrupt during this sweep.
     pub cache_discarded: u64,
+    /// Cells never started because the [`RunnerConfig::cancel`] flag
+    /// flipped mid-sweep (they have no entry in `outcomes`).
+    pub cancelled: usize,
 }
 
 impl SweepResult {
@@ -188,6 +222,8 @@ impl SweepResult {
             let id = reg.counter(name);
             reg.set(id, v as u64);
         }
+        let id = reg.counter("runner.cancelled");
+        reg.set(id, self.cancelled as u64);
         let id = reg.counter("runner.cache_discarded");
         reg.set(id, self.cache_discarded);
         let id = reg.counter("runner.wall_ms");
@@ -234,6 +270,9 @@ impl SweepResult {
         }
         if self.retried > 0 {
             extras.push_str(&format!(" ({} retried)", self.retried));
+        }
+        if self.cancelled > 0 {
+            extras.push_str(&format!(" ({} cancelled)", self.cancelled));
         }
         format!(
             "{} cells ({} deduped): {} simulated, {} cached, {} failed{extras} in {:.1}s on {} job{}",
@@ -284,6 +323,7 @@ impl Runner {
     /// warning.
     #[must_use]
     pub fn run(&self, cells: Vec<Cell>) -> SweepResult {
+        ENGINE_RUNS.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let jobs = self.config.jobs.max(1);
 
@@ -324,7 +364,11 @@ impl Runner {
             for _ in 0..jobs.min(total.max(1)) {
                 let tx = tx.clone();
                 let next = &next;
+                let cancel = self.config.cancel.clone();
                 scope.spawn(move || loop {
+                    if cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed)) {
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= cells.len() {
                         break;
@@ -369,6 +413,7 @@ impl Runner {
             }
         });
 
+        let cancelled = total - outcomes.len();
         SweepResult {
             outcomes,
             deduped,
@@ -377,6 +422,7 @@ impl Runner {
             cell_wall_ms,
             retried,
             cache_discarded: self.cache.as_ref().map_or(0, DiskCache::discarded) - discarded_before,
+            cancelled,
         }
     }
 
@@ -445,6 +491,7 @@ impl Runner {
     /// the worker thread; with a budget it runs on a dedicated thread the
     /// watchdog can abandon.
     fn simulate_once(&self, cell: &Cell) -> Result<RunReport, CellFailure> {
+        SIMULATIONS.fetch_add(1, Ordering::Relaxed);
         let cfg = cell.cfg.clone();
         let workload = cell.workload.clone();
         let sim = move || System::new(cfg, &workload).run();

@@ -37,5 +37,7 @@ mod engine;
 mod key;
 
 pub use cache::DiskCache;
-pub use engine::{Cell, CellOutcome, Runner, RunnerConfig, SweepResult};
+pub use engine::{
+    engine_runs, simulations_started, Cell, CellOutcome, Runner, RunnerConfig, SweepResult,
+};
 pub use key::{cell_fingerprint, cell_key, cell_key_with_version, fnv1a64};

@@ -235,6 +235,129 @@ fn poisoned_cache_degrades_to_misses_and_resimulates() {
     fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Concurrent store/load of the *same key* under real contention: every
+/// load must observe either a miss or a complete, byte-identical entry —
+/// never a partial read — and nothing may be counted as discarded. This
+/// exercises the temp-file-and-rename atomicity claim in
+/// `crates/runner/src/cache.rs` (including the per-thread temp-name
+/// uniqueness: before temp names carried a sequence number, two threads
+/// storing one key could interleave writes through the same temp file).
+#[test]
+fn concurrent_same_key_store_load_is_atomic() {
+    let dir = scratch("contention");
+    let cache = DiskCache::open(&dir).unwrap();
+    let report = System::new(base_cfg(), &base_wl()).run();
+    let key = cell_key(&base_cfg(), &base_wl());
+    let expected = report.to_json().render();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..25 {
+                    cache.store(key, "dice36", &report).expect("store");
+                }
+            });
+        }
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut hits = 0u32;
+                for _ in 0..50 {
+                    if let Some(loaded) = cache.load(key) {
+                        hits += 1;
+                        assert_eq!(
+                            loaded.to_json().render(),
+                            expected,
+                            "a concurrent load saw a partial or corrupt entry"
+                        );
+                    }
+                }
+                hits
+            });
+        }
+    });
+
+    assert_eq!(
+        cache.discarded(),
+        0,
+        "contention must never manifest as discarded entries"
+    );
+    // The entry survives the stampede intact and no temp files leak.
+    let final_entry = cache
+        .load(key)
+        .expect("entry must exist after the stampede");
+    assert_eq!(final_entry.to_json().render(), expected);
+    let leftovers: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Concurrent stores of *distinct* keys must each land intact (the lost-
+/// entry half of the atomicity claim).
+#[test]
+fn concurrent_distinct_key_stores_lose_nothing() {
+    let dir = scratch("distinct");
+    let cache = DiskCache::open(&dir).unwrap();
+    let report = System::new(base_cfg(), &base_wl()).run();
+    let expected = report.to_json().render();
+    let keys: Vec<u64> = (0..32u64).map(|i| 0xbeef_0000 + i).collect();
+
+    std::thread::scope(|scope| {
+        for chunk in keys.chunks(8) {
+            let cache = &cache;
+            let report = &report;
+            scope.spawn(move || {
+                for &k in chunk {
+                    cache.store(k, "t", report).expect("store");
+                }
+            });
+        }
+    });
+
+    for &k in &keys {
+        let loaded = cache.load(k).unwrap_or_else(|| panic!("entry {k:#x} lost"));
+        assert_eq!(loaded.to_json().render(), expected);
+    }
+    assert_eq!(cache.discarded(), 0);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The cooperative cancel hook: a pre-cancelled sweep claims no cells,
+/// reports them all as cancelled, and an uncancelled run of the same cells
+/// still completes normally.
+#[test]
+fn cancel_flag_skips_unclaimed_cells() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let cells = || {
+        vec![
+            Cell::new("base", base_cfg(), base_wl()),
+            Cell::new("dice36", base_cfg(), WorkloadSet::rate(spec("soplex"), 7)),
+        ]
+    };
+    let cancel = Arc::new(AtomicBool::new(true));
+    let runner = Runner::new(RunnerConfig {
+        jobs: 2,
+        cancel: Some(Arc::clone(&cancel)),
+        ..RunnerConfig::default()
+    })
+    .unwrap();
+    let sweep = runner.run(cells());
+    assert_eq!(sweep.cancelled, 2);
+    assert!(sweep.outcomes.is_empty());
+    assert!(sweep.summary().contains("(2 cancelled)"));
+
+    cancel.store(false, Ordering::Relaxed);
+    let sweep = runner.run(cells());
+    assert_eq!(sweep.cancelled, 0);
+    assert_eq!(sweep.simulated(), 2);
+}
+
 /// A warm cache skips every completed cell, and the recalled reports render
 /// the same JSON as the cold run's.
 #[test]

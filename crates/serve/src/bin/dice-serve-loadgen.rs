@@ -1,0 +1,354 @@
+//! `dice-serve-loadgen`: a closed-loop load generator and CI probe for
+//! `dice-serve`.
+//!
+//! Modes:
+//!
+//! ```text
+//! # hammer the server with a mixed cold/warm sweep load, append a
+//! # serving-throughput entry to BENCH_results.json:
+//! dice-serve-loadgen --url 127.0.0.1:PORT [--requests N] [--concurrency C]
+//!                    [--distinct D] [--out FILE] [--no-append] [--quiet]
+//!
+//! # submit one sweep and print the canonical report body (byte-exact):
+//! dice-serve-loadgen --url 127.0.0.1:PORT --spec '<json>'
+//!
+//! # run the same spec directly through dice-runner and print the same
+//! # canonical body (byte-exact), for equivalence checks:
+//! dice-serve-loadgen --direct '<json>'
+//!
+//! # fetch /metrics and validate it as Prometheus 0.0.4 exposition:
+//! dice-serve-loadgen --url 127.0.0.1:PORT --check-metrics
+//! ```
+//!
+//! The default load is `--requests` submissions of a tiny sweep whose
+//! seed cycles over `--distinct` values: the first submission of each
+//! seed is cold (simulates), repeats are warm (single-flight coalescing
+//! or a finished job), which is exactly the mixed regime a result
+//! service sees.
+
+use std::io::Write;
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
+
+use dice_obs::Json;
+use dice_runner::{Runner, RunnerConfig};
+use dice_serve::{http_get, http_post, render_runs, validate_prometheus, SweepSpec};
+
+struct Args {
+    url: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    distinct: usize,
+    out: String,
+    append: bool,
+    quiet: bool,
+    spec: Option<String>,
+    direct: Option<String>,
+    check_metrics: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dice-serve-loadgen --url HOST:PORT [--requests N] [--concurrency C] \
+         [--distinct D] [--out FILE] [--no-append] [--quiet]\n\
+         \x20      dice-serve-loadgen --url HOST:PORT --spec '<json>'\n\
+         \x20      dice-serve-loadgen --direct '<json>'\n\
+         \x20      dice-serve-loadgen --url HOST:PORT --check-metrics"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        url: None,
+        requests: 40,
+        concurrency: 4,
+        distinct: 4,
+        out: "BENCH_results.json".to_owned(),
+        append: true,
+        quiet: false,
+        spec: None,
+        direct: None,
+        check_metrics: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("dice-serve-loadgen: {arg} needs {what}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--url" => parsed.url = Some(normalize_url(&value("a host:port"))),
+            "--requests" => parsed.requests = value("a count").parse().unwrap_or_else(|_| usage()),
+            "--concurrency" => {
+                parsed.concurrency = value("a count").parse().unwrap_or_else(|_| usage());
+            }
+            "--distinct" => parsed.distinct = value("a count").parse().unwrap_or_else(|_| usage()),
+            "--out" => parsed.out = value("a file"),
+            "--no-append" => parsed.append = false,
+            "--quiet" => parsed.quiet = true,
+            "--spec" => parsed.spec = Some(value("a JSON spec")),
+            "--direct" => parsed.direct = Some(value("a JSON spec")),
+            "--check-metrics" => parsed.check_metrics = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+/// Accepts `http://host:port[/]` or bare `host:port`.
+fn normalize_url(url: &str) -> String {
+    url.trim_start_matches("http://")
+        .trim_end_matches('/')
+        .to_owned()
+}
+
+/// The tiny sweep used in load mode; the seed makes it cold or warm.
+fn load_spec(seed: usize) -> String {
+    format!(
+        r#"{{"orgs":["base"],"workloads":["gcc"],"scale":4096,"warmup":50,"measure":150,"seed":{seed}}}"#
+    )
+}
+
+/// Prints exactly `body` (no trailing newline) so shell `cmp` against
+/// another emitter's output is meaningful.
+fn emit_body(body: &str) {
+    let mut out = std::io::stdout();
+    out.write_all(body.as_bytes()).expect("write stdout");
+    out.flush().expect("flush stdout");
+}
+
+/// `--direct`: run the spec through the runner in-process and print the
+/// canonical document.
+fn run_direct(spec_text: &str) -> i32 {
+    let spec = match SweepSpec::parse(spec_text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("dice-serve-loadgen: {e}");
+            return 2;
+        }
+    };
+    let runner = Runner::new(RunnerConfig::default()).expect("no cache dir, cannot fail");
+    let result = runner.run(spec.to_cells());
+    emit_body(&render_runs(&result).render());
+    0
+}
+
+/// Submits one spec and waits for the report body. `Err` carries a
+/// human-readable failure.
+fn submit_and_wait(addr: &str, spec_text: &str) -> Result<(String, bool), String> {
+    let submitted = loop {
+        let resp = http_post(addr, "/v1/sweeps", spec_text)
+            .map_err(|e| format!("POST /v1/sweeps: {e}"))?;
+        match resp.status {
+            202 => break resp,
+            429 => std::thread::sleep(Duration::from_millis(100)),
+            s => return Err(format!("POST /v1/sweeps: HTTP {s}: {}", resp.text())),
+        }
+    };
+    let body = Json::parse(&submitted.text()).map_err(|e| format!("submit response: {e}"))?;
+    let id = body
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("submit response missing id")?
+        .to_owned();
+    let coalesced = body.get("coalesced") == Some(&Json::Bool(true));
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status =
+            http_get(addr, &format!("/v1/sweeps/{id}")).map_err(|e| format!("GET status: {e}"))?;
+        let doc = Json::parse(&status.text()).map_err(|e| format!("status response: {e}"))?;
+        match doc.get("state").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("failed") => return Err(format!("sweep failed: {}", status.text())),
+            Some("cancelled") => return Err("sweep cancelled".to_owned()),
+            _ if Instant::now() > deadline => return Err("sweep timed out".to_owned()),
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let report = http_get(addr, &format!("/v1/sweeps/{id}/report"))
+        .map_err(|e| format!("GET report: {e}"))?;
+    if report.status != 200 {
+        return Err(format!("GET report: HTTP {}", report.status));
+    }
+    Ok((report.text(), coalesced))
+}
+
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Load mode: closed-loop clients over a mixed cold/warm spec set.
+fn run_load(args: &Args, addr: &str) -> i32 {
+    let say = |msg: &str| {
+        if !args.quiet {
+            println!("{msg}");
+        }
+    };
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(args.requests));
+    let coalesced = AtomicUsize::new(0);
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..args.concurrency.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= args.requests {
+                    return;
+                }
+                let spec = load_spec(i % args.distinct.max(1));
+                let t0 = Instant::now();
+                match submit_and_wait(addr, &spec) {
+                    Ok((_body, was_coalesced)) => {
+                        let ms = t0.elapsed().as_secs_f64() * 1e3;
+                        latencies.lock().expect("latencies").push(ms);
+                        if was_coalesced {
+                            coalesced.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) => failures.lock().expect("failures").push(e),
+                }
+            });
+        }
+    });
+
+    let wall = started.elapsed().as_secs_f64();
+    let failures = failures.into_inner().expect("failures");
+    let mut latencies = latencies.into_inner().expect("latencies");
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    if !failures.is_empty() {
+        eprintln!(
+            "dice-serve-loadgen: {} of {} requests failed; first: {}",
+            failures.len(),
+            args.requests,
+            failures[0]
+        );
+        return 1;
+    }
+
+    let completed = latencies.len();
+    let req_per_s = completed as f64 / wall.max(1e-9);
+    let p50 = percentile(&latencies, 50.0);
+    let p90 = percentile(&latencies, 90.0);
+    let p99 = percentile(&latencies, 99.0);
+    let coalesced = coalesced.load(Ordering::Relaxed);
+    say(&format!(
+        "{completed} requests ({} distinct sweeps, {coalesced} coalesced) on {} clients in {wall:.2}s",
+        args.distinct, args.concurrency
+    ));
+    say(&format!(
+        "throughput {req_per_s:>8.1} req/s   latency p50 {p50:.1} ms, p90 {p90:.1} ms, p99 {p99:.1} ms"
+    ));
+
+    if args.append {
+        let unix_time = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let entry = Json::Obj(vec![
+            ("git_rev".into(), Json::str(git_rev())),
+            ("unix_time".into(), Json::u64(unix_time)),
+            (
+                "serve".into(),
+                Json::Obj(vec![
+                    ("requests".into(), Json::u64(completed as u64)),
+                    ("concurrency".into(), Json::u64(args.concurrency as u64)),
+                    ("distinct".into(), Json::u64(args.distinct as u64)),
+                    ("coalesced".into(), Json::u64(coalesced as u64)),
+                    ("req_per_s".into(), Json::num(req_per_s)),
+                    ("p50_ms".into(), Json::num(p50)),
+                    ("p90_ms".into(), Json::num(p90)),
+                    ("p99_ms".into(), Json::num(p99)),
+                ]),
+            ),
+        ]);
+        let mut entries = match std::fs::read_to_string(&args.out) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(Json::Arr(entries)) => entries,
+                _ => Vec::new(),
+            },
+            Err(_) => Vec::new(),
+        };
+        entries.push(entry);
+        if let Err(e) = std::fs::write(&args.out, Json::Arr(entries).render()) {
+            eprintln!("dice-serve-loadgen: writing {}: {e}", args.out);
+            return 1;
+        }
+        say(&format!("appended serving entry to {}", args.out));
+    }
+    0
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(spec) = &args.direct {
+        std::process::exit(run_direct(spec));
+    }
+
+    let Some(addr) = args.url.as_deref() else {
+        usage();
+    };
+
+    if args.check_metrics {
+        let resp = match http_get(addr, "/metrics") {
+            Ok(resp) if resp.status == 200 => resp,
+            Ok(resp) => {
+                eprintln!("dice-serve-loadgen: GET /metrics: HTTP {}", resp.status);
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("dice-serve-loadgen: GET /metrics: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_prometheus(&resp.text()) {
+            Ok(()) => {
+                println!("/metrics is valid Prometheus exposition");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("dice-serve-loadgen: /metrics invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(spec) = &args.spec {
+        match submit_and_wait(addr, spec) {
+            Ok((body, _)) => {
+                emit_body(&body);
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("dice-serve-loadgen: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    std::process::exit(run_load(&args, addr));
+}

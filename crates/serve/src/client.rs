@@ -1,0 +1,158 @@
+//! A minimal blocking HTTP/1.1 client over `TcpStream`.
+//!
+//! Shared by `dice-serve-loadgen` and the integration tests; it speaks
+//! exactly the dialect the server emits (`Connection: close`, explicit
+//! `Content-Length`).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Case-insensitive header lookup (name must be given lower-case).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// `GET path` against `addr` (`host:port`).
+///
+/// # Errors
+///
+/// Propagates connect/transport failures and malformed responses.
+pub fn http_get(addr: &str, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body against `addr` (`host:port`).
+///
+/// # Errors
+///
+/// Propagates connect/transport failures and malformed responses.
+pub fn http_post(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{body}",
+        body.len(),
+        if body.is_empty() {
+            ""
+        } else {
+            "Content-Type: application/json\r\n"
+        },
+    )?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+fn malformed(msg: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Parses one response off `reader` (status line, headers,
+/// `Content-Length` body or read-to-EOF).
+///
+/// # Errors
+///
+/// Propagates transport failures; malformed responses become
+/// `InvalidData`.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| malformed("bad status line"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("bad header"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    let mut body = Vec::new();
+    match content_length {
+        Some(len) => {
+            body.resize(len, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response() {
+        let raw: &[u8] =
+            b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\nContent-Length: 5\r\n\r\nhello";
+        let resp = read_response(&mut BufReader::new(raw)).expect("valid");
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.text(), "hello");
+    }
+
+    #[test]
+    fn reads_to_eof_without_content_length() {
+        let raw: &[u8] = b"HTTP/1.1 200 OK\r\n\r\nrest";
+        let resp = read_response(&mut BufReader::new(raw)).expect("valid");
+        assert_eq!(resp.body, b"rest");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let raw: &[u8] = b"not http at all";
+        assert!(read_response(&mut BufReader::new(raw)).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! The sweep job queue: bounded admission, single-flight dedup, and a
+//! worker pool that drives [`dice_runner::Runner`].
+//!
+//! Invariants the HTTP layer builds on:
+//!
+//! * **Single-flight** — a job's id *is* its [`sweep_key`]; a submission
+//!   whose key matches a live (queued/running/done) job attaches to that
+//!   job instead of enqueueing a second copy, so N identical concurrent
+//!   `POST`s execute exactly one sweep and all read the same bytes.
+//! * **Bounded admission** — at most `capacity` jobs may be queued or
+//!   running; beyond that [`JobQueue::submit`] answers
+//!   [`Submission::Overloaded`] (HTTP 429) immediately. The backlog can
+//!   never grow without bound.
+//! * **Graceful drain** — [`JobQueue::drain`] cancels jobs that have not
+//!   started, lets running sweeps finish (every completed cell is already
+//!   persisted by the runner's [`DiskCache`](dice_runner::DiskCache)),
+//!   and [`JobQueue::join`] waits for the workers to exit.
+//!   [`JobQueue::force_cancel`] additionally flips the cooperative
+//!   [`RunnerConfig::cancel`] flag so in-flight sweeps stop claiming
+//!   cells.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use dice_obs::{Json, MetricRegistry};
+use dice_runner::{Cell, Runner, RunnerConfig};
+
+use crate::spec::{render_runs, sweep_key, SweepSpec};
+
+/// Where one job stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is running the sweep.
+    Running,
+    /// Finished; the canonical report body is available.
+    Done,
+    /// The runner could not start (e.g. cache directory I/O failure).
+    Failed,
+    /// Cancelled by drain before a worker picked it up.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire spelling used in status documents.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One tracked sweep job.
+struct Job {
+    spec: SweepSpec,
+    cells: usize,
+    state: JobState,
+    /// `render_runs` output once [`JobState::Done`].
+    body: Option<Arc<String>>,
+    /// Failure reason once [`JobState::Failed`].
+    error: Option<String>,
+    /// Runner summary line once finished.
+    summary: Option<String>,
+    /// Identical submissions that attached to this job after the first.
+    coalesced: u64,
+}
+
+/// Outcome of [`JobQueue::submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submission {
+    /// The sweep was accepted (or attached to an identical live job).
+    Accepted {
+        /// Job id (the sweep key).
+        id: u64,
+        /// Whether this submission coalesced onto an existing job.
+        coalesced: bool,
+        /// Job state at submission time.
+        state: JobState,
+    },
+    /// The queue is full; retry after the hinted number of seconds.
+    Overloaded {
+        /// `Retry-After` hint in seconds.
+        retry_after_s: u64,
+    },
+    /// The service is draining and accepts no new work.
+    Draining,
+}
+
+/// Queue construction knobs.
+#[derive(Debug, Clone)]
+pub struct JobQueueConfig {
+    /// Maximum jobs queued + running before submissions get 429.
+    pub capacity: usize,
+    /// Sweep worker threads.
+    pub workers: usize,
+    /// Runner configuration applied to every sweep (`cancel` is replaced
+    /// by the queue's own flag).
+    pub runner: RunnerConfig,
+}
+
+impl Default for JobQueueConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 8,
+            workers: 1,
+            runner: RunnerConfig::default(),
+        }
+    }
+}
+
+struct Inner {
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    /// Jobs currently being executed by a worker.
+    active: usize,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    work_ready: Condvar,
+    draining: AtomicBool,
+    cancel: Arc<AtomicBool>,
+    metrics: Arc<Mutex<MetricRegistry>>,
+}
+
+/// The job queue. Cheap to share via `Arc`; see the module docs for the
+/// invariants.
+pub struct JobQueue {
+    shared: Arc<Shared>,
+    capacity: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobQueue {
+    /// Spawns `config.workers` worker threads and returns the queue.
+    #[must_use]
+    pub fn new(config: JobQueueConfig, metrics: Arc<Mutex<MetricRegistry>>) -> Arc<JobQueue> {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut runner_cfg = config.runner;
+        runner_cfg.cancel = Some(Arc::clone(&cancel));
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                active: 0,
+            }),
+            work_ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            cancel,
+            metrics,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let runner_cfg = runner_cfg.clone();
+                std::thread::spawn(move || worker_loop(&shared, &runner_cfg))
+            })
+            .collect();
+        Arc::new(JobQueue {
+            shared,
+            capacity: config.capacity.max(1),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Submits a sweep. See [`Submission`] for the possible outcomes.
+    pub fn submit(&self, spec: SweepSpec) -> Submission {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Submission::Draining;
+        }
+        let cells = spec.to_cells();
+        let id = sweep_key(&cells);
+        let mut inner = self.shared.inner.lock().expect("job queue poisoned");
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            // Failed/cancelled jobs may be resubmitted; anything live
+            // coalesces.
+            if !matches!(job.state, JobState::Failed | JobState::Cancelled) {
+                job.coalesced += 1;
+                let state = job.state;
+                drop(inner);
+                self.count("serve.sweeps_coalesced");
+                return Submission::Accepted {
+                    id,
+                    coalesced: true,
+                    state,
+                };
+            }
+        }
+        if inner.queue.len() + inner.active >= self.capacity {
+            drop(inner);
+            self.count("serve.sweeps_rejected");
+            return Submission::Overloaded { retry_after_s: 1 };
+        }
+        inner.jobs.insert(
+            id,
+            Job {
+                cells: cells.len(),
+                spec,
+                state: JobState::Queued,
+                body: None,
+                error: None,
+                summary: None,
+                coalesced: 0,
+            },
+        );
+        inner.queue.push_back(id);
+        drop(inner);
+        self.count("serve.sweeps_submitted");
+        self.shared.work_ready.notify_one();
+        Submission::Accepted {
+            id,
+            coalesced: false,
+            state: JobState::Queued,
+        }
+    }
+
+    /// The status document for job `id`, or `None` if unknown.
+    #[must_use]
+    pub fn status(&self, id: u64) -> Option<Json> {
+        let inner = self.shared.inner.lock().expect("job queue poisoned");
+        let job = inner.jobs.get(&id)?;
+        let mut pairs = vec![
+            ("id".to_owned(), Json::str(format!("{id:016x}"))),
+            ("state".to_owned(), Json::str(job.state.as_str())),
+            ("cells".to_owned(), Json::u64(job.cells as u64)),
+            ("coalesced".to_owned(), Json::u64(job.coalesced)),
+            ("spec".to_owned(), job.spec.to_json()),
+        ];
+        if let Some(summary) = &job.summary {
+            pairs.push(("summary".to_owned(), Json::str(summary)));
+        }
+        if let Some(error) = &job.error {
+            pairs.push(("error".to_owned(), Json::str(error)));
+        }
+        Some(Json::Obj(pairs))
+    }
+
+    /// The canonical report body for job `id`: `Ok(body)` once done,
+    /// `Err(state)` while not, `None` if unknown.
+    #[must_use]
+    pub fn report(&self, id: u64) -> Option<Result<Arc<String>, JobState>> {
+        let inner = self.shared.inner.lock().expect("job queue poisoned");
+        let job = inner.jobs.get(&id)?;
+        Some(match (&job.body, job.state) {
+            (Some(body), JobState::Done) => Ok(Arc::clone(body)),
+            (_, state) => Err(state),
+        })
+    }
+
+    /// Stops accepting work and cancels jobs no worker has started.
+    /// Running sweeps finish normally; call [`JobQueue::join`] to wait.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let mut inner = self.shared.inner.lock().expect("job queue poisoned");
+        while let Some(id) = inner.queue.pop_front() {
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                job.state = JobState::Cancelled;
+            }
+        }
+        drop(inner);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Flips the cooperative cancel flag shared with every running
+    /// sweep: workers finish the cells they already claimed and skip the
+    /// rest. Implies nothing about accepting new work — call
+    /// [`JobQueue::drain`] first.
+    pub fn force_cancel(&self) {
+        self.shared.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for every worker to exit. Only meaningful after
+    /// [`JobQueue::drain`].
+    pub fn join(&self) {
+        let handles = std::mem::take(&mut *self.workers.lock().expect("job queue poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    fn count(&self, name: &str) {
+        let mut reg = self.shared.metrics.lock().expect("metrics poisoned");
+        let id = reg.counter(name);
+        reg.inc(id);
+    }
+}
+
+fn worker_loop(shared: &Shared, runner_cfg: &RunnerConfig) {
+    loop {
+        let (id, cells) = {
+            let mut inner = shared.inner.lock().expect("job queue poisoned");
+            loop {
+                if let Some(id) = inner.queue.pop_front() {
+                    let Some(job) = inner.jobs.get_mut(&id) else {
+                        continue;
+                    };
+                    job.state = JobState::Running;
+                    let cells = job.spec.to_cells();
+                    inner.active += 1;
+                    break (id, cells);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                inner = shared.work_ready.wait(inner).expect("job queue poisoned");
+            }
+        };
+
+        let finished = run_sweep(shared, runner_cfg, cells);
+
+        let mut inner = shared.inner.lock().expect("job queue poisoned");
+        inner.active -= 1;
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            match finished {
+                Ok((body, summary)) => {
+                    job.state = JobState::Done;
+                    job.body = Some(Arc::new(body));
+                    job.summary = Some(summary);
+                }
+                Err(error) => {
+                    job.state = JobState::Failed;
+                    job.error = Some(error);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one sweep and renders the canonical body. The only error path is
+/// runner construction (cache directory I/O) — per-cell failures are part
+/// of the rendered document, not a job failure.
+fn run_sweep(
+    shared: &Shared,
+    runner_cfg: &RunnerConfig,
+    cells: Vec<Cell>,
+) -> Result<(String, String), String> {
+    let runner = Runner::new(runner_cfg.clone()).map_err(|e| format!("runner setup: {e}"))?;
+    let started = std::time::Instant::now();
+    let result = runner.run(cells);
+    let body = render_runs(&result).render();
+    let summary = result.summary();
+    let mut reg = shared.metrics.lock().expect("metrics poisoned");
+    let id = reg.counter("serve.sweeps_completed");
+    reg.inc(id);
+    let hist = reg.histogram("serve.sweep_wall_ms");
+    reg.observe(hist, started.elapsed().as_millis() as u64);
+    result.register(&mut reg);
+    Ok((body, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(seed: u64) -> SweepSpec {
+        SweepSpec::parse(&format!(
+            r#"{{"orgs":["base"],"workloads":["gcc"],"scale":4096,"warmup":50,"measure":150,"seed":{seed}}}"#
+        ))
+        .expect("valid spec")
+    }
+
+    fn queue(capacity: usize) -> Arc<JobQueue> {
+        JobQueue::new(
+            JobQueueConfig {
+                capacity,
+                workers: 1,
+                runner: RunnerConfig {
+                    jobs: 1,
+                    ..RunnerConfig::default()
+                },
+            },
+            Arc::new(Mutex::new(MetricRegistry::new())),
+        )
+    }
+
+    fn wait_done(q: &JobQueue, id: u64) -> Arc<String> {
+        for _ in 0..2_000 {
+            match q.report(id) {
+                Some(Ok(body)) => return body,
+                Some(Err(JobState::Failed)) => panic!("job failed"),
+                _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        }
+        panic!("job {id:016x} never finished");
+    }
+
+    #[test]
+    fn runs_a_job_to_done() {
+        let q = queue(4);
+        let Submission::Accepted { id, coalesced, .. } = q.submit(tiny_spec(1)) else {
+            panic!("rejected");
+        };
+        assert!(!coalesced);
+        let body = wait_done(&q, id);
+        assert!(body.starts_with("{\"runs\":["));
+        let status = q.status(id).expect("known job");
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+        q.drain();
+        q.join();
+    }
+
+    #[test]
+    fn identical_specs_coalesce() {
+        let q = queue(4);
+        let Submission::Accepted { id: a, .. } = q.submit(tiny_spec(2)) else {
+            panic!("rejected");
+        };
+        let Submission::Accepted {
+            id: b, coalesced, ..
+        } = q.submit(tiny_spec(2))
+        else {
+            panic!("rejected");
+        };
+        assert_eq!(a, b);
+        assert!(coalesced);
+        wait_done(&q, a);
+        let status = q.status(a).expect("known job");
+        assert_eq!(status.get("coalesced").and_then(Json::as_u64), Some(1));
+        q.drain();
+        q.join();
+    }
+
+    #[test]
+    fn distinct_specs_beyond_capacity_are_rejected() {
+        let q = queue(2);
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for seed in 10..20 {
+            match q.submit(tiny_spec(seed)) {
+                Submission::Accepted { .. } => accepted += 1,
+                Submission::Overloaded { retry_after_s } => {
+                    assert!(retry_after_s >= 1);
+                    rejected += 1;
+                }
+                Submission::Draining => panic!("not draining"),
+            }
+        }
+        // The worker may have finished some jobs while we submitted, but
+        // admission can never exceed capacity + completions; with 10
+        // rapid submissions at capacity 2 at least some must bounce.
+        assert!(rejected > 0, "queue accepted all {accepted} submissions");
+        q.drain();
+        q.join();
+    }
+
+    #[test]
+    fn drain_cancels_queued_jobs_and_rejects_new_ones() {
+        let q = queue(8);
+        let ids: Vec<u64> = (30..34)
+            .map(|seed| match q.submit(tiny_spec(seed)) {
+                Submission::Accepted { id, .. } => id,
+                other => panic!("rejected: {other:?}"),
+            })
+            .collect();
+        q.drain();
+        q.join();
+        assert_eq!(q.submit(tiny_spec(99)), Submission::Draining);
+        let states: Vec<&str> = ids
+            .iter()
+            .map(|&id| {
+                let s = q.status(id).expect("known job");
+                s.get("state")
+                    .and_then(Json::as_str)
+                    .expect("state")
+                    .to_owned()
+            })
+            .map(|s| if s == "done" { "done" } else { "cancelled" })
+            .collect();
+        assert!(states.contains(&"cancelled") || states.iter().all(|&s| s == "done"));
+        for (&id, state) in ids.iter().zip(&states) {
+            if *state == "done" {
+                assert!(q.report(id).expect("known").is_ok());
+            }
+        }
+    }
+}

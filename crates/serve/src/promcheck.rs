@@ -1,0 +1,211 @@
+//! A strict validator for the Prometheus text exposition format
+//! (version 0.0.4), used by `dice-serve-loadgen --check-metrics` and the
+//! CI smoke job to prove `/metrics` stays machine-parseable.
+//!
+//! Checks, per line:
+//!
+//! * comments are well-formed `# HELP <name> …` / `# TYPE <name> <kind>`
+//!   with a known kind;
+//! * samples are `name[{labels}] value` with a legal metric name, a
+//!   parseable value (float, `+Inf`, `-Inf`, `NaN`), and balanced,
+//!   quoted labels;
+//! * every sample's family has a preceding `# TYPE` declaration;
+//! * histogram families expose `_bucket` series with an `le` label and a
+//!   terminal `le="+Inf"` bucket.
+
+/// Validates `text` as Prometheus 0.0.4 exposition.
+///
+/// # Errors
+///
+/// Returns `line number: problem` for the first violation.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut typed: Vec<String> = Vec::new();
+    // Histogram families that have emitted an `le="+Inf"` bucket.
+    let mut histograms: Vec<(String, bool)> = Vec::new();
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let fail = |msg: String| Err(format!("line {lineno}: {msg}"));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.splitn(3, ' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("HELP"), Some(name), Some(_)) if is_metric_name(name) => {}
+                (Some("TYPE"), Some(name), Some(kind)) if is_metric_name(name) => {
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return fail(format!("unknown TYPE kind {kind:?}"));
+                    }
+                    typed.push(name.to_owned());
+                    if kind == "histogram" {
+                        histograms.push((name.to_owned(), false));
+                    }
+                }
+                _ => return fail("malformed comment (want # HELP/# TYPE)".to_owned()),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return fail("comment must start with \"# \"".to_owned());
+        }
+
+        // Sample: name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample has no value"))?;
+        if !is_sample_value(value) {
+            return fail(format!("unparseable value {value:?}"));
+        }
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unbalanced label braces"))?;
+                (name, Some(labels))
+            }
+            None => (name_labels, None),
+        };
+        if !is_metric_name(name) {
+            return fail(format!("illegal metric name {name:?}"));
+        }
+        let family = family_of(name, &typed);
+        if !typed.iter().any(|t| t == family) {
+            return fail(format!("sample {name:?} has no preceding # TYPE {family}"));
+        }
+        if let Some(labels) = labels {
+            validate_labels(labels).map_err(|e| format!("line {lineno}: {e}"))?;
+            if name.ends_with("_bucket") && labels.contains("le=\"+Inf\"") {
+                if let Some(entry) = histograms.iter_mut().find(|(h, _)| h == family) {
+                    entry.1 = true;
+                }
+            }
+        }
+    }
+
+    for (name, saw_inf) in &histograms {
+        if !saw_inf {
+            return Err(format!("histogram {name:?} never emitted le=\"+Inf\""));
+        }
+    }
+    Ok(())
+}
+
+/// The declared family a sample belongs to: the name itself when it has
+/// its own `# TYPE`, otherwise the histogram stem of an
+/// `_bucket`/`_sum`/`_count` suffix (so a counter that merely *ends* in
+/// `_count` is not misattributed).
+fn family_of<'a>(name: &'a str, typed: &[String]) -> &'a str {
+    if typed.iter().any(|t| t == name) {
+        return name;
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if typed.iter().any(|t| t == stem) {
+                return stem;
+            }
+        }
+    }
+    name
+}
+
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_sample_value(value: &str) -> bool {
+    matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok()
+}
+
+/// `key="value"` pairs, comma-separated, escapes limited to `\\`, `\"`,
+/// `\n`.
+fn validate_labels(labels: &str) -> Result<(), String> {
+    let mut rest = labels;
+    loop {
+        let eq = rest
+            .find("=\"")
+            .ok_or_else(|| format!("label without =\" in {rest:?}"))?;
+        let key = &rest[..eq];
+        if !is_metric_name(key) {
+            return Err(format!("illegal label name {key:?}"));
+        }
+        rest = &rest[eq + 2..];
+        // Find the closing quote, honoring backslash escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            match (escaped, c) {
+                (true, '\\' | '"' | 'n') => escaped = false,
+                (true, _) => return Err(format!("bad escape in label value near {rest:?}")),
+                (false, '\\') => escaped = true,
+                (false, '"') => {
+                    end = Some(i);
+                    break;
+                }
+                (false, _) => {}
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {rest:?}"))?;
+        rest = &rest[end + 1..];
+        match rest.strip_prefix(',') {
+            Some(more) => rest = more,
+            None if rest.is_empty() => return Ok(()),
+            None => return Err(format!("junk after label value: {rest:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_obs::{render_prometheus, MetricRegistry};
+
+    #[test]
+    fn accepts_renderer_output() {
+        let mut reg = MetricRegistry::new();
+        let c = reg.counter("serve.http_requests");
+        reg.add(c, 3);
+        let g = reg.gauge("queue.depth");
+        reg.set_gauge(g, 2.5);
+        let h = reg.histogram("serve.request_micros");
+        for v in [0, 5, 5, 1000] {
+            reg.observe(h, v);
+        }
+        let text = render_prometheus(&reg);
+        validate_prometheus(&text).expect("renderer output must validate");
+    }
+
+    #[test]
+    fn accepts_empty() {
+        validate_prometheus("").expect("empty exposition is valid");
+    }
+
+    #[test]
+    fn rejects_violations() {
+        for (bad, why) in [
+            ("orphan 1", "sample without TYPE"),
+            ("# TYPE x counter\nx nope", "bad value"),
+            ("# TYPE x counter\n9x 1", "bad name"),
+            ("# TYPE x wat\nx 1", "unknown kind"),
+            ("#TYPE x counter", "comment without space"),
+            ("# TYPE x counter\nx{le=\"1 1", "unterminated label"),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"1\"} 1\nx_sum 1\nx_count 1",
+                "histogram without +Inf",
+            ),
+        ] {
+            assert!(validate_prometheus(bad).is_err(), "accepted ({why}): {bad}");
+        }
+    }
+
+    #[test]
+    fn histogram_with_inf_passes() {
+        let text = "# TYPE x histogram\nx_bucket{le=\"1\"} 1\nx_bucket{le=\"+Inf\"} 1\nx_sum 1\nx_count 1\n";
+        validate_prometheus(text).expect("complete histogram validates");
+    }
+}

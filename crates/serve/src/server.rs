@@ -1,0 +1,332 @@
+//! The HTTP front end: a bounded accept/worker pool routing onto the
+//! [`JobQueue`].
+//!
+//! Threading model: the accept loop runs nonblocking and hands accepted
+//! sockets to a fixed pool of connection workers over a bounded channel
+//! (a full channel answers `503` inline — connections never pile up
+//! unbounded). Sweep execution happens on the job queue's own workers,
+//! so connection handling stays fast even while simulations run.
+
+use std::io::{self, BufReader};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dice_obs::{render_prometheus, Json, MetricRegistry};
+
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::jobs::{JobQueue, JobQueueConfig, JobState, Submission};
+use crate::spec::SweepSpec;
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (`0` = ephemeral; read the bound port
+    /// from [`Server::local_addr`]).
+    pub port: u16,
+    /// Connection-handler threads.
+    pub conn_workers: usize,
+    /// Accepted connections parked for a handler before `503`s.
+    pub conn_backlog: usize,
+    /// Job queue configuration (admission bound, sweep workers, runner).
+    pub queue: JobQueueConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            port: 7341,
+            conn_workers: 4,
+            conn_backlog: 64,
+            queue: JobQueueConfig::default(),
+        }
+    }
+}
+
+/// A handle for steering a running server from another thread.
+#[derive(Clone)]
+pub struct Handle {
+    drain: Arc<AtomicBool>,
+    queue: Arc<JobQueue>,
+}
+
+impl Handle {
+    /// Begins a graceful drain: stop accepting connections, cancel jobs
+    /// no worker started, let running sweeps finish. [`Server::run`]
+    /// returns once the drain completes.
+    pub fn drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+        self.queue.drain();
+    }
+
+    /// Escalates a drain: cooperatively cancel in-flight sweeps (cells
+    /// already claimed still finish; the rest are skipped).
+    pub fn force_cancel(&self) {
+        self.queue.force_cancel();
+    }
+}
+
+/// The service: listener + job queue + metrics registry.
+pub struct Server {
+    listener: TcpListener,
+    queue: Arc<JobQueue>,
+    metrics: Arc<Mutex<MetricRegistry>>,
+    drain: Arc<AtomicBool>,
+    conn_workers: usize,
+    conn_backlog: usize,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` and spawns the sweep workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let metrics = Arc::new(Mutex::new(MetricRegistry::new()));
+        let queue = JobQueue::new(config.queue, Arc::clone(&metrics));
+        Ok(Server {
+            listener,
+            queue,
+            metrics,
+            drain: Arc::new(AtomicBool::new(false)),
+            conn_workers: config.conn_workers.max(1),
+            conn_backlog: config.conn_backlog.max(1),
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A steering handle, safe to move to signal watchers or tests.
+    #[must_use]
+    pub fn handle(&self) -> Handle {
+        Handle {
+            drain: Arc::clone(&self.drain),
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Serves until [`Handle::drain`] is called, then drains: stops
+    /// accepting, finishes parked and in-flight work, joins every
+    /// worker, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures (accept-time errors on
+    /// individual connections are counted, not fatal).
+    pub fn run(&self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(self.conn_backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let handlers: Vec<_> = (0..self.conn_workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let ctx = RouteCtx {
+                    queue: Arc::clone(&self.queue),
+                    metrics: Arc::clone(&self.metrics),
+                };
+                std::thread::spawn(move || connection_worker(&rx, &ctx))
+            })
+            .collect();
+
+        while !self.drain.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Inline, bounded rejection: never park more than
+                        // `conn_backlog` connections.
+                        reject_busy(stream);
+                        self.count("serve.conns_rejected");
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => self.count("serve.accept_errors"),
+            }
+        }
+
+        // Drain: close the channel (handlers finish parked connections
+        // and exit), then let the job queue finish in-flight sweeps.
+        drop(tx);
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        self.queue.drain();
+        self.queue.join();
+        Ok(())
+    }
+
+    fn count(&self, name: &str) {
+        let mut reg = self.metrics.lock().expect("metrics poisoned");
+        let id = reg.counter(name);
+        reg.inc(id);
+    }
+}
+
+/// Best-effort `503` for connections beyond the backlog bound.
+fn reject_busy(stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let _ = Response::error(503, "server busy")
+        .with_header("Retry-After", "1")
+        .write(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Everything a connection handler needs to answer requests.
+struct RouteCtx {
+    queue: Arc<JobQueue>,
+    metrics: Arc<Mutex<MetricRegistry>>,
+}
+
+fn connection_worker(rx: &Arc<Mutex<Receiver<TcpStream>>>, ctx: &RouteCtx) {
+    loop {
+        // Hold the lock only for the recv; handlers must not serialize on
+        // each other while talking to clients.
+        let stream = {
+            let rx = rx.lock().expect("conn channel poisoned");
+            rx.recv()
+        };
+        let Ok(stream) = stream else {
+            return;
+        };
+        handle_connection(stream, ctx);
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &RouteCtx) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(&request, ctx),
+        Err(ReadError::Closed) => return,
+        Err(ReadError::Bad { status, msg }) => Response::error(status, msg),
+        Err(ReadError::Io(_)) => return,
+    };
+    record_request(ctx, response.status, started);
+    let mut stream = stream;
+    let _ = response.write(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn record_request(ctx: &RouteCtx, status: u16, started: Instant) {
+    let mut reg = ctx.metrics.lock().expect("metrics poisoned");
+    let id = reg.counter("serve.http_requests");
+    reg.inc(id);
+    let id = reg.counter(match status {
+        200..=299 => "serve.http_2xx",
+        400..=499 => "serve.http_4xx",
+        _ => "serve.http_5xx",
+    });
+    reg.inc(id);
+    let hist = reg.histogram("serve.request_micros");
+    reg.observe(hist, started.elapsed().as_micros() as u64);
+}
+
+/// Dispatches one request to its endpoint.
+fn route(request: &Request, ctx: &RouteCtx) -> Response {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/version") => Response::json(
+            200,
+            Json::Obj(vec![
+                ("name".into(), Json::str("dice-serve")),
+                ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+            ])
+            .render(),
+        ),
+        ("GET", "/metrics") => {
+            let reg = ctx.metrics.lock().expect("metrics poisoned");
+            let body = render_prometheus(&reg);
+            drop(reg);
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                extra: Vec::new(),
+                body: body.into_bytes(),
+            }
+        }
+        ("GET", "/v1/experiments") => Response::json(200, dice_bench::catalog_json().render()),
+        ("POST", "/v1/sweeps") => submit_sweep(request, ctx),
+        ("GET", p) if p.starts_with("/v1/sweeps/") => sweep_get(p, ctx),
+        (_, "/healthz" | "/version" | "/metrics" | "/v1/experiments" | "/v1/sweeps") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// `POST /v1/sweeps`: parse, validate, admit.
+fn submit_sweep(request: &Request, ctx: &RouteCtx) -> Response {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "body must be UTF-8 JSON");
+    };
+    let spec = match SweepSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    match ctx.queue.submit(spec) {
+        Submission::Accepted {
+            id,
+            coalesced,
+            state,
+        } => Response::json(
+            202,
+            Json::Obj(vec![
+                ("id".into(), Json::str(format!("{id:016x}"))),
+                ("state".into(), Json::str(state.as_str())),
+                ("coalesced".into(), Json::Bool(coalesced)),
+            ])
+            .render(),
+        ),
+        Submission::Overloaded { retry_after_s } => Response::error(429, "sweep queue full")
+            .with_header("Retry-After", retry_after_s.to_string()),
+        Submission::Draining => Response::error(503, "draining"),
+    }
+}
+
+/// `GET /v1/sweeps/:id` and `GET /v1/sweeps/:id/report`.
+fn sweep_get(path: &str, ctx: &RouteCtx) -> Response {
+    let rest = path.trim_start_matches("/v1/sweeps/");
+    let (id_text, want_report) = match rest.strip_suffix("/report") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let Ok(id) = u64::from_str_radix(id_text, 16) else {
+        return Response::error(400, "job id must be hex");
+    };
+    if want_report {
+        match ctx.queue.report(id) {
+            None => Response::error(404, "no such job"),
+            Some(Ok(body)) => Response::json(200, body.as_str()),
+            Some(Err(JobState::Failed)) => Response::error(500, "sweep failed"),
+            Some(Err(JobState::Cancelled)) => Response::error(409, "sweep cancelled"),
+            Some(Err(_)) => Response::error(409, "sweep not finished"),
+        }
+    } else {
+        match ctx.queue.status(id) {
+            Some(status) => Response::json(200, status.render()),
+            None => Response::error(404, "no such job"),
+        }
+    }
+}
