@@ -243,6 +243,9 @@ fn bench_end2end_cell() -> f64 {
     let run_once = || {
         let cfg = SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024)
             .with_records(warmup, measure_records);
+        // The --gate comparison against the committed baseline doubles as
+        // the trace-off performance guard, so it must measure trace-off.
+        assert_eq!(cfg.obs.trace_level, dice_obs::TraceLevel::Off);
         let report = System::new(cfg, &WorkloadSet::rate(spec.clone(), SEED)).run();
         black_box(report.cycles);
     };

@@ -34,6 +34,10 @@
 //!                       over budget report as timed out, the sweep goes on
 //!        --retries N    retry a panicked cell up to N times before
 //!                       recording it as failed
+//!        --diagnostics  run every cell at TraceLevel::Decisions and append
+//!                       per-run decision diagnostics (CIP confusion
+//!                       matrices, bandwidth-bloat split, phase cycles)
+//!                       after the experiment tables
 //! ```
 //!
 //! Each experiment first *declares* its `(config, workload)` cells; the
@@ -54,7 +58,7 @@ use dice_bench::workloads::{all26, group_geomeans, nonmem, Group};
 use dice_bench::{Ctx, Table};
 use dice_compress::{compressed_size, pair_compressed_size};
 use dice_core::{DramCacheConfig, Organization, TagVariant};
-use dice_obs::{export_chrome, Json, MetricRegistry};
+use dice_obs::{export_chrome, Json, MetricRegistry, TraceLevel};
 use dice_runner::{Cell, CellOutcome, Runner, RunnerConfig};
 use dice_sim::{SimConfig, WorkloadSet};
 use dice_workloads::{spec_table, DataModel, TraceGen};
@@ -957,6 +961,83 @@ fn trace_dump(ctx: &Ctx) -> Json {
     Json::Arr(events)
 }
 
+/// `--diagnostics`: decision-level diagnostics for every memoized run
+/// that carried them (i.e. ran above `TraceLevel::Off`). Two tables: the
+/// CIP confusion matrices (predicted scheme x actual, read-time and
+/// fill-time), then the bandwidth-bloat split and phase-cycle
+/// attribution. Counts cover the whole run (warmup included, matching
+/// `cip_accuracy`); phases cover the measured window.
+fn render_diagnostics(ctx: &Ctx) -> String {
+    let runs: Vec<(String, dice_sim::RunDiag)> = ctx
+        .reports()
+        .iter()
+        .filter_map(|(tag, wl, r)| r.diag.map(|d| (format!("{tag}/{wl}"), d)))
+        .collect();
+    if runs.is_empty() {
+        return "Decision diagnostics: no completed run carried them\n\
+                (cells executed at TraceLevel::Off)."
+            .to_owned();
+    }
+    let mut cip = Table::new(&[
+        "run", "rd B>B", "rd B>T", "rd T>B", "rd T>T", "rd acc", "fi B>B", "fi B>T", "fi T>B",
+        "fi T>T", "agree",
+    ]);
+    for (name, d) in &runs {
+        let dd = d.decisions;
+        cip.row(&[
+            name.clone(),
+            dd.cip_read_bai_bai.to_string(),
+            dd.cip_read_bai_tsi.to_string(),
+            dd.cip_read_tsi_bai.to_string(),
+            dd.cip_read_tsi_tsi.to_string(),
+            format!("{:.1}%", 100.0 * dd.read_accuracy()),
+            dd.cip_fill_bai_bai.to_string(),
+            dd.cip_fill_bai_tsi.to_string(),
+            dd.cip_fill_tsi_bai.to_string(),
+            dd.cip_fill_tsi_tsi.to_string(),
+            format!("{:.1}%", 100.0 * dd.fill_agreement()),
+        ]);
+    }
+    let mut bw = Table::new(&[
+        "run",
+        "moved KB",
+        "need KB",
+        "bloat",
+        "2nd-probe",
+        "rmw",
+        "tag/fmt",
+        "probe kc",
+        "data kc",
+        "fill kc",
+        "wb kc",
+    ]);
+    let kb = |b: u64| format!("{:.0}", b as f64 / 1024.0);
+    let kc = |c: u64| format!("{}", c / 1000);
+    for (name, d) in &runs {
+        let dd = d.decisions;
+        let p = d.phases;
+        bw.row(&[
+            name.clone(),
+            kb(dd.bytes_moved),
+            kb(dd.bytes_needed),
+            ratio(dd.bloat_factor()),
+            kb(dd.bloat_second_probe_bytes),
+            kb(dd.bloat_rmw_bytes),
+            kb(dd.bloat_tag_overhead_bytes()),
+            kc(p.tag_probe_cycles),
+            kc(p.data_transfer_cycles),
+            kc(p.fill_cycles),
+            kc(p.writeback_cycles),
+        ]);
+    }
+    format!(
+        "Decision diagnostics: CIP confusion (predicted > actual, whole run)\n\n{}\n\
+         Bandwidth bloat split (KB) and phase cycles (thousands, measured window)\n\n{}",
+        cip.render(),
+        bw.render()
+    )
+}
+
 /// Declares every selected experiment's cells, runs them through the
 /// parallel engine, folds the results into `ctx`, and renders each
 /// experiment (unwind-isolated, so one broken figure doesn't lose the
@@ -1085,6 +1166,7 @@ fn main() {
     let mut id: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut diagnostics = false;
     let mut runner_cfg = RunnerConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -1145,6 +1227,10 @@ fn main() {
             "--retries" => {
                 i += 1;
                 runner_cfg.retries = args[i].parse().expect("--retries N");
+            }
+            "--diagnostics" => {
+                diagnostics = true;
+                ctx.obs.trace_level = TraceLevel::Decisions;
             }
             "--json" => {
                 i += 1;
@@ -1217,6 +1303,10 @@ fn main() {
         },
     };
     println!("{out}");
+    if diagnostics {
+        println!("\n================================================================\n");
+        println!("{}", render_diagnostics(&ctx));
+    }
     if let Some(path) = json_path {
         std::fs::write(&path, json_dump(&ctx, &id).render()).expect("writing --json output");
         eprintln!(
@@ -1246,8 +1336,11 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::EXPERIMENTS;
-    use dice_bench::EXPERIMENT_CATALOG;
+    use super::{render_diagnostics, EXPERIMENTS};
+    use dice_bench::{Ctx, EXPERIMENT_CATALOG};
+    use dice_obs::{register_counters, MetricRegistry, TraceLevel};
+    use dice_sim::WorkloadSet;
+    use dice_workloads::spec_table;
 
     /// The dispatch table and the shared catalog must agree exactly —
     /// same ids, same order — so `--list` / `/v1/experiments` can never
@@ -1257,5 +1350,53 @@ mod tests {
         let dispatch: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
         let catalog: Vec<&str> = EXPERIMENT_CATALOG.iter().map(|e| e.id).collect();
         assert_eq!(dispatch, catalog);
+    }
+
+    /// `--diagnostics` output must agree with the counters every other
+    /// consumer reads: the CIP sweep's `cip_accuracy`/`cip_predictions`
+    /// and the registry counters a diag snapshot exports.
+    #[test]
+    fn diagnostics_cross_check_report_and_registry_counters() {
+        let mut ctx = Ctx::quick();
+        ctx.obs.trace_level = TraceLevel::Decisions;
+        let spec = spec_table()
+            .into_iter()
+            .find(|w| w.name == "mcf")
+            .expect("mcf is in the spec table");
+        let wl = WorkloadSet::rate(spec, ctx.seed);
+        let r = ctx.dice(&wl);
+        let diag = r.diag.expect("Decisions-level run reports diagnostics");
+        let d = diag.decisions;
+
+        // Read-time confusion matrix vs the predictor's own counters.
+        assert!(d.read_predictions() > 0, "mcf must score CIP predictions");
+        assert_eq!(d.read_predictions(), r.cip_predictions);
+        assert!((d.read_accuracy() - r.cip_accuracy).abs() < 1e-12);
+        // Second probes attributed by path vs the flat L4 counter. The
+        // diag covers the whole run, the report's L4 stats only the
+        // measured window, so whole-run attribution must dominate.
+        assert!(d.second_probe_reads + d.second_probe_writes >= r.l4.second_probes);
+        // The same fields exported as registry counters round-trip.
+        let mut reg = MetricRegistry::new();
+        register_counters(&mut reg, "diag_", &d);
+        assert_eq!(
+            reg.counter_value("diag_cip_read_bai_bai"),
+            Some(d.cip_read_bai_bai)
+        );
+        assert_eq!(reg.counter_value("diag_bytes_moved"), Some(d.bytes_moved));
+
+        // And the rendered table carries the cross-checked numbers.
+        let table = render_diagnostics(&ctx);
+        assert!(table.contains("dice36/"));
+        assert!(table.contains(&format!("{:.1}%", 100.0 * d.read_accuracy())));
+        assert!(table.contains(&d.cip_read_bai_bai.to_string()));
+    }
+
+    /// Off-level runs carry no diagnostics and the renderer says so.
+    #[test]
+    fn diagnostics_renderer_reports_absence_at_trace_off() {
+        let ctx = Ctx::quick();
+        let text = render_diagnostics(&ctx);
+        assert!(text.contains("no completed run"));
     }
 }

@@ -11,6 +11,7 @@
 use crate::audit::{first_duplicate, InvariantKind, InvariantViolation};
 use crate::cip::CachePredictor;
 use crate::cset::{CompressedSet, Evicted, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES};
+use crate::diag::DecisionDiag;
 use crate::indexing::{IndexScheme, Indexer, SetIndex};
 use crate::inline_vec::InlineVec;
 use crate::mapi::HitPredictor;
@@ -161,6 +162,11 @@ fn one_probe(set: SetIndex, write: bool, bytes: u32) -> ProbeList {
     probes
 }
 
+/// Total stacked-DRAM bus bytes of one operation's probe sequence.
+fn probe_bytes(probes: &ProbeList) -> u64 {
+    probes.iter().map(|p| u64::from(p.bytes)).sum()
+}
+
 /// The DRAM-cache controller.
 ///
 /// # Example
@@ -190,6 +196,10 @@ pub struct DramCacheController {
     mapi: HitPredictor,
     stamp: u64,
     stats: L4Stats,
+    /// Decision diagnostics: confusion matrices, hit attribution and
+    /// bandwidth-bloat accounting. Plain counters, updated unconditionally
+    /// (see `diag.rs` for why this never allocates).
+    diag: DecisionDiag,
     /// Reusable eviction buffer: after warmup its capacity covers any
     /// insertion, so steady-state fills and writebacks never allocate.
     evict_scratch: Vec<Evicted>,
@@ -211,6 +221,7 @@ impl DramCacheController {
             mapi: HitPredictor::new(cfg.mapi_entries),
             stamp: 0,
             stats: L4Stats::default(),
+            diag: DecisionDiag::default(),
             evict_scratch: Vec::with_capacity(MAX_LINES_PER_SET),
             cfg,
         }
@@ -250,6 +261,19 @@ impl DramCacheController {
     #[must_use]
     pub fn cip_predictions(&self) -> u64 {
         self.cip.predictions()
+    }
+
+    /// Number of correct scored CIP predictions.
+    #[must_use]
+    pub fn cip_correct(&self) -> u64 {
+        self.cip.correct()
+    }
+
+    /// Decision diagnostics accumulated so far (confusion matrices, hit
+    /// attribution, bandwidth-bloat split).
+    #[must_use]
+    pub fn diagnostics(&self) -> &DecisionDiag {
+        &self.diag
     }
 
     /// MAP-I hit-predictor accuracy so far.
@@ -347,7 +371,11 @@ impl DramCacheController {
 
         if outcome.hit {
             self.stats.read_hits += 1;
+            self.diag.bytes_needed += 64;
+        } else {
+            self.diag.read_misses += 1;
         }
+        self.diag.bytes_moved += probe_bytes(&outcome.probes);
         self.stats.free_lines += outcome.free_lines.len() as u64;
         self.mapi.update(line, outcome.hit);
         outcome
@@ -364,6 +392,9 @@ impl DramCacheController {
             // TSI == BAI: one location, no prediction involved.
             let set = self.ix.tsi(line);
             let hit = self.sets[set as usize].touch(line, stamp, false).is_some();
+            if hit {
+                self.diag.hits_invariant += 1;
+            }
             let free_lines = if hit {
                 self.partner_in(set, line, stamp).into_iter().collect()
             } else {
@@ -388,6 +419,8 @@ impl DramCacheController {
             .is_some()
         {
             self.cip.update(line, pred_scheme);
+            self.diag.record_read(pred_scheme, pred_scheme);
+            self.diag.record_hit(pred_scheme);
             let free_lines = self.partner_in(s_pred, line, stamp).into_iter().collect();
             return ReadOutcome {
                 hit: true,
@@ -409,6 +442,8 @@ impl DramCacheController {
                         bytes: rb,
                     });
                     self.stats.second_probes += 1;
+                    self.diag.second_probe_reads += 1;
+                    self.diag.bloat_second_probe_bytes += u64::from(rb);
                     (true, Some(s_alt))
                 } else {
                     (false, None)
@@ -423,6 +458,8 @@ impl DramCacheController {
                     bytes: rb,
                 });
                 self.stats.second_probes += 1;
+                self.diag.second_probe_reads += 1;
+                self.diag.bloat_second_probe_bytes += u64::from(rb);
                 if in_alt {
                     (true, Some(s_alt))
                 } else {
@@ -435,6 +472,8 @@ impl DramCacheController {
             Some(s) => {
                 self.sets[s as usize].touch(line, stamp, false);
                 self.cip.update(line, pred_scheme.other());
+                self.diag.record_read(pred_scheme, pred_scheme.other());
+                self.diag.record_hit(pred_scheme.other());
                 self.partner_in(s, line, stamp).into_iter().collect()
             }
             None => FreeLineList::new(),
@@ -562,6 +601,10 @@ impl DramCacheController {
         let (scheme, set, invariant) = self.install_target(line, info);
         self.record_install(scheme, invariant);
         if let (Organization::Dice { .. }, false) = (self.cfg.organization, invariant) {
+            // Score the LTT against the size-based install decision before
+            // training overwrites it: this is the fill-time confusion
+            // matrix, so its total is exactly the CIP-consulted fills.
+            self.diag.record_fill(self.cip.predict(line), scheme);
             self.cip.train(line, scheme);
         }
 
@@ -573,12 +616,15 @@ impl DramCacheController {
                 write: false,
                 bytes: self.cfg.read_bytes(),
             });
+            self.diag.bloat_rmw_bytes += u64::from(self.cfg.read_bytes());
         }
         probes.push(Probe {
             set,
             write: true,
             bytes: self.cfg.write_bytes(),
         });
+        self.diag.bytes_moved += probe_bytes(&probes);
+        self.diag.bytes_needed += 64;
 
         let mode = self.set_mode();
         let memory_writebacks = self.install(set, line, dirty, scheme, mode, info);
@@ -609,6 +655,9 @@ impl DramCacheController {
                 write: true,
                 bytes: wbts,
             });
+            self.diag.bloat_rmw_bytes += u64::from(rb);
+            self.diag.bytes_moved += probe_bytes(&probes);
+            self.diag.bytes_needed += 64;
             let mode = self.set_mode();
             let memory_writebacks = self.install(set, line, true, scheme, mode, info);
             return WriteOutcome {
@@ -621,6 +670,7 @@ impl DramCacheController {
         let (pred_scheme, s_pred, _) = self.install_target(line, info);
         let s_alt = s_pred ^ 1;
         let mut probes = one_probe(s_pred, false, rb);
+        self.diag.bloat_rmw_bytes += u64::from(rb);
 
         let resident_pred = self.sets[s_pred as usize].get(line).is_some();
         let resident_alt = self.sets[s_alt as usize].get(line).is_some();
@@ -642,6 +692,8 @@ impl DramCacheController {
                 bytes: rb,
             });
             self.stats.second_probes += 1;
+            self.diag.second_probe_writes += 1;
+            self.diag.bloat_second_probe_bytes += u64::from(rb);
             (s_alt, pred_scheme.other())
         } else {
             // Not resident anywhere: install fresh at the predicted target.
@@ -655,6 +707,8 @@ impl DramCacheController {
             write: true,
             bytes: wbts,
         });
+        self.diag.bytes_moved += probe_bytes(&probes);
+        self.diag.bytes_needed += 64;
 
         let memory_writebacks = self.install(set, line, true, scheme, SetMode::Compressed, info);
         WriteOutcome {
@@ -1199,5 +1253,63 @@ mod tests {
     fn inject_into_empty_cache_is_none() {
         let mut c = dice_cache();
         assert_eq!(c.inject_tag_flip(1), None);
+    }
+
+    #[test]
+    fn diagnostics_cross_check_registry_counters() {
+        let mut c = dice_cache();
+        // A mixed-compressibility workload with rereads so the CIP both
+        // scores predictions and mispredicts occasionally.
+        for i in 0..4096u64 {
+            let line = (i * 37) % 3000;
+            let mut sizes = Fixed(if line % 3 == 0 { 64 } else { 28 });
+            if !c.read(line).hit {
+                c.fill(line, false, None, &mut sizes);
+            }
+            if i % 11 == 0 {
+                c.writeback(line, &mut sizes);
+            }
+        }
+        let d = *c.diagnostics();
+        // Read confusion matrix ≡ the CIP's own scoring.
+        assert_eq!(d.read_predictions(), c.cip_predictions());
+        assert_eq!(d.read_correct(), c.cip_correct());
+        assert!(d.read_predictions() > 0);
+        assert_eq!(d.read_accuracy(), c.cip_accuracy());
+        // Hit attribution partitions the demand hits.
+        assert_eq!(
+            d.hits_at_bai + d.hits_at_tsi + d.hits_invariant,
+            c.stats().read_hits
+        );
+        assert_eq!(d.read_misses, c.stats().reads - c.stats().read_hits);
+        // Second probes split by path, totalling the flat counter.
+        assert_eq!(
+            d.second_probe_reads + d.second_probe_writes,
+            c.stats().second_probes
+        );
+        // Bloat causes never exceed the total bloat.
+        assert!(d.bytes_moved >= d.bytes_needed);
+        assert!(d.bloat_second_probe_bytes + d.bloat_rmw_bytes <= d.bloat_bytes());
+        assert!(d.bloat_factor() > 1.0);
+    }
+
+    #[test]
+    fn diagnostics_fill_matrix_counts_consulted_fills() {
+        let mut c = dice_cache();
+        let mut consulted = 0u64;
+        for i in 0..2048u64 {
+            let line = i * 3;
+            let mut sizes = Fixed(if i % 2 == 0 { 20 } else { 64 });
+            c.fill(line, false, None, &mut sizes);
+            if !c.ix.invariant(line) {
+                consulted += 1;
+            }
+        }
+        let d = c.diagnostics();
+        assert_eq!(d.consulted_fills(), consulted);
+        assert!(consulted > 0);
+        // Both install decisions appear in the matrix.
+        assert!(d.cip_fill_bai_bai + d.cip_fill_tsi_bai > 0);
+        assert!(d.cip_fill_bai_tsi + d.cip_fill_tsi_tsi > 0);
     }
 }

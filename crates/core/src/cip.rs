@@ -98,14 +98,17 @@ impl CachePredictor {
         self.predictions
     }
 
-    /// Fraction of scored predictions that were correct (1.0 when idle).
+    /// Number of scored predictions that were correct.
+    #[must_use]
+    pub fn correct(&self) -> u64 {
+        self.correct
+    }
+
+    /// Fraction of scored predictions that were correct (0.0 when idle,
+    /// per the workspace-wide [`dice_obs::ratio`] convention).
     #[must_use]
     pub fn accuracy(&self) -> f64 {
-        if self.predictions == 0 {
-            1.0
-        } else {
-            self.correct as f64 / self.predictions as f64
-        }
+        dice_obs::ratio(self.correct, self.predictions)
     }
 }
 
@@ -162,8 +165,12 @@ mod tests {
     }
 
     #[test]
-    fn idle_accuracy_is_one() {
-        assert_eq!(CachePredictor::new(512).accuracy(), 1.0);
+    fn idle_accuracy_is_zero() {
+        // The workspace idle convention: no scored predictions reads as a
+        // 0.0 rate, never an optimistic 1.0.
+        let p = CachePredictor::new(512);
+        assert_eq!(p.accuracy(), 0.0);
+        assert_eq!(p.correct(), 0);
     }
 
     #[test]

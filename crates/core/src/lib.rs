@@ -57,6 +57,7 @@ mod audit;
 mod cache;
 mod cip;
 mod cset;
+mod diag;
 mod faults;
 mod indexing;
 mod inline_vec;
@@ -72,6 +73,7 @@ pub use cip::CachePredictor;
 pub use cset::{
     CompressedSet, Entry, Evicted, SetMode, SizeInfo, MAX_LINES_PER_SET, SET_BYTES, TAG_BYTES,
 };
+pub use diag::DecisionDiag;
 pub use faults::{FaultKind, FaultPlan};
 pub use indexing::{IndexScheme, Indexer, SetIndex};
 pub use inline_vec::InlineVec;

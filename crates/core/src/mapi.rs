@@ -65,14 +65,11 @@ impl HitPredictor {
         }
     }
 
-    /// Fraction of correct predictions (1.0 when idle).
+    /// Fraction of correct predictions (0.0 when idle, per the
+    /// workspace-wide [`dice_obs::ratio`] convention).
     #[must_use]
     pub fn accuracy(&self) -> f64 {
-        if self.predictions == 0 {
-            1.0
-        } else {
-            self.correct as f64 / self.predictions as f64
-        }
+        dice_obs::ratio(self.correct, self.predictions)
     }
 }
 
@@ -104,6 +101,11 @@ mod tests {
         p.update(0, true);
         p.update(0, true);
         assert!(p.predict_hit(0));
+    }
+
+    #[test]
+    fn idle_accuracy_is_zero() {
+        assert_eq!(HitPredictor::new(64).accuracy(), 0.0);
     }
 
     #[test]

@@ -258,6 +258,34 @@ proptest! {
     }
 
     #[test]
+    fn cip_confusion(ops in arb_ops()) {
+        // The decision-diagnostics confusion matrices must stay consistent
+        // with the controller's independent counters on arbitrary traces:
+        //  * fill-matrix row sums == total CIP-consulted fills (DICE fills
+        //    of non-invariant lines), recounted here via the indexing
+        //    algebra without touching the diagnostics;
+        //  * read-matrix total == the CIP's scored-prediction counter and
+        //    its diagonal == the CIP's predicted-correct counter.
+        let ix = Indexer::new(256);
+        let consulted_expected: u64 = ops
+            .iter()
+            .filter(|op| matches!(op, Op::Fill(l, _) if !ix.invariant(u64::from(*l))))
+            .count() as u64;
+        let l4 = run_ops(Organization::Dice { threshold: 36 }, TagVariant::Alloy, &ops);
+        let d = l4.diagnostics();
+        prop_assert_eq!(d.consulted_fills(), consulted_expected);
+        prop_assert_eq!(d.read_predictions(), l4.cip_predictions());
+        prop_assert_eq!(d.read_correct(), l4.cip_correct());
+        prop_assert_eq!(d.read_accuracy(), l4.cip_accuracy());
+        let s = l4.stats();
+        prop_assert_eq!(
+            d.hits_at_bai + d.hits_at_tsi + d.hits_invariant,
+            s.read_hits
+        );
+        prop_assert_eq!(d.second_probe_reads + d.second_probe_writes, s.second_probes);
+    }
+
+    #[test]
     fn inline_vec_behaves_like_vec(
         values in proptest::collection::vec(any::<u64>(), 0..40),
         clear_at in 0u8..60,

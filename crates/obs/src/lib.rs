@@ -14,6 +14,10 @@
 //! - [`TraceBuffer`] / [`export_chrome`] — a bounded transaction trace
 //!   (off by default, one branch per transaction when disabled) exported
 //!   in Chrome `trace_event` format for Perfetto;
+//! - [`TraceCtx`] / [`SpanId`] / [`TraceLevel`] — hierarchical spans with
+//!   explicit cross-thread context propagation, exported in the same
+//!   Chrome `trace_event` shape (and mergeable with transaction traces
+//!   via [`merge_chrome`]);
 //! - [`Json`] — a zero-dependency JSON value, writer and parser used for
 //!   every machine-readable artifact above;
 //! - [`render_prometheus`] — Prometheus text exposition of a whole
@@ -38,16 +42,20 @@ mod panel;
 mod prom;
 mod registry;
 mod snapshot;
+mod span;
 mod trace;
 
 pub use error::{record_error, register_error_counters, DiceError, DiceResult, ErrorClass};
 pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use panel::{LatencyPanel, RequestClass};
-pub use prom::{prom_name, render_prometheus};
+pub use prom::{prom_escape_label, prom_name, render_prometheus};
 pub use registry::{CounterId, GaugeId, HistId, MetricRegistry};
 pub use snapshot::{
     delta, register_counters, snapshot_from_json, snapshot_json, FieldKind, Snapshot,
+};
+pub use span::{
+    merge_chrome, validate_chrome_trace, SpanGuard, SpanId, SpanRecord, TraceCtx, TraceLevel,
 };
 pub use trace::{export_chrome, TraceBuffer, TraceEvent};
 
@@ -59,6 +67,9 @@ pub struct ObsConfig {
     pub interval_cycles: u64,
     /// Transaction-trace ring capacity in events (0 disables tracing).
     pub trace_capacity: usize,
+    /// Decision-diagnostics and span-tracing level (off by default; see
+    /// [`TraceLevel`]).
+    pub trace_level: TraceLevel,
 }
 
 impl Default for ObsConfig {
@@ -68,6 +79,7 @@ impl Default for ObsConfig {
         Self {
             interval_cycles: 100_000,
             trace_capacity: 0,
+            trace_level: TraceLevel::Off,
         }
     }
 }
@@ -99,6 +111,7 @@ mod tests {
     fn default_config_disables_tracing() {
         let cfg = ObsConfig::default();
         assert_eq!(cfg.trace_capacity, 0);
+        assert_eq!(cfg.trace_level, TraceLevel::Off);
         assert!(cfg.interval_cycles > 0);
     }
 }

@@ -39,6 +39,24 @@ pub fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escapes a label *value* per the 0.0.4 text format: backslash, double
+/// quote and newline become `\\`, `\"` and `\n`. Every label value the
+/// encoder emits must pass through here — an unescaped `"` or newline in
+/// a value corrupts the whole exposition.
+#[must_use]
+pub fn prom_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders one `f64` sample value the way Prometheus expects it.
 fn prom_f64(v: f64) -> String {
     if v.is_nan() {
@@ -58,7 +76,11 @@ fn write_histogram(out: &mut String, name: &str, h: &Histogram) {
     let mut cumulative = 0u64;
     for (edge, count) in h.buckets() {
         cumulative += count;
-        let _ = writeln!(out, "{name}_bucket{{le=\"{edge}\"}} {cumulative}");
+        // Edges are decimal integers today, but route them through the
+        // label-value escaper anyway so the invariant ("every emitted
+        // label value is escaped") survives future edge formats.
+        let le = prom_escape_label(&edge.to_string());
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
     }
     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
     // The exact sample sum is a u128; Prometheus values are decimal text,
@@ -95,6 +117,16 @@ pub fn render_prometheus(reg: &MetricRegistry) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(prom_escape_label("plain"), "plain");
+        assert_eq!(prom_escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(prom_escape_label("line1\nline2"), "line1\\nline2");
+        assert_eq!(prom_escape_label("back\\slash"), "back\\\\slash");
+        // All three at once, in one value.
+        assert_eq!(prom_escape_label("\\\"\n"), "\\\\\\\"\\n");
+    }
 
     #[test]
     fn sanitizes_names() {

@@ -1,0 +1,485 @@
+//! Hierarchical span tracing with explicit context propagation.
+//!
+//! A [`TraceCtx`] is a cheap clonable handle shared across threads: the
+//! serving layer creates one per sweep, the runner passes it to every
+//! worker, and the simulator opens phase spans inside it, so one request
+//! yields one causally-linked tree no matter how many threads touched it.
+//!
+//! Design points:
+//!
+//! * **Disabled is free.** A disabled context (the default) holds no
+//!   allocation at all; [`TraceCtx::span`] returns `None` after one branch.
+//! * **Lock-cheap collection.** An open span lives entirely in its
+//!   [`SpanGuard`] on the opening thread; the shared collector is locked
+//!   exactly once per span, when the guard drops and appends the finished
+//!   record. Nothing is held locked while a span is running.
+//! * **Two timebases.** Every span carries wall-clock microseconds
+//!   (monotonic, relative to the context's epoch so records from different
+//!   threads order consistently) and, when the owner knows them, simulated
+//!   cycle bounds via [`SpanGuard::set_cycles`].
+//! * **Composable export.** [`TraceCtx::export_chrome`] emits the same
+//!   Chrome `trace_event` array shape as [`crate::export_chrome`], so span
+//!   arrays and transaction-trace arrays concatenate (see
+//!   [`merge_chrome`]) into one document Perfetto renders directly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// How much diagnostic instrumentation a run records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// No spans, no decision diagnostics in reports (the default; hot
+    /// paths stay allocation-free and outputs stay byte-identical to a
+    /// build without tracing).
+    #[default]
+    Off,
+    /// Record DICE decision diagnostics (CIP confusion, probe
+    /// attribution, bandwidth bloat) into the run report.
+    Decisions,
+    /// Decision diagnostics plus hierarchical spans.
+    Full,
+}
+
+impl TraceLevel {
+    /// Whether any diagnostics are recorded at this level.
+    #[must_use]
+    pub fn diagnostics_on(self) -> bool {
+        self != TraceLevel::Off
+    }
+}
+
+/// Identifier of one span within a [`TraceCtx`] (dense, starting at 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw numeric id.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// This span's id.
+    pub id: SpanId,
+    /// The parent span, `None` for a root.
+    pub parent: Option<SpanId>,
+    /// Human-readable name (`"sweep 1a2b"`, `"cell dice36/gcc"`, …).
+    pub name: String,
+    /// Label of the thread that ran the span.
+    pub thread: String,
+    /// Start, in microseconds since the context epoch.
+    pub start_us: u64,
+    /// End, in microseconds since the context epoch (`>= start_us`).
+    pub end_us: u64,
+    /// Simulated-cycle bounds, when the span's owner recorded them.
+    pub cycles: Option<(u64, u64)>,
+}
+
+#[derive(Debug)]
+struct CtxInner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A shared handle to one trace: an id allocator plus a collector of
+/// completed spans. Clone it freely; all clones feed the same tree. The
+/// default (disabled) context records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCtx {
+    inner: Option<Arc<CtxInner>>,
+}
+
+impl TraceCtx {
+    /// An enabled context with an empty span tree.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(CtxInner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                spans: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A disabled context (same as `TraceCtx::default()`): every `span`
+    /// call returns `None` and nothing is recorded.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether spans opened on this context are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span. Returns `None` on a disabled context. The span ends
+    /// (and is appended to the collector) when the guard drops.
+    #[must_use]
+    pub fn span(&self, name: &str, parent: Option<SpanId>) -> Option<SpanGuard> {
+        let inner = self.inner.as_ref()?;
+        let id = SpanId(inner.next_id.fetch_add(1, Ordering::Relaxed));
+        Some(SpanGuard {
+            inner: Arc::clone(inner),
+            id,
+            parent,
+            name: name.to_owned(),
+            start_us: elapsed_us(inner.epoch),
+            cycles: None,
+        })
+    }
+
+    /// Snapshot of every completed span so far, in completion order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => inner.spans.lock().map(|s| s.clone()).unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Serializes the completed spans as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "spans".into(),
+            Json::Arr(self.spans().iter().map(span_json).collect()),
+        )])
+    }
+
+    /// Renders the completed spans as a Chrome `trace_event` array — the
+    /// same shape as [`crate::export_chrome`], so both concatenate with
+    /// [`merge_chrome`]. Span ids and parent links ride in each event's
+    /// `args`, which is what lets a consumer rebuild the causal tree from
+    /// the exported document alone.
+    #[must_use]
+    pub fn export_chrome(&self, name: &str, pid: u32) -> Json {
+        let spans = self.spans();
+        let mut tids: Vec<&str> = Vec::new();
+        let mut events = vec![Json::Obj(vec![
+            ("ph".into(), Json::str("M")),
+            ("name".into(), Json::str("process_name")),
+            ("pid".into(), Json::u64(u64::from(pid))),
+            (
+                "args".into(),
+                Json::Obj(vec![("name".into(), Json::str(name))]),
+            ),
+        ])];
+        for s in &spans {
+            let tid = match tids.iter().position(|t| *t == s.thread) {
+                Some(i) => i,
+                None => {
+                    tids.push(&s.thread);
+                    tids.len() - 1
+                }
+            };
+            let mut args = vec![("id".into(), Json::u64(s.id.raw()))];
+            if let Some(p) = s.parent {
+                args.push(("parent".into(), Json::u64(p.raw())));
+            }
+            if let Some((cs, ce)) = s.cycles {
+                args.push(("cycle_start".into(), Json::u64(cs)));
+                args.push(("cycle_end".into(), Json::u64(ce)));
+            }
+            events.push(Json::Obj(vec![
+                ("ph".into(), Json::str("X")),
+                ("name".into(), Json::str(&s.name)),
+                ("cat".into(), Json::str("span")),
+                ("pid".into(), Json::u64(u64::from(pid))),
+                ("tid".into(), Json::u64(tid as u64)),
+                ("ts".into(), Json::num(s.start_us as f64)),
+                ("dur".into(), Json::num((s.end_us - s.start_us) as f64)),
+                ("args".into(), Json::Obj(args)),
+            ]));
+        }
+        Json::Arr(events)
+    }
+}
+
+/// Concatenates Chrome `trace_event` arrays (from [`TraceCtx::export_chrome`]
+/// and/or [`crate::export_chrome`]) into one array. Non-array parts are
+/// skipped.
+#[must_use]
+pub fn merge_chrome(parts: Vec<Json>) -> Json {
+    let mut events = Vec::new();
+    for p in parts {
+        if let Json::Arr(mut evs) = p {
+            events.append(&mut evs);
+        }
+    }
+    Json::Arr(events)
+}
+
+/// Validates a document as a Chrome `trace_event` array (the shape
+/// [`TraceCtx::export_chrome`] and [`merge_chrome`] emit): a JSON array
+/// whose entries are objects with `ph`, `name` and `pid`, where every
+/// duration (`"X"`) event also carries numeric `ts`/`dur` and a span id
+/// in `args`. Useful as a CI gate on exported traces.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .as_arr()
+        .ok_or_else(|| "trace must be a JSON array".to_owned())?;
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: &str| Err(format!("event {i}: {msg}"));
+        let Some(ph) = ev.get("ph").and_then(Json::as_str) else {
+            return fail("missing \"ph\"");
+        };
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return fail("missing \"name\"");
+        }
+        if ev.get("pid").and_then(Json::as_u64).is_none() {
+            return fail("missing numeric \"pid\"");
+        }
+        match ph {
+            "M" => {}
+            "X" => {
+                if ev.get("ts").and_then(Json::as_f64).is_none()
+                    || ev.get("dur").and_then(Json::as_f64).is_none()
+                {
+                    return fail("duration event missing numeric \"ts\"/\"dur\"");
+                }
+                if ev.get("tid").and_then(Json::as_u64).is_none() {
+                    return fail("duration event missing numeric \"tid\"");
+                }
+            }
+            other => return fail(&format!("unsupported phase {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn span_json(s: &SpanRecord) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::u64(s.id.raw())),
+        (
+            "parent".into(),
+            s.parent.map_or(Json::Null, |p| Json::u64(p.raw())),
+        ),
+        ("name".into(), Json::str(&s.name)),
+        ("thread".into(), Json::str(&s.thread)),
+        ("start_us".into(), Json::u64(s.start_us)),
+        ("end_us".into(), Json::u64(s.end_us)),
+        (
+            "cycles".into(),
+            s.cycles.map_or(Json::Null, |(a, b)| {
+                Json::Arr(vec![Json::u64(a), Json::u64(b)])
+            }),
+        ),
+    ])
+}
+
+fn elapsed_us(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn thread_label() -> String {
+    match std::thread::current().name() {
+        Some(n) => n.to_owned(),
+        None => format!("{:?}", std::thread::current().id()),
+    }
+}
+
+/// An open span. Lives on the opening thread; dropping it ends the span
+/// and appends the finished record to the context's collector (the only
+/// lock acquisition in a span's lifetime).
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Arc<CtxInner>,
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: String,
+    start_us: u64,
+    cycles: Option<(u64, u64)>,
+}
+
+impl SpanGuard {
+    /// This span's id — pass it as `parent` to create children.
+    #[must_use]
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Attaches simulated-cycle bounds to the span.
+    pub fn set_cycles(&mut self, start: u64, end: u64) {
+        self.cycles = Some((start, end.max(start)));
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end_us = elapsed_us(self.inner.epoch).max(self.start_us);
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            thread: thread_label(),
+            start_us: self.start_us,
+            end_us,
+            cycles: self.cycles,
+        };
+        if let Ok(mut spans) = self.inner.spans.lock() {
+            spans.push(record);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_records_nothing() {
+        let ctx = TraceCtx::disabled();
+        assert!(!ctx.is_enabled());
+        assert!(ctx.span("nope", None).is_none());
+        assert!(ctx.spans().is_empty());
+        assert!(!TraceCtx::default().is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_link_parents() {
+        let ctx = TraceCtx::enabled();
+        let root = ctx.span("root", None).unwrap();
+        let child = ctx.span("child", Some(root.id())).unwrap();
+        let child_id = child.id();
+        drop(child);
+        let root_id = root.id();
+        drop(root);
+
+        let spans = ctx.spans();
+        assert_eq!(spans.len(), 2);
+        // Completion order: child first.
+        assert_eq!(spans[0].id, child_id);
+        assert_eq!(spans[0].parent, Some(root_id));
+        assert_eq!(spans[1].parent, None);
+        assert!(spans[0].end_us >= spans[0].start_us);
+    }
+
+    #[test]
+    fn spans_collected_across_threads_share_one_tree() {
+        let ctx = TraceCtx::enabled();
+        let root = ctx.span("root", None).unwrap();
+        let root_id = root.id();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let ctx = ctx.clone();
+                s.spawn(move || {
+                    let _g = ctx.span(&format!("worker {i}"), Some(root_id));
+                });
+            }
+        });
+        drop(root);
+        let spans = ctx.spans();
+        assert_eq!(spans.len(), 5);
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "ids must be unique across threads");
+        assert_eq!(
+            spans.iter().filter(|s| s.parent == Some(root_id)).count(),
+            4
+        );
+    }
+
+    #[test]
+    fn chrome_export_matches_trace_event_shape() {
+        let ctx = TraceCtx::enabled();
+        let mut root = ctx.span("sweep", None).unwrap();
+        root.set_cycles(0, 3200);
+        let root_id = root.id();
+        drop(ctx.span("cell", Some(root_id)));
+        drop(root);
+
+        let j = ctx.export_chrome("sweep 1", 7);
+        let text = j.render();
+        let parsed = Json::parse(&text).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            arr[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("sweep 1")
+        );
+        for ev in &arr[1..] {
+            assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
+            assert!(ev.get("ts").unwrap().as_f64().is_some());
+            assert!(ev.get("dur").unwrap().as_f64().is_some());
+            assert!(ev
+                .get("args")
+                .unwrap()
+                .get("id")
+                .unwrap()
+                .as_u64()
+                .is_some());
+        }
+        // The cell event links back to the sweep root.
+        let cell = arr
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("cell"))
+            .unwrap();
+        assert_eq!(
+            cell.get("args").unwrap().get("parent").unwrap().as_u64(),
+            Some(root_id.raw())
+        );
+    }
+
+    #[test]
+    fn merge_chrome_concatenates_arrays() {
+        let a = Json::Arr(vec![Json::u64(1)]);
+        let b = Json::Arr(vec![Json::u64(2), Json::u64(3)]);
+        let merged = merge_chrome(vec![a, Json::Null, b]);
+        assert_eq!(merged.as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn json_export_lists_all_spans() {
+        let ctx = TraceCtx::enabled();
+        drop(ctx.span("only", None));
+        let j = ctx.to_json();
+        let spans = j.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("only"));
+        assert_eq!(spans[0].get("parent"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn validator_accepts_exports_and_rejects_malformed() {
+        let ctx = TraceCtx::enabled();
+        let root = ctx.span("root", None).unwrap();
+        drop(ctx.span("leaf", Some(root.id())));
+        drop(root);
+        let doc = ctx.export_chrome("t", 0);
+        validate_chrome_trace(&doc).expect("export validates");
+        validate_chrome_trace(&merge_chrome(vec![doc])).expect("merge validates");
+
+        assert!(validate_chrome_trace(&Json::Obj(vec![])).is_err());
+        let missing_ts = Json::Arr(vec![Json::Obj(vec![
+            ("ph".into(), Json::str("X")),
+            ("name".into(), Json::str("x")),
+            ("pid".into(), Json::u64(0)),
+        ])]);
+        assert!(validate_chrome_trace(&missing_ts).is_err());
+    }
+
+    #[test]
+    fn trace_level_default_is_off() {
+        assert_eq!(TraceLevel::default(), TraceLevel::Off);
+        assert!(!TraceLevel::Off.diagnostics_on());
+        assert!(TraceLevel::Decisions.diagnostics_on());
+        assert!(TraceLevel::Full.diagnostics_on());
+    }
+}

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use dice_obs::{Histogram, MetricRegistry};
+use dice_obs::{Histogram, MetricRegistry, SpanGuard, SpanId, TraceCtx};
 use dice_sim::{RunReport, SimConfig, System, WorkloadSet};
 
 use crate::cache::DiskCache;
@@ -112,6 +112,51 @@ pub enum CellOutcome {
     },
 }
 
+/// One per-cell completion notice, emitted in completion order while a
+/// sweep runs (the live-progress payload behind `dice-serve`'s SSE
+/// endpoint).
+#[derive(Debug, Clone)]
+pub struct CellProgress {
+    /// 1-based completion index (the order cells *finished*, which under
+    /// parallel scheduling differs from submission order).
+    pub seq: usize,
+    /// Unique cells in the sweep.
+    pub total: usize,
+    /// The cell's configuration tag.
+    pub tag: String,
+    /// The cell's workload name.
+    pub workload: String,
+    /// How the cell ended: `simulated`, `cached`, `failed` or
+    /// `timed_out`.
+    pub status: &'static str,
+    /// Wall time spent on the cell in milliseconds (0 for failures,
+    /// the budget for timeouts).
+    pub wall_ms: u64,
+}
+
+/// A live progress callback, invoked from the sweep's collector thread
+/// once per finished cell, in completion order.
+#[derive(Clone)]
+pub struct ProgressSink(Arc<dyn Fn(CellProgress) + Send + Sync>);
+
+impl ProgressSink {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(CellProgress) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+
+    /// Delivers one progress event.
+    pub fn emit(&self, p: CellProgress) {
+        (self.0)(p);
+    }
+}
+
+impl std::fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressSink(..)")
+    }
+}
+
 /// Scheduling knobs for one [`Runner`].
 #[derive(Debug, Clone)]
 pub struct RunnerConfig {
@@ -138,6 +183,15 @@ pub struct RunnerConfig {
     /// sweep returns early with the skipped cells counted in
     /// [`SweepResult::cancelled`]. `None` = never cancelled.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Span-tracing context. When enabled, every cell gets a span (child
+    /// of [`trace_parent`](Self::trace_parent)) and each simulation's
+    /// warmup/measure phases nest under it, yielding one causally-linked
+    /// tree for the whole sweep across worker threads.
+    pub trace: Option<TraceCtx>,
+    /// Parent span for the per-cell spans (e.g. the serve request span).
+    pub trace_parent: Option<SpanId>,
+    /// Live per-cell progress callback, invoked in completion order.
+    pub progress: Option<ProgressSink>,
 }
 
 impl Default for RunnerConfig {
@@ -149,6 +203,9 @@ impl Default for RunnerConfig {
             cell_timeout: None,
             retries: 0,
             cancel: None,
+            trace: None,
+            trace_parent: None,
+            progress: None,
         }
     }
 }
@@ -373,7 +430,19 @@ impl Runner {
                     if i >= cells.len() {
                         break;
                     }
-                    let (outcome, retries) = self.run_cell(&cells[i]);
+                    let cell = &cells[i];
+                    let span = self.config.trace.as_ref().and_then(|ctx| {
+                        ctx.span(
+                            &format!("cell:{}/{}", cell.tag, cell.workload.name),
+                            self.config.trace_parent,
+                        )
+                    });
+                    let parent = span.as_ref().map(SpanGuard::id);
+                    let (outcome, retries) = self.run_cell(cell, parent);
+                    // Close the cell span before reporting completion so a
+                    // progress consumer never observes a finished cell with
+                    // an open span.
+                    drop(span);
                     if tx.send((i, outcome, retries)).is_err() {
                         break;
                     }
@@ -409,6 +478,30 @@ impl Runner {
                 if let CellOutcome::Completed { wall, .. } = &outcome {
                     cell_wall_ms.record(wall.as_millis() as u64);
                 }
+                if let Some(sink) = &self.config.progress {
+                    let (status, wall_ms) = match &outcome {
+                        CellOutcome::Completed {
+                            from_cache: true,
+                            wall,
+                            ..
+                        } => ("cached", wall.as_millis() as u64),
+                        CellOutcome::Completed { wall, .. } => {
+                            ("simulated", wall.as_millis() as u64)
+                        }
+                        CellOutcome::Failed { .. } => ("failed", 0),
+                        CellOutcome::TimedOut { budget } => {
+                            ("timed_out", budget.as_millis() as u64)
+                        }
+                    };
+                    sink.emit(CellProgress {
+                        seq: done,
+                        total,
+                        tag: cell.tag.clone(),
+                        workload: cell.workload.name.clone(),
+                        status,
+                        wall_ms,
+                    });
+                }
                 outcomes.insert(cell.memo_key(), outcome);
             }
         });
@@ -429,7 +522,9 @@ impl Runner {
     /// Runs one cell: persistent-cache probe, then a watchdog-supervised,
     /// unwind-isolated simulation (with bounded retries on panic), then a
     /// cache write-back. Returns the outcome and how many retries it took.
-    fn run_cell(&self, cell: &Cell) -> (CellOutcome, u32) {
+    /// `span` is the cell's span id; the simulation's phase spans nest
+    /// under it.
+    fn run_cell(&self, cell: &Cell, span: Option<SpanId>) -> (CellOutcome, u32) {
         let t0 = Instant::now();
         let key = cell_key(&cell.cfg, &cell.workload);
         if let Some(cached) = self.cache.as_ref().and_then(|c| c.load(key)) {
@@ -445,7 +540,7 @@ impl Runner {
         let attempts = self.config.retries.saturating_add(1);
         let mut last_error = String::new();
         for attempt in 0..attempts {
-            match self.simulate_once(cell) {
+            match self.simulate_once(cell, span) {
                 Ok(report) => {
                     if let Some(cache) = &self.cache {
                         if let Err(e) = cache.store(key, &cell.tag, &report) {
@@ -490,11 +585,18 @@ impl Runner {
     /// One simulation attempt. With no budget the attempt runs inline on
     /// the worker thread; with a budget it runs on a dedicated thread the
     /// watchdog can abandon.
-    fn simulate_once(&self, cell: &Cell) -> Result<RunReport, CellFailure> {
+    fn simulate_once(&self, cell: &Cell, span: Option<SpanId>) -> Result<RunReport, CellFailure> {
         SIMULATIONS.fetch_add(1, Ordering::Relaxed);
         let cfg = cell.cfg.clone();
         let workload = cell.workload.clone();
-        let sim = move || System::new(cfg, &workload).run();
+        let trace = self.config.trace.clone().filter(TraceCtx::is_enabled);
+        let sim = move || {
+            let mut sys = System::new(cfg, &workload);
+            if let Some(ctx) = trace {
+                sys.set_trace(ctx, span);
+            }
+            sys.run()
+        };
         let Some(budget) = self.config.cell_timeout else {
             return catch_unwind(AssertUnwindSafe(sim))
                 .map_err(|p| CellFailure::Panicked(panic_message(p.as_ref())));

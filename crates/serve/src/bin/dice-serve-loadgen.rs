@@ -18,6 +18,10 @@
 //!
 //! # fetch /metrics and validate it as Prometheus 0.0.4 exposition:
 //! dice-serve-loadgen --url 127.0.0.1:PORT --check-metrics
+//!
+//! # submit a tiny sweep and validate /v1/sweeps/:id/trace as a Chrome
+//! # trace; version-gated, so a server predating the endpoint passes:
+//! dice-serve-loadgen --url 127.0.0.1:PORT --check-trace
 //! ```
 //!
 //! The default load is `--requests` submissions of a tiny sweep whose
@@ -32,7 +36,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime};
 
-use dice_obs::Json;
+use dice_obs::{validate_chrome_trace, Json};
 use dice_runner::{Runner, RunnerConfig};
 use dice_serve::{http_get, http_post, render_runs, validate_prometheus, SweepSpec};
 
@@ -47,6 +51,7 @@ struct Args {
     spec: Option<String>,
     direct: Option<String>,
     check_metrics: bool,
+    check_trace: bool,
 }
 
 fn usage() -> ! {
@@ -55,7 +60,8 @@ fn usage() -> ! {
          [--distinct D] [--out FILE] [--no-append] [--quiet]\n\
          \x20      dice-serve-loadgen --url HOST:PORT --spec '<json>'\n\
          \x20      dice-serve-loadgen --direct '<json>'\n\
-         \x20      dice-serve-loadgen --url HOST:PORT --check-metrics"
+         \x20      dice-serve-loadgen --url HOST:PORT --check-metrics\n\
+         \x20      dice-serve-loadgen --url HOST:PORT --check-trace"
     );
     std::process::exit(2);
 }
@@ -72,6 +78,7 @@ fn parse_args() -> Args {
         spec: None,
         direct: None,
         check_metrics: false,
+        check_trace: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,6 +101,7 @@ fn parse_args() -> Args {
             "--spec" => parsed.spec = Some(value("a JSON spec")),
             "--direct" => parsed.direct = Some(value("a JSON spec")),
             "--check-metrics" => parsed.check_metrics = true,
+            "--check-trace" => parsed.check_trace = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -139,9 +147,9 @@ fn run_direct(spec_text: &str) -> i32 {
     0
 }
 
-/// Submits one spec and waits for the report body. `Err` carries a
-/// human-readable failure.
-fn submit_and_wait(addr: &str, spec_text: &str) -> Result<(String, bool), String> {
+/// Submits one spec and waits for the report body; returns
+/// `(job id, body, coalesced)`. `Err` carries a human-readable failure.
+fn submit_and_wait(addr: &str, spec_text: &str) -> Result<(String, String, bool), String> {
     let submitted = loop {
         let resp = http_post(addr, "/v1/sweeps", spec_text)
             .map_err(|e| format!("POST /v1/sweeps: {e}"))?;
@@ -177,7 +185,68 @@ fn submit_and_wait(addr: &str, spec_text: &str) -> Result<(String, bool), String
     if report.status != 200 {
         return Err(format!("GET report: HTTP {}", report.status));
     }
-    Ok((report.text(), coalesced))
+    Ok((id, report.text(), coalesced))
+}
+
+/// `--check-trace`: run a tiny sweep, then validate the trace endpoint.
+/// The probe is version-gated: a server built from this crate version
+/// must serve a valid Chrome trace, while an older server that predates
+/// the endpoint may legitimately answer 404.
+fn run_check_trace(addr: &str) -> i32 {
+    let server_version = match http_get(addr, "/version") {
+        Ok(resp) if resp.status == 200 => Json::parse(&resp.text())
+            .ok()
+            .and_then(|doc| doc.get("version").and_then(Json::as_str).map(str::to_owned)),
+        _ => None,
+    };
+    let id = match submit_and_wait(addr, &load_spec(0)) {
+        Ok((id, _body, _)) => id,
+        Err(e) => {
+            eprintln!("dice-serve-loadgen: {e}");
+            return 1;
+        }
+    };
+    let resp = match http_get(addr, &format!("/v1/sweeps/{id}/trace")) {
+        Ok(resp) => resp,
+        Err(e) => {
+            eprintln!("dice-serve-loadgen: GET trace: {e}");
+            return 1;
+        }
+    };
+    match resp.status {
+        200 => {
+            let doc = match Json::parse(&resp.text()) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("dice-serve-loadgen: trace is not JSON: {e}");
+                    return 1;
+                }
+            };
+            if let Err(e) = validate_chrome_trace(&doc) {
+                eprintln!("dice-serve-loadgen: trace invalid: {e}");
+                return 1;
+            }
+            println!(
+                "/v1/sweeps/:id/trace is a valid Chrome trace ({} events)",
+                doc.as_arr().map_or(0, |events| events.len())
+            );
+            0
+        }
+        404 if server_version.as_deref() != Some(env!("CARGO_PKG_VERSION")) => {
+            println!(
+                "server version {} predates the trace endpoint; 404 tolerated",
+                server_version.as_deref().unwrap_or("unknown")
+            );
+            0
+        }
+        s => {
+            eprintln!(
+                "dice-serve-loadgen: GET trace: HTTP {s} from server version {}",
+                server_version.as_deref().unwrap_or("unknown")
+            );
+            1
+        }
+    }
 }
 
 fn git_rev() -> String {
@@ -222,7 +291,7 @@ fn run_load(args: &Args, addr: &str) -> i32 {
                 let spec = load_spec(i % args.distinct.max(1));
                 let t0 = Instant::now();
                 match submit_and_wait(addr, &spec) {
-                    Ok((_body, was_coalesced)) => {
+                    Ok((_id, _body, was_coalesced)) => {
                         let ms = t0.elapsed().as_secs_f64() * 1e3;
                         latencies.lock().expect("latencies").push(ms);
                         if was_coalesced {
@@ -337,9 +406,13 @@ fn main() {
         }
     }
 
+    if args.check_trace {
+        std::process::exit(run_check_trace(addr));
+    }
+
     if let Some(spec) = &args.spec {
         match submit_and_wait(addr, spec) {
-            Ok((body, _)) => {
+            Ok((_id, body, _)) => {
                 emit_body(&body);
                 std::process::exit(0);
             }

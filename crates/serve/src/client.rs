@@ -108,18 +108,25 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
         headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
     }
 
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
     let content_length = headers
         .iter()
         .find(|(k, _)| k == "content-length")
         .and_then(|(_, v)| v.parse::<usize>().ok());
     let mut body = Vec::new();
-    match content_length {
-        Some(len) => {
-            body.resize(len, 0);
-            reader.read_exact(&mut body)?;
-        }
-        None => {
-            reader.read_to_end(&mut body)?;
+    if chunked {
+        read_chunked_body(reader, &mut body)?;
+    } else {
+        match content_length {
+            Some(len) => {
+                body.resize(len, 0);
+                reader.read_exact(&mut body)?;
+            }
+            None => {
+                reader.read_to_end(&mut body)?;
+            }
         }
     }
     Ok(ClientResponse {
@@ -129,9 +136,47 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
     })
 }
 
+/// Decodes a chunked transfer-encoded body into `out`, reading until the
+/// zero-length final chunk.
+fn read_chunked_body(reader: &mut impl BufRead, out: &mut Vec<u8>) -> io::Result<()> {
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line)?;
+        let size =
+            usize::from_str_radix(size_line.trim(), 16).map_err(|_| malformed("bad chunk size"))?;
+        if size == 0 {
+            // Trailer section: read through the terminating blank line.
+            let mut line = String::new();
+            while reader.read_line(&mut line)? > 0
+                && !line.trim_end_matches(['\r', '\n']).is_empty()
+            {
+                line.clear();
+            }
+            return Ok(());
+        }
+        let start = out.len();
+        out.resize(start + size, 0);
+        reader.read_exact(&mut out[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(malformed("chunk not CRLF-terminated"));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decodes_chunked_bodies() {
+        let raw: &[u8] = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                           5\r\nhello\r\n7\r\n, world\r\n0\r\n\r\n";
+        let resp = read_response(&mut BufReader::new(raw)).expect("valid");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "hello, world");
+    }
 
     #[test]
     fn parses_response() {

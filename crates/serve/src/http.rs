@@ -1,9 +1,12 @@
 //! A minimal HTTP/1.1 server-side codec over std I/O.
 //!
 //! Deliberately small: one request per connection (`Connection: close`),
-//! no chunked encoding, no keep-alive, hard limits on header and body
-//! size. That is all the sweep API needs, and it keeps the attack
-//! surface of a zero-dependency server auditable.
+//! no keep-alive, hard limits on header and body size. Fixed-length
+//! responses carry an explicit `Content-Length`; the one streaming
+//! endpoint (`/v1/sweeps/:id/events`, server-sent events) uses chunked
+//! transfer encoding via [`write_stream_head`]/[`write_chunk`]/
+//! [`finish_chunks`]. That is all the sweep API needs, and it keeps the
+//! attack surface of a zero-dependency server auditable.
 
 use std::io::{self, BufRead, Write};
 
@@ -241,6 +244,49 @@ impl Response {
     }
 }
 
+/// Writes the head of a `200` streaming response: chunked transfer
+/// encoding, `Connection: close`, `Cache-Control: no-store` (live data
+/// must never be replayed from a cache).
+///
+/// # Errors
+///
+/// Propagates transport write errors.
+pub fn write_stream_head(out: &mut impl Write, content_type: &str) -> io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\n\
+         Cache-Control: no-store\r\nConnection: close\r\n\r\n"
+    )?;
+    out.flush()
+}
+
+/// Writes one chunk (hex length, CRLF, data, CRLF) and flushes so the
+/// peer sees it immediately. Empty data is skipped — a zero-length chunk
+/// would terminate the stream.
+///
+/// # Errors
+///
+/// Propagates transport write errors.
+pub fn write_chunk(out: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(out, "{:x}\r\n", data.len())?;
+    out.write_all(data)?;
+    out.write_all(b"\r\n")?;
+    out.flush()
+}
+
+/// Terminates a chunked stream (the zero-length final chunk).
+///
+/// # Errors
+///
+/// Propagates transport write errors.
+pub fn finish_chunks(out: &mut impl Write) -> io::Result<()> {
+    out.write_all(b"0\r\n\r\n")?;
+    out.flush()
+}
+
 /// The standard reason phrase for the status codes this server emits.
 #[must_use]
 pub fn reason(status: u16) -> &'static str {
@@ -344,6 +390,23 @@ mod tests {
             parse(big_body.as_bytes()),
             Err(ReadError::Bad { status: 413, .. })
         ));
+    }
+
+    #[test]
+    fn chunked_stream_frames_correctly() {
+        let mut out = Vec::new();
+        write_stream_head(&mut out, "text/event-stream").expect("head");
+        write_chunk(&mut out, b"data: one\n\n").expect("chunk");
+        write_chunk(&mut out, b"").expect("empty chunk is a no-op");
+        write_chunk(&mut out, b"data: two\n\n").expect("chunk");
+        finish_chunks(&mut out).expect("finish");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Content-Type: text/event-stream\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.contains("\r\n\r\nb\r\ndata: one\n\n\r\n"));
+        assert!(text.ends_with("b\r\ndata: two\n\n\r\n0\r\n\r\n"));
     }
 
     #[test]

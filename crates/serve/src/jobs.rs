@@ -24,8 +24,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use dice_obs::{Json, MetricRegistry};
-use dice_runner::{Cell, Runner, RunnerConfig};
+use dice_obs::{merge_chrome, Json, MetricRegistry, TraceCtx};
+use dice_runner::{Cell, CellProgress, ProgressSink, Runner, RunnerConfig};
 
 use crate::spec::{render_runs, sweep_key, SweepSpec};
 
@@ -71,6 +71,12 @@ struct Job {
     summary: Option<String>,
     /// Identical submissions that attached to this job after the first.
     coalesced: u64,
+    /// Per-cell progress events (rendered JSON objects), appended in
+    /// completion order while the sweep runs. SSE readers poll these via
+    /// [`JobQueue::poll_events`].
+    events: Vec<Arc<String>>,
+    /// Merged Chrome `trace_event` document once [`JobState::Done`].
+    trace: Option<Arc<String>>,
 }
 
 /// Outcome of [`JobQueue::submit`].
@@ -209,6 +215,8 @@ impl JobQueue {
                 error: None,
                 summary: None,
                 coalesced: 0,
+                events: Vec::new(),
+                trace: None,
             },
         );
         inner.queue.push_back(id);
@@ -255,6 +263,33 @@ impl JobQueue {
         })
     }
 
+    /// Progress events for job `id` from index `cursor` on, plus the
+    /// job's state at the moment of the read (events and state are read
+    /// atomically, so a terminal state means the returned slice completes
+    /// the stream). `None` if the job is unknown.
+    #[must_use]
+    pub fn poll_events(&self, id: u64, cursor: usize) -> Option<(Vec<Arc<String>>, JobState)> {
+        let inner = self.shared.inner.lock().expect("job queue poisoned");
+        let job = inner.jobs.get(&id)?;
+        let events = match job.events.get(cursor..) {
+            Some(rest) => rest.to_vec(),
+            None => Vec::new(),
+        };
+        Some((events, job.state))
+    }
+
+    /// The merged Chrome trace for job `id`: `Ok(body)` once done,
+    /// `Err(state)` while not, `None` if unknown.
+    #[must_use]
+    pub fn trace(&self, id: u64) -> Option<Result<Arc<String>, JobState>> {
+        let inner = self.shared.inner.lock().expect("job queue poisoned");
+        let job = inner.jobs.get(&id)?;
+        Some(match (&job.trace, job.state) {
+            (Some(trace), JobState::Done) => Ok(Arc::clone(trace)),
+            (_, state) => Err(state),
+        })
+    }
+
     /// Stops accepting work and cancels jobs no worker has started.
     /// Running sweeps finish normally; call [`JobQueue::join`] to wait.
     pub fn drain(&self) {
@@ -293,7 +328,7 @@ impl JobQueue {
     }
 }
 
-fn worker_loop(shared: &Shared, runner_cfg: &RunnerConfig) {
+fn worker_loop(shared: &Arc<Shared>, runner_cfg: &RunnerConfig) {
     loop {
         let (id, cells) = {
             let mut inner = shared.inner.lock().expect("job queue poisoned");
@@ -314,16 +349,17 @@ fn worker_loop(shared: &Shared, runner_cfg: &RunnerConfig) {
             }
         };
 
-        let finished = run_sweep(shared, runner_cfg, cells);
+        let finished = run_sweep(shared, runner_cfg, id, cells);
 
         let mut inner = shared.inner.lock().expect("job queue poisoned");
         inner.active -= 1;
         if let Some(job) = inner.jobs.get_mut(&id) {
             match finished {
-                Ok((body, summary)) => {
+                Ok((body, summary, trace)) => {
                     job.state = JobState::Done;
                     job.body = Some(Arc::new(body));
                     job.summary = Some(summary);
+                    job.trace = Some(Arc::new(trace));
                 }
                 Err(error) => {
                     job.state = JobState::Failed;
@@ -334,26 +370,63 @@ fn worker_loop(shared: &Shared, runner_cfg: &RunnerConfig) {
     }
 }
 
-/// Runs one sweep and renders the canonical body. The only error path is
-/// runner construction (cache directory I/O) — per-cell failures are part
-/// of the rendered document, not a job failure.
+/// Renders one [`CellProgress`] as the JSON object pushed to the job's
+/// event log (and streamed over SSE).
+fn render_event(p: &CellProgress) -> String {
+    Json::Obj(vec![
+        ("event".into(), Json::str("cell")),
+        ("seq".into(), Json::u64(p.seq as u64)),
+        ("total".into(), Json::u64(p.total as u64)),
+        ("tag".into(), Json::str(&p.tag)),
+        ("workload".into(), Json::str(&p.workload)),
+        ("status".into(), Json::str(p.status)),
+        ("wall_ms".into(), Json::u64(p.wall_ms)),
+    ])
+    .render()
+}
+
+/// Runs one sweep and renders the canonical body, summary and Chrome
+/// trace. Every sweep runs under its own [`TraceCtx`]: the runner opens
+/// per-cell spans under the sweep root and the simulator nests its phase
+/// spans beneath them, so the exported trace is one causally-linked tree.
+/// The canonical report body stays untouched by tracing — spans live only
+/// in the separate trace document. The only error path is runner
+/// construction (cache directory I/O) — per-cell failures are part of the
+/// rendered document, not a job failure.
 fn run_sweep(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     runner_cfg: &RunnerConfig,
+    job_id: u64,
     cells: Vec<Cell>,
-) -> Result<(String, String), String> {
-    let runner = Runner::new(runner_cfg.clone()).map_err(|e| format!("runner setup: {e}"))?;
+) -> Result<(String, String, String), String> {
+    let ctx = TraceCtx::enabled();
+    let sweep_name = format!("sweep {job_id:016x}");
+    let root = ctx.span(&sweep_name, None).expect("enabled context");
+    let mut cfg = runner_cfg.clone();
+    cfg.trace = Some(ctx.clone());
+    cfg.trace_parent = Some(root.id());
+    let sink_shared = Arc::clone(shared);
+    cfg.progress = Some(ProgressSink::new(move |p: CellProgress| {
+        let event = render_event(&p);
+        let mut inner = sink_shared.inner.lock().expect("job queue poisoned");
+        if let Some(job) = inner.jobs.get_mut(&job_id) {
+            job.events.push(Arc::new(event));
+        }
+    }));
+    let runner = Runner::new(cfg).map_err(|e| format!("runner setup: {e}"))?;
     let started = std::time::Instant::now();
     let result = runner.run(cells);
     let body = render_runs(&result).render();
     let summary = result.summary();
+    drop(root);
+    let trace = merge_chrome(vec![ctx.export_chrome(&sweep_name, 0)]).render();
     let mut reg = shared.metrics.lock().expect("metrics poisoned");
     let id = reg.counter("serve.sweeps_completed");
     reg.inc(id);
     let hist = reg.histogram("serve.sweep_wall_ms");
     reg.observe(hist, started.elapsed().as_millis() as u64);
     result.register(&mut reg);
-    Ok((body, summary))
+    Ok((body, summary, trace))
 }
 
 #[cfg(test)]
@@ -403,6 +476,54 @@ mod tests {
         assert!(body.starts_with("{\"runs\":["));
         let status = q.status(id).expect("known job");
         assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+        q.drain();
+        q.join();
+    }
+
+    #[test]
+    fn finished_job_exposes_events_and_a_valid_trace() {
+        let q = queue(4);
+        let Submission::Accepted { id, .. } = q.submit(SweepSpec::parse(
+            r#"{"orgs":["base","dice36"],"workloads":["gcc"],"scale":4096,"warmup":50,"measure":150,"seed":5}"#,
+        )
+        .expect("valid spec"))
+        else {
+            panic!("rejected");
+        };
+        wait_done(&q, id);
+
+        // One event per cell, seq 1..=total, each a valid JSON object.
+        let (events, state) = q.poll_events(id, 0).expect("known job");
+        assert_eq!(state, JobState::Done);
+        assert_eq!(events.len(), 2);
+        for (i, ev) in events.iter().enumerate() {
+            let doc = Json::parse(ev).expect("event JSON");
+            assert_eq!(doc.get("event").and_then(Json::as_str), Some("cell"));
+            assert_eq!(doc.get("seq").and_then(Json::as_u64), Some(i as u64 + 1));
+            assert_eq!(doc.get("total").and_then(Json::as_u64), Some(2));
+            assert_eq!(doc.get("status").and_then(Json::as_str), Some("simulated"));
+        }
+        // Cursor past the end yields nothing more.
+        let (rest, _) = q.poll_events(id, events.len()).expect("known job");
+        assert!(rest.is_empty());
+        assert!(q.poll_events(0xdead, 0).is_none());
+
+        // The trace is a valid Chrome document forming one tree: a sweep
+        // root, a cell span per cell, and phase spans under each cell.
+        let trace = q.trace(id).expect("known job").expect("done");
+        let doc = Json::parse(&trace).expect("trace JSON");
+        dice_obs::validate_chrome_trace(&doc).expect("valid chrome trace");
+        let names: Vec<&str> = doc
+            .as_arr()
+            .expect("array")
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.iter().any(|n| n.starts_with("sweep ")));
+        assert_eq!(names.iter().filter(|n| n.starts_with("cell:")).count(), 2);
+        assert_eq!(names.iter().filter(|&&n| n == "sim.measure").count(), 2);
+
         q.drain();
         q.join();
     }

@@ -16,7 +16,9 @@ use std::time::{Duration, Instant};
 
 use dice_obs::{render_prometheus, Json, MetricRegistry};
 
-use crate::http::{read_request, ReadError, Request, Response};
+use crate::http::{
+    finish_chunks, read_request, write_chunk, write_stream_head, ReadError, Request, Response,
+};
 use crate::jobs::{JobQueue, JobQueueConfig, JobState, Submission};
 use crate::spec::SweepSpec;
 
@@ -217,7 +219,19 @@ fn handle_connection(stream: TcpStream, ctx: &RouteCtx) {
         Err(_) => return,
     });
     let response = match read_request(&mut reader) {
-        Ok(request) => route(&request, ctx),
+        Ok(request) => match events_job_id(&request) {
+            // The events endpoint streams incrementally and owns the
+            // socket for the job's lifetime; everything else is a single
+            // fixed-length response.
+            Some(Ok(id)) => {
+                let status = stream_events(&stream, id, ctx);
+                record_request(ctx, status, started);
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            Some(Err(response)) => response,
+            None => route(&request, ctx),
+        },
         Err(ReadError::Closed) => return,
         Err(ReadError::Bad { status, msg }) => Response::error(status, msg),
         Err(ReadError::Io(_)) => return,
@@ -226,6 +240,76 @@ fn handle_connection(stream: TcpStream, ctx: &RouteCtx) {
     let mut stream = stream;
     let _ = response.write(&mut stream);
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Recognizes `GET /v1/sweeps/:id/events`. `None` when the request is for
+/// another endpoint; `Some(Err(response))` for a malformed events request.
+fn events_job_id(request: &Request) -> Option<Result<u64, Response>> {
+    let path = request.path.split('?').next().unwrap_or("");
+    let id_text = path.strip_prefix("/v1/sweeps/")?.strip_suffix("/events")?;
+    if request.method != "GET" {
+        return Some(Err(Response::error(405, "method not allowed")));
+    }
+    Some(match u64::from_str_radix(id_text, 16) {
+        Ok(id) => Ok(id),
+        Err(_) => Err(Response::error(400, "job id must be hex")),
+    })
+}
+
+/// Streams `text/event-stream` progress for job `id` until the job
+/// reaches a terminal state (or the client goes away), then closes the
+/// chunked stream cleanly. Returns the status code to record.
+fn stream_events(stream: &TcpStream, id: u64, ctx: &RouteCtx) -> u16 {
+    let mut out = stream;
+    if ctx.queue.poll_events(id, 0).is_none() {
+        let _ = Response::error(404, "no such job").write(&mut out);
+        return 404;
+    }
+    if write_stream_head(&mut out, "text/event-stream").is_err() {
+        return 200;
+    }
+    let mut cursor = 0usize;
+    let mut last_write = Instant::now();
+    let deadline = Instant::now() + Duration::from_secs(600);
+    // Events and state are read atomically: a terminal state means the
+    // events returned alongside it complete the stream.
+    while let Some((events, state)) = ctx.queue.poll_events(id, cursor) {
+        cursor += events.len();
+        for event in &events {
+            if write_chunk(&mut out, format!("data: {event}\n\n").as_bytes()).is_err() {
+                return 200;
+            }
+            last_write = Instant::now();
+        }
+        if matches!(
+            state,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        ) {
+            let end = Json::Obj(vec![
+                ("event".into(), Json::str("end")),
+                ("state".into(), Json::str(state.as_str())),
+            ])
+            .render();
+            let _ = write_chunk(&mut out, format!("data: {end}\n\n").as_bytes());
+            break;
+        }
+        if Instant::now() > deadline {
+            break;
+        }
+        if events.is_empty() {
+            // Comment heartbeat: keeps the connection visibly alive under
+            // the 5 s socket write timeout while a long cell simulates.
+            if last_write.elapsed() >= Duration::from_secs(2) {
+                if write_chunk(&mut out, b": heartbeat\n\n").is_err() {
+                    return 200;
+                }
+                last_write = Instant::now();
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let _ = finish_chunks(&mut out);
+    200
 }
 
 fn record_request(ctx: &RouteCtx, status: u16, started: Instant) {
@@ -305,28 +389,39 @@ fn submit_sweep(request: &Request, ctx: &RouteCtx) -> Response {
     }
 }
 
-/// `GET /v1/sweeps/:id` and `GET /v1/sweeps/:id/report`.
+/// `GET /v1/sweeps/:id`, `GET /v1/sweeps/:id/report` and
+/// `GET /v1/sweeps/:id/trace` (`/v1/sweeps/:id/events` streams and is
+/// routed before dispatch reaches here).
 fn sweep_get(path: &str, ctx: &RouteCtx) -> Response {
     let rest = path.trim_start_matches("/v1/sweeps/");
-    let (id_text, want_report) = match rest.strip_suffix("/report") {
-        Some(id) => (id, true),
-        None => (rest, false),
+    let (id_text, want) = if let Some(id) = rest.strip_suffix("/report") {
+        (id, Some("report"))
+    } else if let Some(id) = rest.strip_suffix("/trace") {
+        (id, Some("trace"))
+    } else {
+        (rest, None)
     };
     let Ok(id) = u64::from_str_radix(id_text, 16) else {
         return Response::error(400, "job id must be hex");
     };
-    if want_report {
-        match ctx.queue.report(id) {
-            None => Response::error(404, "no such job"),
-            Some(Ok(body)) => Response::json(200, body.as_str()),
-            Some(Err(JobState::Failed)) => Response::error(500, "sweep failed"),
-            Some(Err(JobState::Cancelled)) => Response::error(409, "sweep cancelled"),
-            Some(Err(_)) => Response::error(409, "sweep not finished"),
+    match want {
+        Some(doc) => {
+            let fetched = if doc == "report" {
+                ctx.queue.report(id)
+            } else {
+                ctx.queue.trace(id)
+            };
+            match fetched {
+                None => Response::error(404, "no such job"),
+                Some(Ok(body)) => Response::json(200, body.as_str()),
+                Some(Err(JobState::Failed)) => Response::error(500, "sweep failed"),
+                Some(Err(JobState::Cancelled)) => Response::error(409, "sweep cancelled"),
+                Some(Err(_)) => Response::error(409, "sweep not finished"),
+            }
         }
-    } else {
-        match ctx.queue.status(id) {
+        None => match ctx.queue.status(id) {
             Some(status) => Response::json(200, status.render()),
             None => Response::error(404, "no such job"),
-        }
+        },
     }
 }

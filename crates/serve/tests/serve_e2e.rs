@@ -5,6 +5,7 @@
 //! process-global engine counters (`dice_runner::engine_runs`), so every
 //! test that touches those counters serializes on [`SERIAL`].
 
+use std::collections::HashSet;
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -169,6 +170,136 @@ fn plumbing_endpoints_work() {
     assert_eq!(bad_json.status, 400);
     let unknown_job = http_get(addr, "/v1/sweeps/00000000deadbeef").expect("unknown job");
     assert_eq!(unknown_job.status, 404);
+    let unknown_trace = http_get(addr, "/v1/sweeps/00000000deadbeef/trace").expect("unknown trace");
+    assert_eq!(unknown_trace.status, 404);
+    let unknown_events =
+        http_get(addr, "/v1/sweeps/00000000deadbeef/events").expect("unknown events");
+    assert_eq!(unknown_events.status, 404);
+    let bad_events_id = http_get(addr, "/v1/sweeps/nothex/events").expect("bad events id");
+    assert_eq!(bad_events_id.status, 400);
+
+    server.shutdown();
+}
+
+/// Extracts and parses the `data:` payloads of an SSE body (heartbeat
+/// comments and blank separators are skipped).
+fn sse_data_lines(body: &str) -> Vec<Json> {
+    body.lines()
+        .filter_map(|l| l.strip_prefix("data: "))
+        .map(|t| Json::parse(t).expect("event JSON"))
+        .collect()
+}
+
+#[test]
+fn sse_streams_cell_events_in_order_and_trace_is_one_linked_tree() {
+    let server = TestServer::boot(4, 1, None);
+    let addr = server.addr.clone();
+    let (id, _) = submit(&addr, &spec_text(71));
+
+    // Read the event stream concurrently with the running sweep; the call
+    // returns when the server closes the chunked stream.
+    let reader = {
+        let addr = addr.clone();
+        let id = id.clone();
+        std::thread::spawn(move || {
+            http_get(&addr, &format!("/v1/sweeps/{id}/events")).expect("GET events")
+        })
+    };
+    let resp = reader.join().expect("reader thread");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    assert_eq!(resp.header("content-type"), Some("text/event-stream"));
+
+    // Two cell events in completion order, then the end marker.
+    let events = sse_data_lines(&resp.text());
+    assert_eq!(events.len(), 3, "2 cells + end, got: {events:?}");
+    for (i, ev) in events[..2].iter().enumerate() {
+        assert_eq!(ev.get("event").and_then(Json::as_str), Some("cell"));
+        assert_eq!(ev.get("seq").and_then(Json::as_u64), Some(i as u64 + 1));
+        assert_eq!(ev.get("total").and_then(Json::as_u64), Some(2));
+        assert_eq!(ev.get("status").and_then(Json::as_str), Some("simulated"));
+    }
+    let end = &events[2];
+    assert_eq!(end.get("event").and_then(Json::as_str), Some("end"));
+    assert_eq!(end.get("state").and_then(Json::as_str), Some("done"));
+
+    // The merged Chrome trace validates and forms exactly one causal
+    // tree: every parent link resolves and a single root remains.
+    let trace = http_get(&addr, &format!("/v1/sweeps/{id}/trace")).expect("GET trace");
+    assert_eq!(trace.status, 200);
+    let doc = Json::parse(&trace.text()).expect("trace JSON");
+    dice_obs::validate_chrome_trace(&doc).expect("valid Chrome trace");
+    let spans: Vec<&Json> = doc
+        .as_arr()
+        .expect("array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    let ids: HashSet<u64> = spans
+        .iter()
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("id"))
+                .and_then(Json::as_u64)
+                .expect("span id")
+        })
+        .collect();
+    let mut roots = Vec::new();
+    for span in &spans {
+        match span
+            .get("args")
+            .and_then(|a| a.get("parent"))
+            .and_then(Json::as_u64)
+        {
+            Some(parent) => assert!(ids.contains(&parent), "dangling parent in {span:?}"),
+            None => roots.push(span.get("name").and_then(Json::as_str).expect("name")),
+        }
+    }
+    assert_eq!(roots.len(), 1, "one root span, got {roots:?}");
+    assert!(roots[0].starts_with("sweep "));
+    assert!(
+        spans.len() >= 1 + 2 + 4,
+        "root + 2 cells + 2 phases each, got {}",
+        spans.len()
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn drain_closes_event_streams_cleanly() {
+    let _guard = serial();
+    // One sweep worker: the second submission waits in the queue, so a
+    // drain (the SIGTERM path — watch_signals calls Handle::drain) can
+    // catch its event stream mid-flight.
+    let server = TestServer::boot(8, 1, None);
+    let addr = server.addr.clone();
+    let (_running, _) = submit(&addr, &spec_text(81));
+    let (queued, _) = submit(&addr, &spec_text(82));
+
+    let reader = std::thread::spawn(move || {
+        http_get(&addr, &format!("/v1/sweeps/{queued}/events")).expect("GET events")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    server.handle.drain();
+
+    // The stream must terminate with an end marker and a clean chunked
+    // close (read_response only returns once the final chunk arrives).
+    let resp = reader.join().expect("reader thread");
+    assert_eq!(resp.status, 200);
+    let events = sse_data_lines(&resp.text());
+    let end = events.last().expect("at least the end event");
+    assert_eq!(end.get("event").and_then(Json::as_str), Some("end"));
+    let state = end
+        .get("state")
+        .and_then(Json::as_str)
+        .expect("end event state");
+    // Usually "cancelled" (drain hit it while queued); "done" if the
+    // worker already claimed it. Either way the close was clean.
+    assert!(
+        state == "cancelled" || state == "done",
+        "unexpected terminal state {state:?}"
+    );
 
     server.shutdown();
 }

@@ -46,7 +46,7 @@ mod timeline;
 
 pub use config::{SimConfig, WorkloadSet};
 pub use core_model::CoreModel;
-pub use report::{geomean, EnergyReport, IntegrityReport, RunReport};
+pub use report::{geomean, EnergyReport, IntegrityReport, PhaseCycles, RunDiag, RunReport};
 pub use system::System;
 pub use timeline::IntervalSample;
 

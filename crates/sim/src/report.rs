@@ -1,9 +1,9 @@
 //! Measurement output of one simulation run.
 
 use dice_cache::CacheStats;
-use dice_core::L4Stats;
+use dice_core::{DecisionDiag, L4Stats};
 use dice_dram::{DramStats, EnergyModel};
-use dice_obs::{snapshot_from_json, snapshot_json, Json, LatencyPanel, TraceBuffer};
+use dice_obs::{impl_snapshot, snapshot_from_json, snapshot_json, Json, LatencyPanel, TraceBuffer};
 
 use crate::timeline::IntervalSample;
 use crate::Cycle;
@@ -83,6 +83,62 @@ impl IntegrityReport {
     }
 }
 
+/// Cycle attribution of the measured window by request phase: how long
+/// completed L4 transactions spent probing tags on misses, delivering hit
+/// data, installing fills and servicing writebacks. Phases overlap across
+/// concurrent requests, so the sum can exceed the window's wall-clock
+/// cycles — the split shows *where* DRAM-cache time goes, not a partition
+/// of the clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    /// Cycles from demand issue to the probe that resolved a miss.
+    pub tag_probe_cycles: u64,
+    /// Cycles from demand issue to hit-data delivery.
+    pub data_transfer_cycles: u64,
+    /// Cycles spent executing fill-install probe sequences.
+    pub fill_cycles: u64,
+    /// Cycles spent executing writeback probe sequences.
+    pub writeback_cycles: u64,
+}
+
+impl_snapshot!(PhaseCycles {
+    tag_probe_cycles: Monotonic,
+    data_transfer_cycles: Monotonic,
+    fill_cycles: Monotonic,
+    writeback_cycles: Monotonic,
+});
+
+/// Decision diagnostics of one run, present only when the run executed
+/// with [`dice_obs::TraceLevel`] above `Off`. Serialization is the gated
+/// part: the underlying counters cost nothing to maintain, but a
+/// `TraceLevel::Off` report omits this whole object so its JSON stays
+/// byte-identical to pre-diagnostics builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDiag {
+    /// Controller decision counters (confusion matrices, hit attribution,
+    /// bandwidth bloat) over the whole run — warmup included, matching
+    /// the scope of `cip_accuracy`.
+    pub decisions: DecisionDiag,
+    /// Per-phase cycle attribution over the measured window only.
+    pub phases: PhaseCycles,
+}
+
+impl RunDiag {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("decisions".into(), snapshot_json(&self.decisions)),
+            ("phases".into(), snapshot_json(&self.phases)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<Self> {
+        Some(Self {
+            decisions: snapshot_from_json(j.get("decisions")?)?,
+            phases: snapshot_from_json(j.get("phases")?)?,
+        })
+    }
+}
+
 /// Everything measured in one run's post-warm-up window.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -126,6 +182,9 @@ pub struct RunReport {
     /// Transaction trace ring (empty unless `ObsConfig::trace_capacity`
     /// was set); export with [`dice_obs::export_chrome`].
     pub trace: TraceBuffer,
+    /// Decision diagnostics; `None` unless the run's
+    /// `ObsConfig::trace_level` was above `Off`.
+    pub diag: Option<RunDiag>,
 }
 
 impl RunReport {
@@ -182,7 +241,7 @@ impl RunReport {
     /// [`from_json`]: RunReport::from_json
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut out = Json::Obj(vec![
             ("workload".into(), Json::str(&self.workload)),
             ("cycles".into(), Json::u64(self.cycles)),
             (
@@ -235,7 +294,13 @@ impl RunReport {
                 Json::Arr(self.timeline.iter().map(IntervalSample::to_json).collect()),
             ),
             ("trace".into(), self.trace.to_json()),
-        ])
+        ]);
+        // The diag key exists only on diagnostics-enabled runs, keeping
+        // TraceLevel::Off output byte-identical to pre-diagnostics builds.
+        if let (Json::Obj(pairs), Some(diag)) = (&mut out, &self.diag) {
+            pairs.push(("diag".into(), diag.to_json()));
+        }
+        out
     }
 
     /// Rebuilds a report from [`to_json`] output. Derived quantities
@@ -281,6 +346,9 @@ impl RunReport {
                 .map(IntervalSample::from_json)
                 .collect::<Option<Vec<_>>>()?,
             trace: TraceBuffer::from_json(j.get("trace")?)?,
+            // Tolerant read: pre-diagnostics documents (and Off-level
+            // runs) simply have no diag key.
+            diag: j.get("diag").and_then(RunDiag::from_json),
         })
     }
 
@@ -337,6 +405,7 @@ mod tests {
             latency: LatencyPanel::new(),
             timeline: Vec::new(),
             trace: TraceBuffer::default(),
+            diag: None,
         }
     }
 
@@ -386,6 +455,37 @@ mod tests {
         assert_eq!(back.l4.read_hits, 17);
         assert_eq!(back.integrity, r.integrity);
         assert!((back.weighted_speedup(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diag_round_trips_and_off_reports_omit_the_key() {
+        let off = report(10, 5);
+        assert!(!off.to_json().render().contains("\"diag\""));
+
+        let mut on = report(10, 5);
+        on.diag = Some(RunDiag {
+            decisions: DecisionDiag {
+                cip_read_bai_bai: 7,
+                cip_fill_tsi_tsi: 3,
+                bytes_moved: 800,
+                bytes_needed: 640,
+                ..DecisionDiag::default()
+            },
+            phases: PhaseCycles {
+                tag_probe_cycles: 11,
+                data_transfer_cycles: 22,
+                fill_cycles: 33,
+                writeback_cycles: 44,
+            },
+        });
+        let text = on.to_json().render();
+        assert!(text.contains("\"diag\""));
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.diag, on.diag);
+        assert_eq!(back.to_json().render(), text);
+        // An old-format document (no diag key) still loads.
+        let old = RunReport::from_json(&Json::parse(&off.to_json().render()).unwrap()).unwrap();
+        assert_eq!(old.diag, None);
     }
 
     #[test]

@@ -6,12 +6,12 @@ use std::collections::BinaryHeap;
 use dice_cache::{HierarchyConfig, SramHierarchy};
 use dice_core::{DramCacheController, FaultKind, FaultPlan, L4Stats, LyingSizes, Probe, SetIndex};
 use dice_dram::{AccessKind, DramDevice, DramStats, Location};
-use dice_obs::{LatencyPanel, RequestClass, TraceBuffer, TraceEvent};
+use dice_obs::{LatencyPanel, RequestClass, SpanId, TraceBuffer, TraceCtx, TraceEvent};
 use dice_workloads::{MixDataModel, RecordSource, TraceGen, TraceRecord};
 
 use crate::config::{SimConfig, WorkloadSet};
 use crate::core_model::CoreModel;
-use crate::report::{IntegrityReport, RunReport};
+use crate::report::{IntegrityReport, PhaseCycles, RunDiag, RunReport};
 use crate::timeline::IntervalSample;
 use crate::Cycle;
 
@@ -86,6 +86,14 @@ pub struct System {
     latency: LatencyPanel,
     trace: TraceBuffer,
     timeline: Vec<IntervalSample>,
+    /// Whether decision diagnostics are reported (ObsConfig::trace_level
+    /// above Off). Counting always happens; this gates attribution that
+    /// would otherwise shift the report's byte-identical Off output.
+    diag_on: bool,
+    /// Per-phase cycle attribution over the measured window.
+    phases: PhaseCycles,
+    /// Span-tracing context and the parent span this run nests under.
+    span_ctx: Option<(TraceCtx, Option<SpanId>)>,
     // Interval-sampling state: the next window boundary (lazily anchored to
     // the first measured event) and the counter snapshots at the last one.
     iv_next: Option<Cycle>,
@@ -178,12 +186,23 @@ impl System {
             latency: LatencyPanel::new(),
             trace: TraceBuffer::new(cfg.obs.trace_capacity),
             timeline: Vec::new(),
+            diag_on: cfg.obs.trace_level.diagnostics_on(),
+            phases: PhaseCycles::default(),
+            span_ctx: None,
             iv_next: None,
             iv_l4: L4Stats::default(),
             iv_l4d: DramStats::default(),
             iv_mem: DramStats::default(),
             cfg,
         }
+    }
+
+    /// Attaches a span-tracing context: the run's warmup and measured
+    /// phases are recorded in `ctx` as children of `parent`, so a sweep
+    /// orchestrator can link every cell's simulation phases into one
+    /// causally-connected tree.
+    pub fn set_trace(&mut self, ctx: TraceCtx, parent: Option<SpanId>) {
+        self.span_ctx = Some((ctx, parent));
     }
 
     fn push(&mut self, time: Cycle, kind: EventKind) {
@@ -298,11 +317,17 @@ impl System {
             } else {
                 RequestClass::ReadHit
             };
+            if self.sampling && self.diag_on {
+                self.phases.data_transfer_cycles += data_time - t;
+            }
             self.observe(class, t, data_time, line);
             data_time
         } else {
             // On a predicted miss, memory was accessed in parallel with the
             // cache probe; otherwise it serializes behind tag resolution.
+            if self.sampling && self.diag_on {
+                self.phases.tag_probe_cycles += data_time - t;
+            }
             let mem_start = if out.predicted_hit { data_time } else { t };
             let done = self
                 .mem
@@ -446,6 +471,9 @@ impl System {
                     self.l4.fill(line, false, probed, &mut self.data)
                 };
                 let end = self.run_probes(ev.time, &out.probes);
+                if self.sampling && self.diag_on {
+                    self.phases.fill_cycles += end - ev.time;
+                }
                 self.mem_writes(end, &out.memory_writebacks);
                 self.observe(RequestClass::MemFill, ev.time, end, line);
             }
@@ -460,6 +488,9 @@ impl System {
                     self.l4.writeback(line, &mut self.data)
                 };
                 let end = self.run_probes(ev.time, &out.probes);
+                if self.sampling && self.diag_on {
+                    self.phases.writeback_cycles += end - ev.time;
+                }
                 self.mem_writes(end, &out.memory_writebacks);
                 self.observe(RequestClass::Writeback, ev.time, end, line);
             }
@@ -500,7 +531,22 @@ impl System {
     /// the injector's whole purpose (the runner's `catch_unwind` isolation
     /// is what's under test).
     pub fn run(mut self) -> RunReport {
-        self.run_phase(self.cfg.warmup_records);
+        let span_ctx = self.span_ctx.clone();
+        {
+            let mut warm = span_ctx
+                .as_ref()
+                .and_then(|(ctx, parent)| ctx.span("sim.warmup", *parent));
+            self.run_phase(self.cfg.warmup_records);
+            if let Some(g) = warm.as_mut() {
+                let end = self
+                    .cores
+                    .iter()
+                    .map(|c| c.model.finish_time())
+                    .max()
+                    .unwrap_or(0);
+                g.set_cycles(0, end);
+            }
+        }
 
         // Mid-cell process faults fire at the measurement boundary —
         // halfway through the cell's work, the worst case for the
@@ -532,7 +578,27 @@ impl System {
         }
         self.sampling = true;
 
-        self.run_phase(self.cfg.measure_records);
+        {
+            let boundary = self
+                .cores
+                .iter()
+                .map(|c| c.model.finish_time())
+                .max()
+                .unwrap_or(0);
+            let mut meas = span_ctx
+                .as_ref()
+                .and_then(|(ctx, parent)| ctx.span("sim.measure", *parent));
+            self.run_phase(self.cfg.measure_records);
+            if let Some(g) = meas.as_mut() {
+                let end = self
+                    .cores
+                    .iter()
+                    .map(|c| c.model.finish_time())
+                    .max()
+                    .unwrap_or(boundary);
+                g.set_cycles(boundary, end);
+            }
+        }
 
         // Close the final (partial) interval window so late-run activity
         // still appears in the time series.
@@ -591,6 +657,14 @@ impl System {
             latency: self.latency,
             timeline: self.timeline,
             trace: self.trace,
+            diag: if self.diag_on {
+                Some(RunDiag {
+                    decisions: *self.l4.diagnostics(),
+                    phases: self.phases,
+                })
+            } else {
+                None
+            },
         }
     }
 }
@@ -795,6 +869,75 @@ mod tests {
                 dice_core::FaultKind::CellPanic,
             ));
         let _ = System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7)).run();
+    }
+
+    #[test]
+    fn decisions_trace_level_reports_diag_consistent_with_counters() {
+        let mut cfg =
+            SimConfig::scaled(Organization::Dice { threshold: 36 }, 256).with_records(4_000, 8_000);
+        cfg.obs.trace_level = dice_obs::TraceLevel::Decisions;
+        let r = System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7)).run();
+        let d = r.diag.expect("Decisions level must report diagnostics");
+        // Whole-run confusion matrix reconciles with the whole-run CIP
+        // counters the report already carries.
+        assert_eq!(d.decisions.read_predictions(), r.cip_predictions);
+        assert_eq!(d.decisions.read_accuracy(), r.cip_accuracy);
+        assert!(d.decisions.consulted_fills() > 0);
+        assert!(d.decisions.bytes_moved > d.decisions.bytes_needed);
+        // The measured window saw hits, misses and fills.
+        assert!(d.phases.data_transfer_cycles > 0);
+        assert!(d.phases.tag_probe_cycles > 0);
+        assert!(d.phases.fill_cycles > 0);
+        assert!(r.to_json().render().contains("\"diag\""));
+    }
+
+    #[test]
+    fn trace_level_does_not_perturb_simulation() {
+        // Diagnostics are pure observation: an Off run and a Decisions run
+        // of the same cell must agree on every simulated quantity, and the
+        // Off report's JSON must not mention diag at all.
+        let run = |level| {
+            let mut cfg = SimConfig::scaled(Organization::Dice { threshold: 36 }, 256)
+                .with_records(4_000, 8_000);
+            cfg.obs.trace_level = level;
+            System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7)).run()
+        };
+        let off = run(dice_obs::TraceLevel::Off);
+        let on = run(dice_obs::TraceLevel::Decisions);
+        assert_eq!(off.cycles, on.cycles);
+        assert_eq!(off.l4, on.l4);
+        assert_eq!(off.mem_dram.reads, on.mem_dram.reads);
+        assert_eq!(off.cip_predictions, on.cip_predictions);
+        assert!(off.diag.is_none());
+        assert!(!off.to_json().render().contains("\"diag\""));
+    }
+
+    #[test]
+    fn sim_phases_span_under_the_given_parent() {
+        let ctx = TraceCtx::enabled();
+        let root = ctx.span("cell", None).expect("enabled ctx yields spans");
+        let root_id = root.id();
+        let cfg =
+            SimConfig::scaled(Organization::UncompressedAlloy, 256).with_records(1_000, 2_000);
+        let mut sys = System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7));
+        sys.set_trace(ctx.clone(), Some(root_id));
+        let _ = sys.run();
+        drop(root);
+        let spans = ctx.spans();
+        for name in ["sim.warmup", "sim.measure"] {
+            let s = spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name} span"));
+            assert_eq!(s.parent, Some(root_id));
+            let (a, b) = s.cycles.expect("sim spans carry cycle bounds");
+            assert!(b >= a);
+        }
+        let measure = spans.iter().find(|s| s.name == "sim.measure").unwrap();
+        assert!(
+            measure.cycles.unwrap().1 > measure.cycles.unwrap().0,
+            "measured phase must advance simulated time"
+        );
     }
 
     #[test]
