@@ -1,0 +1,927 @@
+//! The fabric coordinator: whole sweeps in, scattered cells out.
+//!
+//! The coordinator speaks the same sweep API as `dice-serve` —
+//! `POST /v1/sweeps`, status/report/trace documents, SSE progress — but
+//! instead of running cells locally it places each one on a worker via
+//! the consistent-hash [`HashRing`] (keyed by the order-independent
+//! [`cell_key`]) and gathers the run objects back.
+//!
+//! Failure handling, per gather result:
+//!
+//! * **transport error / protocol violation / unexpected status** — the
+//!   node is marked dead, removed from the ring (version bump), and the
+//!   cell stays pending; the next round re-hashes it onto the survivors,
+//!   exactly where a ring without the dead node would place it.
+//! * **HTTP 503** — the node is probed: a draining worker is removed
+//!   from the ring (its in-flight cells still answer), a merely busy one
+//!   stays and the cell retries after backoff.
+//! * **cell-level failure** (the worker answered with an `error` /
+//!   `timed_out_ms` run object) — the cell retries on the next distinct
+//!   surviving node ([`HashRing::owner_excluding`]); once every live
+//!   node has had a go, the last worker-reported outcome is kept, so a
+//!   deterministic simulation panic renders the same error entry a
+//!   direct run would.
+//!
+//! Rounds are bounded (`retry_rounds`) with doubling backoff. Report
+//! assembly rebuilds a [`SweepResult`] from the gathered outcomes and
+//! renders it through the same [`render_runs`] path a direct
+//! `dice-runner` invocation uses — byte-identical output is the
+//! invariant the end-to-end tests `cmp` for.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dice_obs::{
+    labeled, merge_chrome, render_prometheus, Histogram, Json, MetricRegistry, TraceCtx,
+};
+use dice_runner::{cell_key, Cell, CellOutcome, SweepResult};
+use dice_serve::client::{http_get_timeout, http_post_timeout};
+use dice_serve::http::{Request, Response};
+use dice_serve::net::{Handled, NetConfig, NetServer};
+use dice_serve::sse::stream_sse;
+use dice_serve::{render_runs, sweep_key, JobState, SweepSpec};
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::wire::{cell_spec, parse_run_object};
+
+/// Coordinator construction knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Accept pool (port, handler threads, backlog).
+    pub net: NetConfig,
+    /// Worker addresses (`host:port`), named `w0`, `w1`, … by position.
+    pub workers: Vec<String>,
+    /// Virtual nodes per worker on the placement ring.
+    pub vnodes: usize,
+    /// Maximum concurrently running sweeps before submissions get 429.
+    pub capacity: usize,
+    /// Parallel cell dispatches per sweep.
+    pub scatter_width: usize,
+    /// Re-scatter rounds after the first (bounded retries).
+    pub retry_rounds: usize,
+    /// Backoff before the first re-scatter round; doubles per round
+    /// (capped at one second).
+    pub backoff: Duration,
+    /// Socket timeout for one scattered cell; a worker that blows it is
+    /// declared dead.
+    pub cell_timeout: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            net: NetConfig::default(),
+            workers: Vec::new(),
+            vnodes: DEFAULT_VNODES,
+            capacity: 16,
+            scatter_width: 8,
+            retry_rounds: 3,
+            backoff: Duration::from_millis(50),
+            cell_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// A worker's health as the coordinator sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// On the ring, taking cells.
+    Healthy,
+    /// Off the ring by request; in-flight cells still answer.
+    Draining,
+    /// Off the ring after a transport failure or protocol violation.
+    Dead,
+}
+
+impl NodeState {
+    /// The wire spelling used in the membership document.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeState::Healthy => "healthy",
+            NodeState::Draining => "draining",
+            NodeState::Dead => "dead",
+        }
+    }
+}
+
+struct Node {
+    name: String,
+    addr: String,
+    state: NodeState,
+    dispatched: u64,
+    completed: u64,
+    failed: u64,
+}
+
+struct Membership {
+    nodes: Vec<Node>,
+    ring: HashRing,
+}
+
+impl Membership {
+    /// The ring (healthy members only) plus a name → address map, cloned
+    /// so scatter rounds never hold the membership lock across HTTP.
+    fn snapshot(&self) -> (HashRing, HashMap<String, String>) {
+        let addrs = self
+            .nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Healthy)
+            .map(|n| (n.name.clone(), n.addr.clone()))
+            .collect();
+        (self.ring.clone(), addrs)
+    }
+
+    fn node_mut(&mut self, name: &str) -> Option<&mut Node> {
+        self.nodes.iter_mut().find(|n| n.name == name)
+    }
+
+    /// Marks `name` with `state` and takes it off the ring. Returns
+    /// whether the node was still a healthy ring member.
+    fn retire(&mut self, name: &str, state: NodeState) -> bool {
+        let Some(node) = self.node_mut(name) else {
+            return false;
+        };
+        if node.state != NodeState::Healthy {
+            return false;
+        }
+        node.state = state;
+        self.ring.remove(name)
+    }
+
+    fn doc(&self) -> Json {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(&n.name)),
+                    ("addr".into(), Json::str(&n.addr)),
+                    ("state".into(), Json::str(n.state.as_str())),
+                    ("dispatched".into(), Json::u64(n.dispatched)),
+                    ("completed".into(), Json::u64(n.completed)),
+                    ("failed".into(), Json::u64(n.failed)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("ring_version".into(), Json::u64(self.ring.version())),
+            ("vnodes".into(), Json::u64(self.ring.vnodes() as u64)),
+            ("nodes".into(), Json::Arr(nodes)),
+        ])
+    }
+}
+
+/// One tracked fabric sweep (mirrors the `dice-serve` job shape so
+/// clients cannot tell the difference).
+struct FabricJob {
+    spec: SweepSpec,
+    cells: usize,
+    state: JobState,
+    body: Option<Arc<String>>,
+    error: Option<String>,
+    summary: Option<String>,
+    coalesced: u64,
+    events: Vec<Arc<String>>,
+    trace: Option<Arc<String>>,
+}
+
+struct Shared {
+    cfg: CoordinatorConfig,
+    membership: Mutex<Membership>,
+    jobs: Mutex<HashMap<u64, FabricJob>>,
+    active: AtomicUsize,
+    draining: Arc<AtomicBool>,
+    metrics: Mutex<MetricRegistry>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn count(&self, name: &str) {
+        let mut reg = self.metrics.lock().expect("metrics poisoned");
+        let id = reg.counter(name);
+        reg.inc(id);
+    }
+
+    fn count_node(&self, base: &str, node: &str) {
+        let mut reg = self.metrics.lock().expect("metrics poisoned");
+        let id = reg.counter(&labeled(base, &[("node", node)]));
+        reg.inc(id);
+    }
+
+    /// Declares `name` dead (transport failure / protocol violation).
+    fn fail_node(&self, name: &str) {
+        let mut m = self.membership.lock().expect("membership poisoned");
+        if m.retire(name, NodeState::Dead) {
+            drop(m);
+            self.count("fabric.node_failures");
+        }
+    }
+
+    /// Pushes one rendered progress event onto job `id`.
+    fn push_event(&self, id: u64, event: String) {
+        let mut jobs = self.jobs.lock().expect("jobs poisoned");
+        if let Some(job) = jobs.get_mut(&id) {
+            job.events.push(Arc::new(event));
+        }
+    }
+}
+
+/// A handle for draining a running coordinator from another thread.
+#[derive(Clone)]
+pub struct CoordinatorHandle {
+    drain: Arc<AtomicBool>,
+}
+
+impl CoordinatorHandle {
+    /// Begins a graceful drain: no new sweeps, running scatters finish,
+    /// [`Coordinator::run`] returns once they have.
+    pub fn drain(&self) {
+        self.drain.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The coordinator node.
+pub struct Coordinator {
+    net: NetServer,
+    shared: Arc<Shared>,
+}
+
+impl Coordinator {
+    /// Binds `127.0.0.1:port` and probes the configured workers: the
+    /// reachable ones join the ring, unreachable ones start dead (they
+    /// are still listed in the membership document).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: CoordinatorConfig) -> io::Result<Coordinator> {
+        let net = NetServer::bind(&config.net)?;
+        let draining = net.drain_flag();
+        let mut membership = Membership {
+            nodes: Vec::new(),
+            ring: HashRing::new(config.vnodes),
+        };
+        for (i, addr) in config.workers.iter().enumerate() {
+            let name = format!("w{i}");
+            let state = match http_get_timeout(addr, "/healthz", Duration::from_secs(2)) {
+                Ok(r) if r.status == 200 => NodeState::Healthy,
+                Ok(_) => NodeState::Draining,
+                Err(_) => NodeState::Dead,
+            };
+            if state == NodeState::Healthy {
+                membership.ring.add(&name);
+            }
+            membership.nodes.push(Node {
+                name,
+                addr: addr.clone(),
+                state,
+                dispatched: 0,
+                completed: 0,
+                failed: 0,
+            });
+        }
+        Ok(Coordinator {
+            net,
+            shared: Arc::new(Shared {
+                cfg: config,
+                membership: Mutex::new(membership),
+                jobs: Mutex::new(HashMap::new()),
+                active: AtomicUsize::new(0),
+                draining,
+                metrics: Mutex::new(MetricRegistry::new()),
+                threads: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.net.local_addr()
+    }
+
+    /// A drain handle, safe to move to signal watchers or tests.
+    #[must_use]
+    pub fn handle(&self) -> CoordinatorHandle {
+        CoordinatorHandle {
+            drain: self.net.drain_flag(),
+        }
+    }
+
+    /// Serves until [`CoordinatorHandle::drain`], then waits for running
+    /// sweeps to gather and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn run(&self) -> io::Result<()> {
+        let shared = Arc::clone(&self.shared);
+        let handler =
+            Arc::new(move |request: &Request, stream: &TcpStream| handle(request, stream, &shared));
+        let shared = Arc::clone(&self.shared);
+        let observe = Arc::new(move |status: u16, elapsed: Duration| {
+            let mut reg = shared.metrics.lock().expect("metrics poisoned");
+            let id = reg.counter("fabric.http_requests");
+            reg.inc(id);
+            let id = reg.counter(match status {
+                200..=299 => "fabric.http_2xx",
+                400..=499 => "fabric.http_4xx",
+                _ => "fabric.http_5xx",
+            });
+            reg.inc(id);
+            let hist = reg.histogram("fabric.request_micros");
+            reg.observe(hist, elapsed.as_micros() as u64);
+        });
+        let shared = Arc::clone(&self.shared);
+        let count = Arc::new(move |event: &'static str| {
+            shared.count(match event {
+                "conns_rejected" => "fabric.conns_rejected",
+                _ => "fabric.accept_errors",
+            });
+        });
+        self.net.run(handler, Some(observe), Some(count))?;
+        // Accept loop has stopped; let in-flight scatters gather.
+        while self.shared.active.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let handles = std::mem::take(&mut *self.shared.threads.lock().expect("threads poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle(request: &Request, stream: &TcpStream, shared: &Arc<Shared>) -> Handled {
+    let path = request.path.split('?').next().unwrap_or("").to_owned();
+    if let Some(id_text) = path
+        .strip_prefix("/v1/sweeps/")
+        .and_then(|p| p.strip_suffix("/events"))
+    {
+        if request.method != "GET" {
+            return Handled::Respond(Response::error(405, "method not allowed"));
+        }
+        let Ok(id) = u64::from_str_radix(id_text, 16) else {
+            return Handled::Respond(Response::error(400, "job id must be hex"));
+        };
+        let mut out = stream;
+        return Handled::Streamed(stream_sse(&mut out, |cursor| {
+            let jobs = shared.jobs.lock().expect("jobs poisoned");
+            jobs.get(&id).map(|job| {
+                let events = match job.events.get(cursor..) {
+                    Some(rest) => rest.to_vec(),
+                    None => Vec::new(),
+                };
+                let terminal = matches!(
+                    job.state,
+                    JobState::Done | JobState::Failed | JobState::Cancelled
+                )
+                .then(|| job.state.as_str());
+                (events, terminal)
+            })
+        }));
+    }
+    Handled::Respond(route(request, &path, shared))
+}
+
+fn route(request: &Request, path: &str, shared: &Arc<Shared>) -> Response {
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            if shared.draining.load(Ordering::SeqCst) {
+                Response::error(503, "draining").with_header("Retry-After", "1")
+            } else {
+                Response::text(200, "ok\n")
+            }
+        }
+        ("GET", "/version") => Response::json(
+            200,
+            Json::Obj(vec![
+                ("name".into(), Json::str("dice-fabric")),
+                ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+            ])
+            .render(),
+        ),
+        ("GET", "/metrics") => {
+            let reg = shared.metrics.lock().expect("metrics poisoned");
+            let body = render_prometheus(&reg);
+            drop(reg);
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                extra: Vec::new(),
+                body: body.into_bytes(),
+            }
+        }
+        ("GET", "/v1/fabric/membership") => {
+            let m = shared.membership.lock().expect("membership poisoned");
+            Response::json(200, m.doc().render())
+        }
+        ("POST", p) if p.starts_with("/v1/fabric/nodes/") => drain_node(p, shared),
+        ("POST", "/v1/sweeps") => submit_sweep(request, shared),
+        ("GET", p) if p.starts_with("/v1/sweeps/") => sweep_get(p, shared),
+        (_, "/healthz" | "/version" | "/metrics" | "/v1/fabric/membership" | "/v1/sweeps") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// `POST /v1/fabric/nodes/:name/drain`: take a worker off the ring
+/// without declaring it dead. New cells re-hash onto the survivors;
+/// cells already dispatched to the node still answer. (Stopping the
+/// worker process itself is SIGTERM's job.)
+fn drain_node(path: &str, shared: &Arc<Shared>) -> Response {
+    let Some(name) = path
+        .strip_prefix("/v1/fabric/nodes/")
+        .and_then(|p| p.strip_suffix("/drain"))
+    else {
+        return Response::error(404, "no such endpoint");
+    };
+    let mut m = shared.membership.lock().expect("membership poisoned");
+    if m.node_mut(name).is_none() {
+        return Response::error(404, "no such node");
+    }
+    m.retire(name, NodeState::Draining);
+    let state = m
+        .node_mut(name)
+        .map(|n| n.state.as_str())
+        .unwrap_or("unknown");
+    let doc = Json::Obj(vec![
+        ("node".into(), Json::str(name)),
+        ("state".into(), Json::str(state)),
+        ("ring_version".into(), Json::u64(m.ring.version())),
+    ]);
+    Response::json(200, doc.render())
+}
+
+/// `POST /v1/sweeps`: parse, coalesce, admit, scatter.
+fn submit_sweep(request: &Request, shared: &Arc<Shared>) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "draining");
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "body must be UTF-8 JSON");
+    };
+    let spec = match SweepSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let cells = spec.to_cells();
+    let id = sweep_key(&cells);
+
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    if let Some(job) = jobs.get_mut(&id) {
+        if !matches!(job.state, JobState::Failed | JobState::Cancelled) {
+            job.coalesced += 1;
+            let state = job.state;
+            drop(jobs);
+            shared.count("fabric.sweeps_coalesced");
+            return accepted(id, true, state);
+        }
+    }
+    if shared.active.load(Ordering::SeqCst) >= shared.cfg.capacity {
+        drop(jobs);
+        shared.count("fabric.sweeps_rejected");
+        return Response::error(429, "sweep queue full").with_header("Retry-After", "1");
+    }
+    if shared
+        .membership
+        .lock()
+        .expect("membership poisoned")
+        .ring
+        .is_empty()
+    {
+        drop(jobs);
+        return Response::error(503, "no live workers");
+    }
+    jobs.insert(
+        id,
+        FabricJob {
+            cells: cells.len(),
+            spec: spec.clone(),
+            state: JobState::Queued,
+            body: None,
+            error: None,
+            summary: None,
+            coalesced: 0,
+            events: Vec::new(),
+            trace: None,
+        },
+    );
+    shared.active.fetch_add(1, Ordering::SeqCst);
+    drop(jobs);
+    shared.count("fabric.sweeps_submitted");
+
+    let worker_shared = Arc::clone(shared);
+    let thread = std::thread::spawn(move || {
+        run_fabric_sweep(&worker_shared, id, &spec, cells);
+        worker_shared.active.fetch_sub(1, Ordering::SeqCst);
+    });
+    let mut threads = shared.threads.lock().expect("threads poisoned");
+    threads.retain(|t| !t.is_finished());
+    threads.push(thread);
+    drop(threads);
+    accepted(id, false, JobState::Queued)
+}
+
+fn accepted(id: u64, coalesced: bool, state: JobState) -> Response {
+    Response::json(
+        202,
+        Json::Obj(vec![
+            ("id".into(), Json::str(format!("{id:016x}"))),
+            ("state".into(), Json::str(state.as_str())),
+            ("coalesced".into(), Json::Bool(coalesced)),
+        ])
+        .render(),
+    )
+}
+
+/// `GET /v1/sweeps/:id[/report|/trace]` — same shapes as `dice-serve`.
+fn sweep_get(path: &str, shared: &Arc<Shared>) -> Response {
+    let rest = path.trim_start_matches("/v1/sweeps/");
+    let (id_text, want) = if let Some(id) = rest.strip_suffix("/report") {
+        (id, Some("report"))
+    } else if let Some(id) = rest.strip_suffix("/trace") {
+        (id, Some("trace"))
+    } else {
+        (rest, None)
+    };
+    let Ok(id) = u64::from_str_radix(id_text, 16) else {
+        return Response::error(400, "job id must be hex");
+    };
+    let jobs = shared.jobs.lock().expect("jobs poisoned");
+    let Some(job) = jobs.get(&id) else {
+        return Response::error(404, "no such job");
+    };
+    match want {
+        Some(doc) => {
+            let body = if doc == "report" {
+                &job.body
+            } else {
+                &job.trace
+            };
+            match (body, job.state) {
+                (Some(body), JobState::Done) => Response::json(200, body.as_str()),
+                (_, JobState::Failed) => Response::error(500, "sweep failed"),
+                (_, JobState::Cancelled) => Response::error(409, "sweep cancelled"),
+                (_, _) => Response::error(409, "sweep not finished"),
+            }
+        }
+        None => {
+            let mut pairs = vec![
+                ("id".to_owned(), Json::str(format!("{id:016x}"))),
+                ("state".to_owned(), Json::str(job.state.as_str())),
+                ("cells".to_owned(), Json::u64(job.cells as u64)),
+                ("coalesced".to_owned(), Json::u64(job.coalesced)),
+                ("spec".to_owned(), job.spec.to_json()),
+            ];
+            if let Some(summary) = &job.summary {
+                pairs.push(("summary".to_owned(), Json::str(summary)));
+            }
+            if let Some(error) = &job.error {
+                pairs.push(("error".to_owned(), Json::str(error)));
+            }
+            Response::json(200, Json::Obj(pairs).render())
+        }
+    }
+}
+
+/// One scatter unit: a unique cell, where it has been tried, and how it
+/// ended.
+struct Item {
+    cell: Cell,
+    /// Ring placement key ([`cell_key`] over config + workload).
+    key: u64,
+    /// Nodes that answered with a cell-level failure for this cell.
+    tried: Vec<String>,
+    /// Last worker-reported failure, kept if every retry avenue runs out.
+    fallback: Option<CellOutcome>,
+    fallback_node: Option<String>,
+    outcome: Option<CellOutcome>,
+}
+
+/// What one dispatched cell request came back as.
+enum Fetch {
+    /// Connect/read/write failure — the node is gone.
+    Transport,
+    /// Non-200 status; 503 means draining-or-busy, anything else is a
+    /// protocol violation.
+    Status(u16),
+    /// 200 with a parseable JSON body.
+    Body(Json),
+    /// 200 with garbage — protocol violation.
+    BadBody,
+}
+
+/// Runs one sweep: scatter rounds until every unique cell has an
+/// outcome, then reassemble and render through [`render_runs`].
+fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<Cell>) {
+    {
+        let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+        if let Some(job) = jobs.get_mut(&id) {
+            job.state = JobState::Running;
+        }
+    }
+    let started = Instant::now();
+    let ctx = TraceCtx::enabled();
+    let sweep_name = format!("fabric sweep {id:016x}");
+    let root = ctx.span(&sweep_name, None).expect("enabled context");
+
+    // Dedupe duplicate memo keys up front, exactly like the runner does
+    // (first declaration wins; the count feeds the summary line).
+    let declared = cells.len();
+    let mut seen = std::collections::HashSet::new();
+    let mut items: Vec<Item> = Vec::with_capacity(cells.len());
+    for cell in cells {
+        if !seen.insert(cell.memo_key()) {
+            continue;
+        }
+        let key = cell_key(&cell.cfg, &cell.workload);
+        items.push(Item {
+            cell,
+            key,
+            tried: Vec::new(),
+            fallback: None,
+            fallback_node: None,
+            outcome: None,
+        });
+    }
+    let deduped = declared - items.len();
+    let total = items.len();
+    let mut seq = 0usize;
+
+    let mut round = 0usize;
+    loop {
+        let pending: Vec<usize> = (0..items.len())
+            .filter(|&i| items[i].outcome.is_none())
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        if round > shared.cfg.retry_rounds {
+            for idx in pending {
+                let outcome = items[idx].fallback.take().unwrap_or(CellOutcome::Failed {
+                    error: "fabric: no live worker completed this cell".to_owned(),
+                });
+                let node = items[idx].fallback_node.take().unwrap_or_default();
+                finalize(shared, id, total, &mut seq, &mut items[idx], outcome, &node);
+            }
+            break;
+        }
+        if round > 0 {
+            shared.count("fabric.rescatter_rounds");
+            let backoff = shared.cfg.backoff * (1 << (round - 1).min(4)) as u32;
+            std::thread::sleep(backoff.min(Duration::from_secs(1)));
+        }
+
+        let (ring, addrs) = shared
+            .membership
+            .lock()
+            .expect("membership poisoned")
+            .snapshot();
+        let mut assignments: Vec<(usize, String, String)> = Vec::new();
+        for idx in pending {
+            let tried: Vec<&str> = items[idx].tried.iter().map(String::as_str).collect();
+            let placed = ring
+                .owner_excluding(items[idx].key, &tried)
+                .and_then(|node| addrs.get(node).map(|addr| (node.to_owned(), addr.clone())));
+            match placed {
+                Some((node, addr)) => assignments.push((idx, node, addr)),
+                None => {
+                    // Every surviving node already failed this cell (or
+                    // the ring is empty): keep the worker-reported
+                    // outcome — it is what a direct run would render.
+                    let outcome = items[idx].fallback.take().unwrap_or(CellOutcome::Failed {
+                        error: "fabric: no live worker completed this cell".to_owned(),
+                    });
+                    let node = items[idx].fallback_node.take().unwrap_or_default();
+                    finalize(shared, id, total, &mut seq, &mut items[idx], outcome, &node);
+                }
+            }
+        }
+        if assignments.is_empty() {
+            round += 1;
+            continue;
+        }
+
+        let round_span = ctx.span(&format!("scatter round {round}"), Some(root.id()));
+        let parent = round_span.as_ref().map(dice_obs::SpanGuard::id);
+        let next = AtomicUsize::new(0);
+        let width = shared.cfg.scatter_width.clamp(1, assignments.len());
+        let (tx, rx) = mpsc::channel::<(usize, Fetch)>();
+        let mut results: Vec<(usize, Fetch)> = Vec::with_capacity(assignments.len());
+        std::thread::scope(|s| {
+            for _ in 0..width {
+                let tx = tx.clone();
+                let next = &next;
+                let assignments = &assignments;
+                let items = &items;
+                let ctx = ctx.clone();
+                s.spawn(move || loop {
+                    let slot = next.fetch_add(1, Ordering::SeqCst);
+                    let Some((idx, node, addr)) = assignments.get(slot) else {
+                        break;
+                    };
+                    let cell = &items[*idx].cell;
+                    let _span = ctx.span(
+                        &format!("cell:{}/{}@{}", cell.tag, cell.workload.name, node),
+                        parent,
+                    );
+                    let body = cell_spec(spec, &cell.tag, &cell.workload.name);
+                    let fetch = match http_post_timeout(
+                        addr,
+                        "/v1/cells",
+                        &body,
+                        shared.cfg.cell_timeout,
+                    ) {
+                        Err(_) => Fetch::Transport,
+                        Ok(resp) if resp.status != 200 => Fetch::Status(resp.status),
+                        Ok(resp) => match std::str::from_utf8(&resp.body)
+                            .ok()
+                            .and_then(|t| Json::parse(t).ok())
+                        {
+                            Some(doc) => Fetch::Body(doc),
+                            None => Fetch::BadBody,
+                        },
+                    };
+                    if tx.send((slot, fetch)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for msg in rx {
+                results.push(msg);
+            }
+        });
+        drop(round_span);
+
+        for (slot, fetch) in results {
+            let (idx, node, addr) = &assignments[slot];
+            shared.count_node("fabric.cells_dispatched", node);
+            {
+                let mut m = shared.membership.lock().expect("membership poisoned");
+                if let Some(n) = m.node_mut(node) {
+                    n.dispatched += 1;
+                }
+            }
+            apply_fetch(
+                shared,
+                id,
+                total,
+                &mut seq,
+                &mut items[*idx],
+                node,
+                addr,
+                fetch,
+            );
+        }
+        round += 1;
+    }
+
+    // Reassemble exactly the structure a direct runner invocation
+    // produces and render through the same code path.
+    let mut outcomes = BTreeMap::new();
+    let mut retried = 0usize;
+    for item in &mut items {
+        retried += item.tried.len();
+        let outcome = item.outcome.take().unwrap_or(CellOutcome::Failed {
+            error: "fabric: cell never gathered".to_owned(),
+        });
+        outcomes.insert(item.cell.memo_key(), outcome);
+    }
+    let result = SweepResult {
+        outcomes,
+        deduped,
+        jobs: shared.cfg.scatter_width,
+        wall: started.elapsed(),
+        cell_wall_ms: Histogram::new(),
+        retried,
+        cache_discarded: 0,
+        cancelled: 0,
+    };
+    let body = render_runs(&result).render();
+    let summary = result.summary();
+    drop(root);
+    let trace = merge_chrome(vec![ctx.export_chrome(&sweep_name, 0)]).render();
+
+    {
+        let mut reg = shared.metrics.lock().expect("metrics poisoned");
+        let mid = reg.counter("fabric.sweeps_completed");
+        reg.inc(mid);
+        let hist = reg.histogram("fabric.sweep_wall_ms");
+        reg.observe(hist, started.elapsed().as_millis() as u64);
+    }
+    let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+    if let Some(job) = jobs.get_mut(&id) {
+        job.state = JobState::Done;
+        job.body = Some(Arc::new(body));
+        job.summary = Some(summary);
+        job.trace = Some(Arc::new(trace));
+    }
+}
+
+/// Applies one gather result to its item and the membership table.
+#[allow(clippy::too_many_arguments)]
+fn apply_fetch(
+    shared: &Arc<Shared>,
+    id: u64,
+    total: usize,
+    seq: &mut usize,
+    item: &mut Item,
+    node: &str,
+    addr: &str,
+    fetch: Fetch,
+) {
+    match fetch {
+        Fetch::Transport | Fetch::BadBody => shared.fail_node(node),
+        Fetch::Status(503) => {
+            // Draining worker or merely a full accept backlog — probe to
+            // tell them apart. A draining node leaves the ring (its
+            // in-flight cells still answer); a busy one stays and the
+            // cell simply retries next round.
+            let draining = !matches!(
+                http_get_timeout(addr, "/healthz", Duration::from_secs(2)),
+                Ok(ref r) if r.status == 200
+            );
+            if draining {
+                let mut m = shared.membership.lock().expect("membership poisoned");
+                m.retire(node, NodeState::Draining);
+            }
+        }
+        Fetch::Status(_) => shared.fail_node(node),
+        Fetch::Body(doc) => {
+            let expected = item.cell.memo_key();
+            match parse_run_object(&doc) {
+                Ok((tag, wl, outcome)) if tag == expected.0 && wl == expected.1 => match outcome {
+                    CellOutcome::Completed { .. } => {
+                        {
+                            let mut m = shared.membership.lock().expect("membership poisoned");
+                            if let Some(n) = m.node_mut(node) {
+                                n.completed += 1;
+                            }
+                        }
+                        shared.count_node("fabric.cells_completed", node);
+                        finalize(shared, id, total, seq, item, outcome, node);
+                    }
+                    CellOutcome::Failed { .. } | CellOutcome::TimedOut { .. } => {
+                        // Cell-level failure: remember it, try the next
+                        // distinct surviving node next round.
+                        {
+                            let mut m = shared.membership.lock().expect("membership poisoned");
+                            if let Some(n) = m.node_mut(node) {
+                                n.failed += 1;
+                            }
+                        }
+                        shared.count_node("fabric.cells_failed", node);
+                        item.tried.push(node.to_owned());
+                        item.fallback = Some(outcome);
+                        item.fallback_node = Some(node.to_owned());
+                    }
+                },
+                // Answered for the wrong cell, or unparseable: protocol
+                // violation.
+                _ => shared.fail_node(node),
+            }
+        }
+    }
+}
+
+/// Records a final outcome for an item and emits its progress event.
+fn finalize(
+    shared: &Arc<Shared>,
+    id: u64,
+    total: usize,
+    seq: &mut usize,
+    item: &mut Item,
+    outcome: CellOutcome,
+    node: &str,
+) {
+    *seq += 1;
+    let status = match &outcome {
+        CellOutcome::Completed { .. } => "completed",
+        CellOutcome::Failed { .. } => "failed",
+        CellOutcome::TimedOut { .. } => "timed_out",
+    };
+    let event = Json::Obj(vec![
+        ("event".into(), Json::str("cell")),
+        ("seq".into(), Json::u64(*seq as u64)),
+        ("total".into(), Json::u64(total as u64)),
+        ("tag".into(), Json::str(&item.cell.tag)),
+        ("workload".into(), Json::str(&item.cell.workload.name)),
+        ("status".into(), Json::str(status)),
+        ("node".into(), Json::str(node)),
+    ])
+    .render();
+    shared.push_event(id, event);
+    item.outcome = Some(outcome);
+}

@@ -1,0 +1,31 @@
+//! `dice-fabric`: the DICE sweep harness as a sharded fabric.
+//!
+//! One **coordinator** speaks the same sweep API as `dice-serve`
+//! (`POST /v1/sweeps`, status/report/trace, SSE progress) but executes
+//! nothing locally: it expands the spec to cells, places each cell on a
+//! **worker** via a consistent-hash ring with virtual nodes
+//! ([`ring::HashRing`], keyed by the order-independent
+//! [`dice_runner::cell_key`]), and gathers the per-cell run objects back
+//! into a report **byte-identical** to what a direct single-node
+//! `dice-runner` invocation renders — that identity is the fabric's
+//! correctness contract, `cmp`-checked in CI.
+//!
+//! Workers are thin: one `POST /v1/cells` runs one cell through the
+//! runner engine and its local persistent cache. Worker death and
+//! cell-level failures re-hash pending cells onto surviving nodes with
+//! bounded retry rounds and backoff; graceful drain takes a node off the
+//! ring while its in-flight cells still answer. The membership endpoint
+//! exposes the ring version so operators can watch the ring churn.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod ring;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, NodeState};
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use wire::{cell_spec, parse_run_object, render_run_object};
+pub use worker::{Worker, WorkerConfig, WorkerHandle};

@@ -1,0 +1,169 @@
+//! The cell wire protocol between the coordinator and workers.
+//!
+//! One scattered cell is one `POST /v1/cells` whose body is a
+//! **single-cell** [`SweepSpec`] (`orgs` and `workloads` each hold
+//! exactly one entry) — reusing the validated spec grammar means a worker
+//! rejects malformed cells with the same errors `dice-serve` would. The
+//! response body is the cell's *run object*, exactly the element
+//! [`render_runs`] would place in the canonical document:
+//!
+//! ```json
+//! {"tag": "dice36", "workload": "gcc", "report": { … }}
+//! {"tag": "base",   "workload": "mcf", "error": "…"}
+//! {"tag": "base",   "workload": "mcf", "timed_out_ms": 60000}
+//! ```
+//!
+//! [`RunReport::to_json`]/[`RunReport::from_json`] are lossless, so the
+//! coordinator can rebuild the [`CellOutcome`] and re-render the
+//! assembled sweep through the same [`render_runs`] code path a direct
+//! single-node run uses — which is what makes fabric reports
+//! byte-identical to direct ones.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dice_obs::Json;
+use dice_runner::CellOutcome;
+use dice_serve::SweepSpec;
+use dice_sim::RunReport;
+
+/// Renders the single-cell spec shipped to a worker for `(tag, workload)`
+/// of `spec`.
+#[must_use]
+pub fn cell_spec(spec: &SweepSpec, tag: &str, workload: &str) -> String {
+    Json::Obj(vec![
+        ("orgs".into(), Json::Arr(vec![Json::str(tag)])),
+        ("workloads".into(), Json::Arr(vec![Json::str(workload)])),
+        ("scale".into(), Json::u64(spec.scale)),
+        ("warmup".into(), Json::u64(spec.warmup)),
+        ("measure".into(), Json::u64(spec.measure)),
+        ("seed".into(), Json::u64(spec.seed)),
+    ])
+    .render()
+}
+
+/// Renders one run object — the worker's response body for a finished
+/// cell, identical to the element `render_runs` emits for it.
+#[must_use]
+pub fn render_run_object(tag: &str, workload: &str, outcome: &CellOutcome) -> Json {
+    let mut pairs = vec![
+        ("tag".to_owned(), Json::str(tag)),
+        ("workload".to_owned(), Json::str(workload)),
+    ];
+    match outcome {
+        CellOutcome::Completed { report, .. } => {
+            pairs.push(("report".to_owned(), report.to_json()));
+        }
+        CellOutcome::Failed { error } => {
+            pairs.push(("error".to_owned(), Json::str(error)));
+        }
+        CellOutcome::TimedOut { budget } => {
+            pairs.push((
+                "timed_out_ms".to_owned(),
+                Json::u64(budget.as_millis() as u64),
+            ));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+/// Parses a worker's run object back into `(tag, workload, outcome)`.
+///
+/// # Errors
+///
+/// A human-readable description of what is malformed. `wall` on the
+/// rebuilt outcome is zero and `from_cache` false — the canonical
+/// document excludes scheduling incidentals, so neither affects the
+/// rendered report.
+pub fn parse_run_object(doc: &Json) -> Result<(String, String, CellOutcome), String> {
+    let tag = doc
+        .get("tag")
+        .and_then(Json::as_str)
+        .ok_or("run object missing \"tag\"")?
+        .to_owned();
+    let workload = doc
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or("run object missing \"workload\"")?
+        .to_owned();
+    let outcome = if let Some(report) = doc.get("report") {
+        let report =
+            RunReport::from_json(report).ok_or("run object carries an unparseable report")?;
+        CellOutcome::Completed {
+            report: Arc::new(report),
+            from_cache: false,
+            wall: Duration::ZERO,
+        }
+    } else if let Some(error) = doc.get("error").and_then(Json::as_str) {
+        CellOutcome::Failed {
+            error: error.to_owned(),
+        }
+    } else if let Some(ms) = doc.get("timed_out_ms").and_then(Json::as_u64) {
+        CellOutcome::TimedOut {
+            budget: Duration::from_millis(ms),
+        }
+    } else {
+        return Err("run object has no report, error or timed_out_ms".to_owned());
+    };
+    Ok((tag, workload, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_spec_is_a_valid_single_cell_sweep() {
+        let spec = SweepSpec::parse(
+            r#"{"orgs":["base","dice36"],"workloads":["gcc","mcf"],"scale":2048,"warmup":100,"measure":300,"seed":3}"#,
+        )
+        .expect("valid");
+        let one = cell_spec(&spec, "dice36", "mcf");
+        let parsed = SweepSpec::parse(&one).expect("worker-side parse");
+        assert_eq!(parsed.orgs, vec!["dice36"]);
+        assert_eq!(parsed.workloads, vec!["mcf"]);
+        assert_eq!(parsed.to_cells().len(), 1);
+        assert_eq!(parsed.scale, 2048);
+        assert_eq!(parsed.seed, 3);
+    }
+
+    #[test]
+    fn failure_outcomes_round_trip() {
+        for (outcome, probe) in [
+            (
+                CellOutcome::Failed {
+                    error: "boom".into(),
+                },
+                "error",
+            ),
+            (
+                CellOutcome::TimedOut {
+                    budget: Duration::from_millis(1234),
+                },
+                "timed_out_ms",
+            ),
+        ] {
+            let doc = render_run_object("base", "gcc", &outcome);
+            assert!(doc.get(probe).is_some());
+            let (tag, wl, back) = parse_run_object(&doc).expect("round trip");
+            assert_eq!((tag.as_str(), wl.as_str()), ("base", "gcc"));
+            assert_eq!(
+                render_run_object("base", "gcc", &back).render(),
+                doc.render()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_run_objects_are_rejected() {
+        for bad in [
+            r#"{"workload":"gcc","error":"x"}"#,
+            r#"{"tag":"base","error":"x"}"#,
+            r#"{"tag":"base","workload":"gcc"}"#,
+            r#"{"tag":"base","workload":"gcc","report":{"nope":1}}"#,
+        ] {
+            let doc = Json::parse(bad).expect("test JSON");
+            assert!(parse_run_object(&doc).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the consistent-hash ring: the minimal-disruption
+//! contract the fabric's re-scatter correctness rests on.
+//!
+//! Over random node sets, removing one of N nodes must
+//!
+//! 1. **never** remap a key whose owner survived, and
+//! 2. remap at most ~1.5/N of all keys (the removed node's share, with
+//!    slack for virtual-node imbalance).
+
+use dice_fabric::{HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+const KEYS: u64 = 10_000;
+
+/// Random membership: 2..=9 nodes with randomized (but unique) names,
+/// plus the index of the node to remove.
+fn arb_membership() -> impl Strategy<Value = (Vec<String>, usize)> {
+    (2usize..10, any::<u16>()).prop_map(|(n, salt)| {
+        let nodes: Vec<String> = (0..n).map(|i| format!("node-{salt}-{i}")).collect();
+        let victim = usize::from(salt) % n;
+        (nodes, victim)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn removal_is_minimal_disruption(membership in arb_membership()) {
+        let (nodes, victim) = membership;
+        let n = nodes.len();
+        let mut ring = HashRing::new(DEFAULT_VNODES);
+        for node in &nodes {
+            prop_assert!(ring.add(node));
+        }
+        let before: Vec<String> = (0..KEYS)
+            .map(|k| ring.owner(k).expect("non-empty ring").to_owned())
+            .collect();
+
+        let removed = nodes[victim].clone();
+        prop_assert!(ring.remove(&removed));
+
+        let mut remapped = 0u64;
+        for (k, old_owner) in (0..KEYS).zip(&before) {
+            let new_owner = ring.owner(k).expect("survivors remain");
+            if *old_owner == removed {
+                // The orphaned keys must land somewhere that survived.
+                prop_assert_ne!(new_owner, removed.as_str());
+                remapped += 1;
+            } else {
+                // A key whose owner survived never moves.
+                prop_assert_eq!(new_owner, old_owner.as_str(), "key {} moved", k);
+            }
+        }
+
+        // The removed node owned ~1/N of the keyspace; 1.5/N gives slack
+        // for vnode imbalance while still catching any rehash-the-world
+        // regression (which would remap ~(N-1)/N).
+        let bound = (KEYS * 3) / (2 * n as u64);
+        prop_assert!(
+            remapped <= bound,
+            "removing 1 of {} nodes remapped {} of {} keys (bound {})",
+            n, remapped, KEYS, bound
+        );
+    }
+
+    #[test]
+    fn exclusion_equals_removal(membership in arb_membership()) {
+        let (nodes, victim) = membership;
+        // The coordinator retries failed cells via owner_excluding rather
+        // than rebuilding the ring; both must agree everywhere.
+        let mut ring = HashRing::new(DEFAULT_VNODES);
+        for node in &nodes {
+            ring.add(node);
+        }
+        let mut without = ring.clone();
+        let removed = nodes[victim].clone();
+        without.remove(&removed);
+        for k in 0..KEYS {
+            prop_assert_eq!(
+                ring.owner_excluding(k, &[removed.as_str()]),
+                without.owner(k)
+            );
+        }
+    }
+}

@@ -49,7 +49,7 @@ pub use error::{record_error, register_error_counters, DiceError, DiceResult, Er
 pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use panel::{LatencyPanel, RequestClass};
-pub use prom::{prom_escape_label, prom_name, render_prometheus};
+pub use prom::{labeled, prom_escape_label, prom_name, render_prometheus};
 pub use registry::{CounterId, GaugeId, HistId, MetricRegistry};
 pub use snapshot::{
     delta, register_counters, snapshot_from_json, snapshot_json, FieldKind, Snapshot,

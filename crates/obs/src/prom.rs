@@ -19,6 +19,12 @@
 //! name would start with a digit). Two registry names that sanitize to
 //! the same Prometheus name would produce a duplicate family; the
 //! workspace's dotted-lowercase naming convention never does.
+//!
+//! Counters and gauges may carry labels: a registry name built with
+//! [`labeled`] (`fabric.cells{node="w0"}`) renders as one sample of the
+//! base family, and all samples sharing a base emit under a single
+//! `# TYPE` declaration. Only the base is sanitized — the label block is
+//! emitted verbatim, with values escaped at construction time.
 
 use std::fmt::Write;
 
@@ -37,6 +43,38 @@ pub fn prom_name(name: &str) -> String {
         out.push(if ok { c } else { '_' });
     }
     out
+}
+
+/// Builds a labeled registry metric name: `base{k="v",…}` with every
+/// value escaped via [`prom_escape_label`]. Metrics registered under such
+/// names render as individual samples of the shared `base` family (one
+/// `# TYPE` line for all of them). Label *names* must already be legal
+/// Prometheus label identifiers (`[a-zA-Z_][a-zA-Z0-9_]*`).
+#[must_use]
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(base.len() + labels.len() * 16);
+    out.push_str(base);
+    out.push('{');
+    for (i, (name, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&prom_escape_label(value));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a registry name into its sanitized family and the verbatim
+/// label block (`{…}`), if any.
+fn family_split(name: &str) -> (String, Option<String>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (prom_name(base), Some(format!("{{{rest}"))),
+        None => (prom_name(name), None),
+    }
 }
 
 /// Escapes a label *value* per the 0.0.4 text format: backslash, double
@@ -98,20 +136,49 @@ fn write_histogram(out: &mut String, name: &str, h: &Histogram) {
 #[must_use]
 pub fn render_prometheus(reg: &MetricRegistry) -> String {
     let mut out = String::new();
-    for (name, v) in reg.counters() {
-        let n = prom_name(name);
-        let _ = writeln!(out, "# TYPE {n} counter");
-        let _ = writeln!(out, "{n} {v}");
-    }
-    for (name, v) in reg.gauges() {
-        let n = prom_name(name);
-        let _ = writeln!(out, "# TYPE {n} gauge");
-        let _ = writeln!(out, "{n} {}", prom_f64(v));
-    }
+    write_families(
+        &mut out,
+        "counter",
+        reg.counters().map(|(n, v)| (n, v.to_string())),
+    );
+    write_families(
+        &mut out,
+        "gauge",
+        reg.gauges().map(|(n, v)| (n, prom_f64(v))),
+    );
     for (name, h) in reg.histograms() {
         write_histogram(&mut out, &prom_name(name), h);
     }
     out
+}
+
+/// Groups `(name, rendered value)` samples by family (first-seen order,
+/// registration order within a family) and emits one `# TYPE` per family.
+/// Unlabeled names are singleton families, so output for label-free
+/// registries is unchanged.
+fn write_families<'a>(
+    out: &mut String,
+    kind: &str,
+    samples: impl Iterator<Item = (&'a str, String)>,
+) {
+    let mut families: Vec<(String, Vec<String>)> = Vec::new();
+    for (name, value) in samples {
+        let (family, labels) = family_split(name);
+        let line = match labels {
+            Some(block) => format!("{family}{block} {value}"),
+            None => format!("{family} {value}"),
+        };
+        match families.iter_mut().find(|(f, _)| *f == family) {
+            Some((_, lines)) => lines.push(line),
+            None => families.push((family, vec![line])),
+        }
+    }
+    for (family, lines) in families {
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        for line in lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,5 +261,40 @@ empty_lat_count 0
     #[test]
     fn empty_registry_renders_empty_string() {
         assert_eq!(render_prometheus(&MetricRegistry::new()), "");
+    }
+
+    #[test]
+    fn labeled_builds_escaped_names() {
+        assert_eq!(
+            labeled("fabric.cells", &[("node", "w0")]),
+            "fabric.cells{node=\"w0\"}"
+        );
+        assert_eq!(
+            labeled("x", &[("a", "1"), ("b", "say \"hi\"")]),
+            "x{a=\"1\",b=\"say \\\"hi\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn labeled_samples_group_under_one_family() {
+        let mut reg = MetricRegistry::new();
+        let a = reg.counter(&labeled("fabric.cells", &[("node", "w0")]));
+        reg.add(a, 2);
+        let other = reg.counter("fabric.sweeps");
+        reg.inc(other);
+        let b = reg.counter(&labeled("fabric.cells", &[("node", "w1")]));
+        reg.add(b, 5);
+        let g = reg.gauge(&labeled("fabric.live", &[("node", "w0")]));
+        reg.set_gauge(g, 1.0);
+        let expected = "\
+# TYPE fabric_cells counter
+fabric_cells{node=\"w0\"} 2
+fabric_cells{node=\"w1\"} 5
+# TYPE fabric_sweeps counter
+fabric_sweeps 1
+# TYPE fabric_live gauge
+fabric_live{node=\"w0\"} 1
+";
+        assert_eq!(render_prometheus(&reg), expected);
     }
 }

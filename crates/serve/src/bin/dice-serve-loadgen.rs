@@ -22,6 +22,13 @@
 //! # submit a tiny sweep and validate /v1/sweeps/:id/trace as a Chrome
 //! # trace; version-gated, so a server predating the endpoint passes:
 //! dice-serve-loadgen --url 127.0.0.1:PORT --check-trace
+//!
+//! # boot a dice-fabric worker fleet + coordinator per stage and measure
+//! # closed-loop throughput at each fleet size, appending a
+//! # fabric_scaling entry to BENCH_results.json:
+//! dice-serve-loadgen --fabric path/to/dice-fabric [--fabric-workers 1,2,4]
+//!                    [--requests N] [--concurrency C] [--out FILE]
+//!                    [--no-append] [--quiet]
 //! ```
 //!
 //! The default load is `--requests` submissions of a tiny sweep whose
@@ -52,6 +59,8 @@ struct Args {
     direct: Option<String>,
     check_metrics: bool,
     check_trace: bool,
+    fabric: Option<String>,
+    fabric_workers: Vec<usize>,
 }
 
 fn usage() -> ! {
@@ -61,7 +70,9 @@ fn usage() -> ! {
          \x20      dice-serve-loadgen --url HOST:PORT --spec '<json>'\n\
          \x20      dice-serve-loadgen --direct '<json>'\n\
          \x20      dice-serve-loadgen --url HOST:PORT --check-metrics\n\
-         \x20      dice-serve-loadgen --url HOST:PORT --check-trace"
+         \x20      dice-serve-loadgen --url HOST:PORT --check-trace\n\
+         \x20      dice-serve-loadgen --fabric BIN [--fabric-workers 1,2,4] \
+         [--requests N] [--concurrency C]"
     );
     std::process::exit(2);
 }
@@ -79,6 +90,8 @@ fn parse_args() -> Args {
         direct: None,
         check_metrics: false,
         check_trace: false,
+        fabric: None,
+        fabric_workers: vec![1, 2, 4],
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -102,6 +115,16 @@ fn parse_args() -> Args {
             "--direct" => parsed.direct = Some(value("a JSON spec")),
             "--check-metrics" => parsed.check_metrics = true,
             "--check-trace" => parsed.check_trace = true,
+            "--fabric" => parsed.fabric = Some(value("a dice-fabric binary path")),
+            "--fabric-workers" => {
+                parsed.fabric_workers = value("a comma list of fleet sizes")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if parsed.fabric_workers.is_empty() {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -371,11 +394,229 @@ fn run_load(args: &Args, addr: &str) -> i32 {
     0
 }
 
+/// A spawned fabric node process, killed (and reaped) on drop so a
+/// failed stage never leaks workers.
+struct FabricNode {
+    child: std::process::Child,
+}
+
+impl Drop for FabricNode {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns a `dice-fabric` role and scrapes the announced address from
+/// its `… listening on 127.0.0.1:PORT` stdout line.
+fn spawn_fabric_node(bin: &str, node_args: &[String]) -> Result<(FabricNode, String), String> {
+    use std::io::BufRead;
+    let mut child = Command::new(bin)
+        .args(node_args)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawning {bin}: {e}"))?;
+    let stdout = child.stdout.take().expect("stdout piped");
+    let node = FabricNode { child };
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading {bin} stdout: {e}"))?;
+        if n == 0 {
+            return Err(format!("{bin} exited before announcing its address"));
+        }
+        if let Some(at) = line.find("listening on ") {
+            let addr = line[at + "listening on ".len()..].trim().to_owned();
+            return Ok((node, addr));
+        }
+    }
+}
+
+/// The sweep driven per fabric request: one cell heavy enough
+/// (~200 ms) that simulation time, not HTTP overhead, dominates — the
+/// regime where worker count should show in throughput.
+fn fabric_spec(seed: usize) -> String {
+    format!(
+        r#"{{"orgs":["base"],"workloads":["gcc"],"scale":64,"warmup":2000,"measure":20000,"seed":{seed}}}"#
+    )
+}
+
+/// `--fabric`: per fleet size, boot that many workers plus a
+/// coordinator, drive a cold closed-loop sweep load through the fabric,
+/// and record throughput. Every request is a distinct single-cell spec
+/// against a fresh per-stage cache, so each stage measures pure
+/// simulation throughput — the quantity that should scale with workers.
+/// Closed-loop clients scale with the fleet (4 per worker, the workers'
+/// cell parallelism) so offered load never caps the larger stages.
+///
+/// Workers are processes on the local host, so speedup is bounded by
+/// host parallelism: with `host_cpus` cores, stages beyond that size
+/// measure coordination overhead at constant aggregate simulation
+/// throughput rather than scaling. The entry records `host_cpus` so the
+/// stage numbers stay interpretable.
+fn run_fabric(args: &Args, bin: &str) -> i32 {
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let say = |msg: &str| {
+        if !args.quiet {
+            println!("{msg}");
+        }
+    };
+    let mut stages: Vec<(usize, usize, f64)> = Vec::new();
+    for (stage, &fleet) in args.fabric_workers.iter().enumerate() {
+        let fleet = fleet.max(1);
+        let concurrency = args.concurrency.max(4 * fleet);
+        let mut nodes: Vec<FabricNode> = Vec::new();
+        let mut worker_flags: Vec<String> = Vec::new();
+        for i in 0..fleet {
+            let cache = std::env::temp_dir().join(format!(
+                "dice-fabric-loadgen-{}-{stage}-{i}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&cache);
+            let spawned = spawn_fabric_node(
+                bin,
+                &[
+                    "worker".to_owned(),
+                    "--port".to_owned(),
+                    "0".to_owned(),
+                    "--conn-workers".to_owned(),
+                    "4".to_owned(),
+                    "--cache".to_owned(),
+                    cache.display().to_string(),
+                ],
+            );
+            match spawned {
+                Ok((node, addr)) => {
+                    nodes.push(node);
+                    worker_flags.push("--worker".to_owned());
+                    worker_flags.push(addr);
+                }
+                Err(e) => {
+                    eprintln!("dice-serve-loadgen: {e}");
+                    return 1;
+                }
+            }
+        }
+        let mut coord_args = vec![
+            "coordinator".to_owned(),
+            "--port".to_owned(),
+            "0".to_owned(),
+            "--conn-workers".to_owned(),
+            concurrency.max(4).to_string(),
+            "--capacity".to_owned(),
+            (2 * concurrency).to_string(),
+            "--scatter-width".to_owned(),
+            "8".to_owned(),
+        ];
+        coord_args.extend(worker_flags);
+        let (coordinator, addr) = match spawn_fabric_node(bin, &coord_args) {
+            Ok(spawned) => spawned,
+            Err(e) => {
+                eprintln!("dice-serve-loadgen: {e}");
+                return 1;
+            }
+        };
+
+        let next = AtomicUsize::new(0);
+        let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..concurrency {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= args.requests {
+                        return;
+                    }
+                    // Unique seeds: every request is a cold, distinct
+                    // cell, spread over the ring by its key.
+                    if let Err(e) = submit_and_wait(&addr, &fabric_spec(i)) {
+                        failures.lock().expect("failures").push(e);
+                    }
+                });
+            }
+        });
+        let wall = started.elapsed().as_secs_f64();
+        drop(coordinator);
+        drop(nodes);
+
+        let failures = failures.into_inner().expect("failures");
+        if !failures.is_empty() {
+            eprintln!(
+                "dice-serve-loadgen: fabric stage with {fleet} workers: {} of {} requests \
+                 failed; first: {}",
+                failures.len(),
+                args.requests,
+                failures[0]
+            );
+            return 1;
+        }
+        let req_per_s = args.requests as f64 / wall.max(1e-9);
+        say(&format!(
+            "fabric {fleet} worker{}: {} requests on {concurrency} clients in {wall:.2}s \
+             ({req_per_s:.1} req/s, {host_cpus} host cpu{})",
+            if fleet == 1 { "" } else { "s" },
+            args.requests,
+            if host_cpus == 1 { "" } else { "s" },
+        ));
+        stages.push((fleet, concurrency, req_per_s));
+    }
+
+    if args.append {
+        let unix_time = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let stage_docs = stages
+            .iter()
+            .map(|&(fleet, concurrency, req_per_s)| {
+                Json::Obj(vec![
+                    ("workers".into(), Json::u64(fleet as u64)),
+                    ("concurrency".into(), Json::u64(concurrency as u64)),
+                    ("req_per_s".into(), Json::num(req_per_s)),
+                ])
+            })
+            .collect();
+        let entry = Json::Obj(vec![
+            ("git_rev".into(), Json::str(git_rev())),
+            ("unix_time".into(), Json::u64(unix_time)),
+            (
+                "fabric_scaling".into(),
+                Json::Obj(vec![
+                    ("requests".into(), Json::u64(args.requests as u64)),
+                    ("host_cpus".into(), Json::u64(host_cpus as u64)),
+                    ("stages".into(), Json::Arr(stage_docs)),
+                ]),
+            ),
+        ]);
+        let mut entries = match std::fs::read_to_string(&args.out) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(Json::Arr(entries)) => entries,
+                _ => Vec::new(),
+            },
+            Err(_) => Vec::new(),
+        };
+        entries.push(entry);
+        if let Err(e) = std::fs::write(&args.out, Json::Arr(entries).render()) {
+            eprintln!("dice-serve-loadgen: writing {}: {e}", args.out);
+            return 1;
+        }
+        say(&format!("appended fabric_scaling entry to {}", args.out));
+    }
+    0
+}
+
 fn main() {
     let args = parse_args();
 
     if let Some(spec) = &args.direct {
         std::process::exit(run_direct(spec));
+    }
+
+    if let Some(bin) = args.fabric.clone() {
+        std::process::exit(run_fabric(&args, &bin));
     }
 
     let Some(addr) = args.url.as_deref() else {

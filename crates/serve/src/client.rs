@@ -1,12 +1,19 @@
 //! A minimal blocking HTTP/1.1 client over `TcpStream`.
 //!
-//! Shared by `dice-serve-loadgen` and the integration tests; it speaks
-//! exactly the dialect the server emits (`Connection: close`, explicit
-//! `Content-Length`).
+//! Shared by `dice-serve-loadgen`, the fabric coordinator and the
+//! integration tests; it speaks exactly the dialect the server emits
+//! (`Connection: close`, explicit `Content-Length`). Header and
+//! chunked-body decoding are shared with the server codec in
+//! [`crate::http`] rather than duplicated here.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+use crate::http::{read_chunked_body, read_header_lines};
+
+/// Default socket read/write timeout for client requests.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A parsed response.
 #[derive(Debug, Clone)]
@@ -42,7 +49,7 @@ impl ClientResponse {
 ///
 /// Propagates connect/transport failures and malformed responses.
 pub fn http_get(addr: &str, path: &str) -> io::Result<ClientResponse> {
-    request(addr, "GET", path, None)
+    request(addr, "GET", path, None, DEFAULT_TIMEOUT)
 }
 
 /// `POST path` with a JSON body against `addr` (`host:port`).
@@ -51,13 +58,44 @@ pub fn http_get(addr: &str, path: &str) -> io::Result<ClientResponse> {
 ///
 /// Propagates connect/transport failures and malformed responses.
 pub fn http_post(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
-    request(addr, "POST", path, Some(body))
+    request(addr, "POST", path, Some(body), DEFAULT_TIMEOUT)
 }
 
-fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<ClientResponse> {
+/// `GET path` with an explicit socket timeout (connect, read and write).
+///
+/// # Errors
+///
+/// Propagates connect/transport failures and malformed responses.
+pub fn http_get_timeout(addr: &str, path: &str, timeout: Duration) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, None, timeout)
+}
+
+/// `POST path` with an explicit socket timeout (connect, read and write).
+/// The fabric coordinator uses this to bound how long a scattered cell
+/// may hold a worker connection before the node is declared dead.
+///
+/// # Errors
+///
+/// Propagates connect/transport failures and malformed responses.
+pub fn http_post_timeout(
+    addr: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body), timeout)
+}
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     stream.set_nodelay(true)?;
     let body = body.unwrap_or("");
     write!(
@@ -79,7 +117,7 @@ fn malformed(msg: &'static str) -> io::Error {
 }
 
 /// Parses one response off `reader` (status line, headers,
-/// `Content-Length` body or read-to-EOF).
+/// `Content-Length` body, chunked body, or read-to-EOF).
 ///
 /// # Errors
 ///
@@ -94,20 +132,7 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| malformed("bad status line"))?;
 
-    let mut headers = Vec::new();
-    loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let line = line.trim_end_matches(['\r', '\n']);
-        if line.is_empty() {
-            break;
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| malformed("bad header"))?;
-        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
-    }
-
+    let headers = read_header_lines(reader)?;
     let chunked = headers
         .iter()
         .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
@@ -134,35 +159,6 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<ClientResponse> {
         headers,
         body,
     })
-}
-
-/// Decodes a chunked transfer-encoded body into `out`, reading until the
-/// zero-length final chunk.
-fn read_chunked_body(reader: &mut impl BufRead, out: &mut Vec<u8>) -> io::Result<()> {
-    loop {
-        let mut size_line = String::new();
-        reader.read_line(&mut size_line)?;
-        let size =
-            usize::from_str_radix(size_line.trim(), 16).map_err(|_| malformed("bad chunk size"))?;
-        if size == 0 {
-            // Trailer section: read through the terminating blank line.
-            let mut line = String::new();
-            while reader.read_line(&mut line)? > 0
-                && !line.trim_end_matches(['\r', '\n']).is_empty()
-            {
-                line.clear();
-            }
-            return Ok(());
-        }
-        let start = out.len();
-        out.resize(start + size, 0);
-        reader.read_exact(&mut out[start..])?;
-        let mut crlf = [0u8; 2];
-        reader.read_exact(&mut crlf)?;
-        if &crlf != b"\r\n" {
-            return Err(malformed("chunk not CRLF-terminated"));
-        }
-    }
 }
 
 #[cfg(test)]

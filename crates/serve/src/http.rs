@@ -1,12 +1,15 @@
-//! A minimal HTTP/1.1 server-side codec over std I/O.
+//! A minimal HTTP/1.1 codec over std I/O, shared by `dice-serve` and the
+//! fabric nodes.
 //!
 //! Deliberately small: one request per connection (`Connection: close`),
 //! no keep-alive, hard limits on header and body size. Fixed-length
-//! responses carry an explicit `Content-Length`; the one streaming
-//! endpoint (`/v1/sweeps/:id/events`, server-sent events) uses chunked
-//! transfer encoding via [`write_stream_head`]/[`write_chunk`]/
-//! [`finish_chunks`]. That is all the sweep API needs, and it keeps the
-//! attack surface of a zero-dependency server auditable.
+//! responses carry an explicit `Content-Length`; streaming endpoints
+//! (server-sent events) use chunked transfer encoding via
+//! [`write_stream_head`]/[`write_chunk`]/[`finish_chunks`]. The
+//! response-side decoders ([`read_header_lines`], [`read_chunked_body`])
+//! live here too so the client and any proxy layer share one
+//! implementation. That is all the sweep API needs, and it keeps the
+//! attack surface of a zero-dependency stack auditable.
 
 use std::io::{self, BufRead, Write};
 
@@ -285,6 +288,69 @@ pub fn write_chunk(out: &mut impl Write, data: &[u8]) -> io::Result<()> {
 pub fn finish_chunks(out: &mut impl Write) -> io::Result<()> {
     out.write_all(b"0\r\n\r\n")?;
     out.flush()
+}
+
+fn malformed(msg: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads a response-side header block (every `name: value` line up to the
+/// blank separator), names lower-cased. Unlike the request path this
+/// trusts the peer — it is used against our own servers — so it imposes
+/// no size limits.
+///
+/// # Errors
+///
+/// Propagates transport failures; malformed headers become `InvalidData`.
+pub fn read_header_lines(reader: &mut impl BufRead) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("bad header"))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    Ok(headers)
+}
+
+/// Decodes a chunked transfer-encoded body into `out`, reading through
+/// the zero-length final chunk and any trailer section.
+///
+/// # Errors
+///
+/// Propagates transport failures; malformed framing becomes
+/// `InvalidData`.
+pub fn read_chunked_body(reader: &mut impl BufRead, out: &mut Vec<u8>) -> io::Result<()> {
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line)?;
+        let size =
+            usize::from_str_radix(size_line.trim(), 16).map_err(|_| malformed("bad chunk size"))?;
+        if size == 0 {
+            // Trailer section: read through the terminating blank line.
+            let mut line = String::new();
+            while reader.read_line(&mut line)? > 0
+                && !line.trim_end_matches(['\r', '\n']).is_empty()
+            {
+                line.clear();
+            }
+            return Ok(());
+        }
+        let start = out.len();
+        out.resize(start + size, 0);
+        reader.read_exact(&mut out[start..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(malformed("chunk not CRLF-terminated"));
+        }
+    }
 }
 
 /// The standard reason phrase for the status codes this server emits.

@@ -33,13 +33,17 @@
 pub mod client;
 pub mod http;
 pub mod jobs;
+pub mod net;
 pub mod promcheck;
 pub mod server;
 pub mod signal;
 pub mod spec;
+pub mod sse;
 
-pub use client::{http_get, http_post, ClientResponse};
+pub use client::{http_get, http_get_timeout, http_post, http_post_timeout, ClientResponse};
 pub use jobs::{JobQueue, JobQueueConfig, JobState, Submission};
+pub use net::{Handled, NetConfig, NetServer};
 pub use promcheck::validate_prometheus;
 pub use server::{Handle, ServeConfig, Server};
 pub use spec::{render_runs, sweep_key, SpecError, SweepSpec};
+pub use sse::{sse_data_lines, stream_sse};

@@ -1,0 +1,219 @@
+//! A reusable HTTP/1.1 accept-pool server shell.
+//!
+//! `dice-serve` and the `dice-fabric` nodes share one threading model: a
+//! nonblocking accept loop hands sockets to a fixed pool of connection
+//! workers over a bounded channel, a full channel answers `503` inline
+//! (connections never pile up unbounded), and a drain flag stops the
+//! accept loop while parked connections finish. [`NetServer`] owns that
+//! machinery; services supply a [`NetHandler`] for routing, plus optional
+//! observers for per-request metrics and accept-loop events.
+
+use std::io::{self, BufReader};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http::{read_request, ReadError, Request, Response};
+
+/// Accept-pool construction knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Port to bind on 127.0.0.1 (`0` = ephemeral).
+    pub port: u16,
+    /// Connection-handler threads.
+    pub conn_workers: usize,
+    /// Accepted connections parked for a handler before `503`s.
+    pub conn_backlog: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            conn_workers: 4,
+            conn_backlog: 64,
+        }
+    }
+}
+
+/// What a handler did with a request.
+pub enum Handled {
+    /// A fixed-length response for the shell to serialize.
+    Respond(Response),
+    /// The handler already wrote the whole response to the stream (e.g. a
+    /// chunked SSE pump); the status is recorded for metrics only.
+    Streamed(u16),
+}
+
+/// Routes one parsed request. The stream is available for handlers that
+/// stream their own response ([`Handled::Streamed`]).
+pub type NetHandler = Arc<dyn Fn(&Request, &TcpStream) -> Handled + Send + Sync>;
+
+/// Observes one finished request: status code and handling duration.
+pub type NetObserver = Arc<dyn Fn(u16, Duration) + Send + Sync>;
+
+/// Observes accept-loop events (`"conns_rejected"`, `"accept_errors"`).
+pub type NetCounter = Arc<dyn Fn(&'static str) + Send + Sync>;
+
+/// The accept-pool shell: listener + drain flag + worker pool.
+pub struct NetServer {
+    listener: TcpListener,
+    drain: Arc<AtomicBool>,
+    conn_workers: usize,
+    conn_backlog: usize,
+}
+
+impl NetServer {
+    /// Binds `127.0.0.1:port`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: &NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        Ok(NetServer {
+            listener,
+            drain: Arc::new(AtomicBool::new(false)),
+            conn_workers: config.conn_workers.max(1),
+            conn_backlog: config.conn_backlog.max(1),
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The drain flag: flipping it to `true` stops the accept loop;
+    /// [`NetServer::run`] then finishes parked connections and returns.
+    #[must_use]
+    pub fn drain_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.drain)
+    }
+
+    /// Serves until the drain flag flips, then drains: stops accepting,
+    /// finishes parked connections, joins the pool, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures (accept-time errors on
+    /// individual connections are counted via `count`, not fatal).
+    pub fn run(
+        &self,
+        handler: NetHandler,
+        observe: Option<NetObserver>,
+        count: Option<NetCounter>,
+    ) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(self.conn_backlog);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.conn_workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let observe = observe.clone();
+                std::thread::spawn(move || connection_worker(&rx, &handler, observe.as_ref()))
+            })
+            .collect();
+
+        let tally = |event| {
+            if let Some(count) = &count {
+                count(event);
+            }
+        };
+        while !self.drain.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Inline, bounded rejection: never park more than
+                        // `conn_backlog` connections.
+                        reject_busy(stream);
+                        tally("conns_rejected");
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => tally("accept_errors"),
+            }
+        }
+
+        // Drain: close the channel so workers finish parked connections
+        // and exit.
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Best-effort `503` for connections beyond the backlog bound.
+pub fn reject_busy(stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let _ = Response::error(503, "server busy")
+        .with_header("Retry-After", "1")
+        .write(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn connection_worker(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    handler: &NetHandler,
+    observe: Option<&NetObserver>,
+) {
+    loop {
+        // Hold the lock only for the recv; handlers must not serialize on
+        // each other while talking to clients.
+        let stream = {
+            let rx = rx.lock().expect("conn channel poisoned");
+            rx.recv()
+        };
+        let Ok(stream) = stream else {
+            return;
+        };
+        handle_connection(stream, handler, observe);
+    }
+}
+
+fn handle_connection(stream: TcpStream, handler: &NetHandler, observe: Option<&NetObserver>) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let record = |status: u16| {
+        if let Some(observe) = observe {
+            observe(status, started.elapsed());
+        }
+    };
+    let response = match read_request(&mut reader) {
+        Ok(request) => match handler(&request, &stream) {
+            Handled::Respond(response) => response,
+            Handled::Streamed(status) => {
+                record(status);
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        },
+        Err(ReadError::Closed) => return,
+        Err(ReadError::Bad { status, msg }) => Response::error(status, msg),
+        Err(ReadError::Io(_)) => return,
+    };
+    record(response.status);
+    let mut stream = stream;
+    let _ = response.write(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
+}

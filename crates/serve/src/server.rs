@@ -1,26 +1,26 @@
-//! The HTTP front end: a bounded accept/worker pool routing onto the
-//! [`JobQueue`].
+//! The HTTP front end: the shared [`NetServer`] accept pool routing onto
+//! the [`JobQueue`].
 //!
-//! Threading model: the accept loop runs nonblocking and hands accepted
-//! sockets to a fixed pool of connection workers over a bounded channel
-//! (a full channel answers `503` inline — connections never pile up
-//! unbounded). Sweep execution happens on the job queue's own workers,
-//! so connection handling stays fast even while simulations run.
+//! Threading model (see [`crate::net`]): the accept loop runs nonblocking
+//! and hands accepted sockets to a fixed pool of connection workers over
+//! a bounded channel (a full channel answers `503` inline — connections
+//! never pile up unbounded). Sweep execution happens on the job queue's
+//! own workers, so connection handling stays fast even while simulations
+//! run.
 
-use std::io::{self, BufReader};
-use std::net::{Shutdown, TcpListener, TcpStream};
+use std::io;
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use dice_obs::{render_prometheus, Json, MetricRegistry};
 
-use crate::http::{
-    finish_chunks, read_request, write_chunk, write_stream_head, ReadError, Request, Response,
-};
+use crate::http::{Request, Response};
 use crate::jobs::{JobQueue, JobQueueConfig, JobState, Submission};
+use crate::net::{Handled, NetConfig, NetServer};
 use crate::spec::SweepSpec;
+use crate::sse::stream_sse;
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -70,14 +70,11 @@ impl Handle {
     }
 }
 
-/// The service: listener + job queue + metrics registry.
+/// The service: accept pool + job queue + metrics registry.
 pub struct Server {
-    listener: TcpListener,
+    net: NetServer,
     queue: Arc<JobQueue>,
     metrics: Arc<Mutex<MetricRegistry>>,
-    drain: Arc<AtomicBool>,
-    conn_workers: usize,
-    conn_backlog: usize,
 }
 
 impl Server {
@@ -87,16 +84,17 @@ impl Server {
     ///
     /// Propagates the bind failure.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let net = NetServer::bind(&NetConfig {
+            port: config.port,
+            conn_workers: config.conn_workers,
+            conn_backlog: config.conn_backlog,
+        })?;
         let metrics = Arc::new(Mutex::new(MetricRegistry::new()));
         let queue = JobQueue::new(config.queue, Arc::clone(&metrics));
         Ok(Server {
-            listener,
+            net,
             queue,
             metrics,
-            drain: Arc::new(AtomicBool::new(false)),
-            conn_workers: config.conn_workers.max(1),
-            conn_backlog: config.conn_backlog.max(1),
         })
     }
 
@@ -106,14 +104,14 @@ impl Server {
     ///
     /// Propagates the socket query failure.
     pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
-        self.listener.local_addr()
+        self.net.local_addr()
     }
 
     /// A steering handle, safe to move to signal watchers or tests.
     #[must_use]
     pub fn handle(&self) -> Handle {
         Handle {
-            drain: Arc::clone(&self.drain),
+            drain: self.net.drain_flag(),
             queue: Arc::clone(&self.queue),
         }
     }
@@ -127,65 +125,35 @@ impl Server {
     /// Propagates listener configuration failures (accept-time errors on
     /// individual connections are counted, not fatal).
     pub fn run(&self) -> io::Result<()> {
-        self.listener.set_nonblocking(true)?;
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(self.conn_backlog);
-        let rx = Arc::new(Mutex::new(rx));
-        let handlers: Vec<_> = (0..self.conn_workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let ctx = RouteCtx {
-                    queue: Arc::clone(&self.queue),
-                    metrics: Arc::clone(&self.metrics),
-                };
-                std::thread::spawn(move || connection_worker(&rx, &ctx))
+        let ctx = Arc::new(RouteCtx {
+            queue: Arc::clone(&self.queue),
+            metrics: Arc::clone(&self.metrics),
+        });
+        let handler = {
+            let ctx = Arc::clone(&ctx);
+            Arc::new(move |request: &Request, stream: &TcpStream| handle(request, stream, &ctx))
+        };
+        let observe = {
+            let ctx = Arc::clone(&ctx);
+            Arc::new(move |status: u16, elapsed: Duration| record_request(&ctx, status, elapsed))
+        };
+        let count = {
+            let metrics = Arc::clone(&self.metrics);
+            Arc::new(move |event: &'static str| {
+                let mut reg = metrics.lock().expect("metrics poisoned");
+                let id = reg.counter(match event {
+                    "conns_rejected" => "serve.conns_rejected",
+                    _ => "serve.accept_errors",
+                });
+                reg.inc(id);
             })
-            .collect();
-
-        while !self.drain.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => match tx.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(stream)) => {
-                        // Inline, bounded rejection: never park more than
-                        // `conn_backlog` connections.
-                        reject_busy(stream);
-                        self.count("serve.conns_rejected");
-                    }
-                    Err(TrySendError::Disconnected(_)) => break,
-                },
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => self.count("serve.accept_errors"),
-            }
-        }
-
-        // Drain: close the channel (handlers finish parked connections
-        // and exit), then let the job queue finish in-flight sweeps.
-        drop(tx);
-        for handler in handlers {
-            let _ = handler.join();
-        }
+        };
+        self.net.run(handler, Some(observe), Some(count))?;
+        // Accept loop has stopped; finish in-flight sweeps.
         self.queue.drain();
         self.queue.join();
         Ok(())
     }
-
-    fn count(&self, name: &str) {
-        let mut reg = self.metrics.lock().expect("metrics poisoned");
-        let id = reg.counter(name);
-        reg.inc(id);
-    }
-}
-
-/// Best-effort `503` for connections beyond the backlog bound.
-fn reject_busy(stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let mut stream = stream;
-    let _ = Response::error(503, "server busy")
-        .with_header("Retry-After", "1")
-        .write(&mut stream);
-    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Everything a connection handler needs to answer requests.
@@ -194,52 +162,27 @@ struct RouteCtx {
     metrics: Arc<Mutex<MetricRegistry>>,
 }
 
-fn connection_worker(rx: &Arc<Mutex<Receiver<TcpStream>>>, ctx: &RouteCtx) {
-    loop {
-        // Hold the lock only for the recv; handlers must not serialize on
-        // each other while talking to clients.
-        let stream = {
-            let rx = rx.lock().expect("conn channel poisoned");
-            rx.recv()
-        };
-        let Ok(stream) = stream else {
-            return;
-        };
-        handle_connection(stream, ctx);
+/// Routes one request: the events endpoint streams incrementally and owns
+/// the socket for the job's lifetime; everything else is a single
+/// fixed-length response.
+fn handle(request: &Request, stream: &TcpStream, ctx: &RouteCtx) -> Handled {
+    match events_job_id(request) {
+        Some(Ok(id)) => {
+            let mut out = stream;
+            Handled::Streamed(stream_sse(&mut out, |cursor| {
+                ctx.queue.poll_events(id, cursor).map(|(events, state)| {
+                    let terminal = matches!(
+                        state,
+                        JobState::Done | JobState::Failed | JobState::Cancelled
+                    )
+                    .then(|| state.as_str());
+                    (events, terminal)
+                })
+            }))
+        }
+        Some(Err(response)) => Handled::Respond(response),
+        None => Handled::Respond(route(request, ctx)),
     }
-}
-
-fn handle_connection(stream: TcpStream, ctx: &RouteCtx) {
-    let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let response = match read_request(&mut reader) {
-        Ok(request) => match events_job_id(&request) {
-            // The events endpoint streams incrementally and owns the
-            // socket for the job's lifetime; everything else is a single
-            // fixed-length response.
-            Some(Ok(id)) => {
-                let status = stream_events(&stream, id, ctx);
-                record_request(ctx, status, started);
-                let _ = stream.shutdown(Shutdown::Both);
-                return;
-            }
-            Some(Err(response)) => response,
-            None => route(&request, ctx),
-        },
-        Err(ReadError::Closed) => return,
-        Err(ReadError::Bad { status, msg }) => Response::error(status, msg),
-        Err(ReadError::Io(_)) => return,
-    };
-    record_request(ctx, response.status, started);
-    let mut stream = stream;
-    let _ = response.write(&mut stream);
-    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Recognizes `GET /v1/sweeps/:id/events`. `None` when the request is for
@@ -256,63 +199,7 @@ fn events_job_id(request: &Request) -> Option<Result<u64, Response>> {
     })
 }
 
-/// Streams `text/event-stream` progress for job `id` until the job
-/// reaches a terminal state (or the client goes away), then closes the
-/// chunked stream cleanly. Returns the status code to record.
-fn stream_events(stream: &TcpStream, id: u64, ctx: &RouteCtx) -> u16 {
-    let mut out = stream;
-    if ctx.queue.poll_events(id, 0).is_none() {
-        let _ = Response::error(404, "no such job").write(&mut out);
-        return 404;
-    }
-    if write_stream_head(&mut out, "text/event-stream").is_err() {
-        return 200;
-    }
-    let mut cursor = 0usize;
-    let mut last_write = Instant::now();
-    let deadline = Instant::now() + Duration::from_secs(600);
-    // Events and state are read atomically: a terminal state means the
-    // events returned alongside it complete the stream.
-    while let Some((events, state)) = ctx.queue.poll_events(id, cursor) {
-        cursor += events.len();
-        for event in &events {
-            if write_chunk(&mut out, format!("data: {event}\n\n").as_bytes()).is_err() {
-                return 200;
-            }
-            last_write = Instant::now();
-        }
-        if matches!(
-            state,
-            JobState::Done | JobState::Failed | JobState::Cancelled
-        ) {
-            let end = Json::Obj(vec![
-                ("event".into(), Json::str("end")),
-                ("state".into(), Json::str(state.as_str())),
-            ])
-            .render();
-            let _ = write_chunk(&mut out, format!("data: {end}\n\n").as_bytes());
-            break;
-        }
-        if Instant::now() > deadline {
-            break;
-        }
-        if events.is_empty() {
-            // Comment heartbeat: keeps the connection visibly alive under
-            // the 5 s socket write timeout while a long cell simulates.
-            if last_write.elapsed() >= Duration::from_secs(2) {
-                if write_chunk(&mut out, b": heartbeat\n\n").is_err() {
-                    return 200;
-                }
-                last_write = Instant::now();
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-    }
-    let _ = finish_chunks(&mut out);
-    200
-}
-
-fn record_request(ctx: &RouteCtx, status: u16, started: Instant) {
+fn record_request(ctx: &RouteCtx, status: u16, elapsed: Duration) {
     let mut reg = ctx.metrics.lock().expect("metrics poisoned");
     let id = reg.counter("serve.http_requests");
     reg.inc(id);
@@ -323,7 +210,7 @@ fn record_request(ctx: &RouteCtx, status: u16, started: Instant) {
     });
     reg.inc(id);
     let hist = reg.histogram("serve.request_micros");
-    reg.observe(hist, started.elapsed().as_micros() as u64);
+    reg.observe(hist, elapsed.as_micros() as u64);
 }
 
 /// Dispatches one request to its endpoint.
