@@ -10,8 +10,14 @@
 //! committed entry, normalizing by each machine's `calibration_ops`
 //! (a fixed pure-ALU loop measured at the same time), and exits non-zero
 //! when any hot path is slower by more than `--tolerance` (default 20%).
-//! `--gate` additionally enforces the size-kernel contract: sizing a line
-//! must be at least 2x faster than materializing its compressed payload.
+//! `--baseline-rev REV` pins the comparison to the newest entry recorded
+//! at that git revision instead of the newest overall — CI uses this so
+//! appending fresh (faster) entries never weakens a gate. `--require
+//! NAME:RATIO` (repeatable) demands a calibration-rescaled speedup:
+//! the named bench must reach at least RATIO x the baseline or the run
+//! fails. `--gate` additionally enforces the size-kernel contract: sizing
+//! a line must be at least 2x faster than materializing its compressed
+//! payload.
 //!
 //! Everything is seeded with `0xd1ce`; the workload inputs are identical
 //! on every machine and every run.
@@ -33,7 +39,9 @@ const WINDOW: Duration = Duration::from_millis(200);
 struct Args {
     out: String,
     against: Option<String>,
+    baseline_rev: Option<String>,
     tolerance: f64,
+    require: Vec<(String, f64)>,
     gate: bool,
     quiet: bool,
 }
@@ -42,7 +50,9 @@ fn parse_args() -> Args {
     let mut args = Args {
         out: "BENCH_results.json".to_owned(),
         against: None,
+        baseline_rev: None,
         tolerance: 0.20,
+        require: Vec::new(),
         gate: false,
         quiet: false,
     };
@@ -51,6 +61,9 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--out" => args.out = it.next().expect("--out needs a path"),
             "--against" => args.against = Some(it.next().expect("--against needs a path")),
+            "--baseline-rev" => {
+                args.baseline_rev = Some(it.next().expect("--baseline-rev needs a revision"))
+            }
             "--tolerance" => {
                 args.tolerance = it
                     .next()
@@ -58,11 +71,22 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("tolerance must be a number")
             }
+            "--require" => {
+                let spec = it.next().expect("--require needs NAME:RATIO");
+                let (name, ratio) = spec
+                    .split_once(':')
+                    .expect("--require format is NAME:RATIO");
+                args.require.push((
+                    name.to_owned(),
+                    ratio.parse().expect("ratio must be a number"),
+                ));
+            }
             "--gate" => args.gate = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: bench [--out FILE] [--against FILE] [--tolerance F] [--gate] [--quiet]"
+                    "usage: bench [--out FILE] [--against FILE] [--baseline-rev REV] \
+                     [--tolerance F] [--require NAME:RATIO]... [--gate] [--quiet]"
                 );
                 std::process::exit(0);
             }
@@ -342,9 +366,30 @@ fn main() {
         let baseline = load_entries(against);
         // The results file is shared with dice-serve-loadgen, whose
         // serving-throughput entries carry no "benches" section; compare
-        // against the newest entry that actually has micro-bench numbers.
-        match baseline.iter().rev().find(|e| e.get("benches").is_some()) {
+        // against the newest entry that actually has micro-bench numbers
+        // (of the pinned revision, when --baseline-rev asks for one).
+        let found = baseline.iter().rev().find(|e| {
+            e.get("benches").is_some()
+                && args
+                    .baseline_rev
+                    .as_deref()
+                    .is_none_or(|rev| e.get("git_rev").and_then(Json::as_str) == Some(rev))
+        });
+        match found {
             None => {
+                if args.baseline_rev.is_some() || !args.require.is_empty() {
+                    // A pinned or required comparison that cannot run is a
+                    // failure — CI must not pass because the baseline is
+                    // missing.
+                    eprintln!(
+                        "error: no baseline entry in {against}{}",
+                        args.baseline_rev
+                            .as_deref()
+                            .map(|r| format!(" for rev {r}"))
+                            .unwrap_or_default()
+                    );
+                    std::process::exit(1);
+                }
                 eprintln!("warning: no baseline entry in {against}; skipping comparison");
             }
             Some(base) => {
@@ -373,6 +418,28 @@ fn main() {
                             ratio * 100.0,
                             (1.0 - args.tolerance) * 100.0
                         ));
+                    }
+                }
+                for (name, min_ratio) in &args.require {
+                    let now = benches.iter().find(|(n, _)| n == name).map(|&(_, ops)| ops);
+                    let was = bench_value(base, name);
+                    match (now, was) {
+                        (Some(now), Some(was)) => {
+                            let ratio = now / (was * scale);
+                            if ratio < *min_ratio {
+                                failures.push(format!(
+                                    "required speedup not met: {name} is {ratio:.2}x \
+                                     the baseline (need >= {min_ratio:.2}x)"
+                                ));
+                            } else {
+                                say(&format!(
+                                    "  required {name} >= {min_ratio:.2}x: met ({ratio:.2}x)"
+                                ));
+                            }
+                        }
+                        _ => failures.push(format!(
+                            "required bench {name} missing from this run or the baseline"
+                        )),
                     }
                 }
             }

@@ -1059,6 +1059,13 @@ fn run_experiments(
         });
         let sweep = runner.run(cells);
         eprintln!("[experiments] {}", sweep.summary());
+        let engine = dice_sim::engine_counters();
+        if engine.events_scheduled > 0 {
+            eprintln!(
+                "[experiments] engine: {} events scheduled, {} chained inline, {} wheel cascades",
+                engine.events_scheduled, engine.events_chained, engine.wheel_cascades
+            );
+        }
         if ctx.verbose {
             let mut reg = MetricRegistry::new();
             sweep.register(&mut reg);

@@ -203,6 +203,14 @@ impl SramHierarchy {
         std::mem::take(&mut self.pending_writebacks)
     }
 
+    /// [`take_writebacks`](Self::take_writebacks) into a caller-owned
+    /// buffer, so a reused buffer makes the steady-state drain
+    /// allocation-free (`take_writebacks` hands out a fresh `Vec` each
+    /// call).
+    pub fn drain_writebacks_into(&mut self, out: &mut Vec<LineAddr>) {
+        out.append(&mut self.pending_writebacks);
+    }
+
     /// Whether `addr` is resident in the shared L3 (no side effects).
     #[must_use]
     pub fn l3_contains(&self, addr: LineAddr) -> bool {

@@ -25,15 +25,23 @@ pub enum L3FetchPolicy {
 }
 
 impl L3FetchPolicy {
+    /// The extra (non-demand) line this policy requests alongside a demand
+    /// miss on `addr`, if any. Every policy issues at most one extra line,
+    /// so the hot demand path never needs an allocated list.
+    #[must_use]
+    pub fn extra_fetch(self, addr: LineAddr) -> Option<LineAddr> {
+        match self {
+            L3FetchPolicy::Demand => None,
+            L3FetchPolicy::NextLine => Some(addr + 1),
+            L3FetchPolicy::Wide128 => Some(addr ^ 1),
+        }
+    }
+
     /// The extra (non-demand) line addresses this policy requests alongside
     /// a demand miss on `addr`. The demand line itself is not included.
     #[must_use]
     pub fn extra_fetches(self, addr: LineAddr) -> Vec<LineAddr> {
-        match self {
-            L3FetchPolicy::Demand => Vec::new(),
-            L3FetchPolicy::NextLine => vec![addr + 1],
-            L3FetchPolicy::Wide128 => vec![addr ^ 1],
-        }
+        self.extra_fetch(addr).into_iter().collect()
     }
 }
 

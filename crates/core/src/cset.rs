@@ -164,6 +164,25 @@ impl CompressedSet {
             e.dirty |= dirty;
             e.scheme = scheme;
         } else {
+            // Two-step capacity ladder so the install path never
+            // reallocates in steady state without bloating every set to
+            // the worst case: the first insert reserves the typical
+            // equilibrium (most compressed sets hold well under 8 lines),
+            // and a set that outgrows it jumps straight to the format's
+            // hard bound — at most two allocations per set, ever, both
+            // taken while the set is still filling. The `+ 1` covers the
+            // eviction loop below, which transiently holds one entry above
+            // the cap before trimming.
+            let (seed_cap, full_cap) = match mode {
+                SetMode::Uncompressed => (2, 2),
+                SetMode::Compressed => (8, MAX_LINES_PER_SET + 1),
+            };
+            let cap = self.entries.capacity();
+            if cap < seed_cap {
+                self.entries.reserve_exact(seed_cap - self.entries.len());
+            } else if cap == self.entries.len() && cap < full_cap {
+                self.entries.reserve_exact(full_cap - self.entries.len());
+            }
             self.entries.push(Entry {
                 line,
                 dirty,

@@ -77,6 +77,47 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
         }
     }
 
+    /// Inserts `value` at `index`, shifting everything after it right.
+    /// Spills to the heap only when the inline capacity `N` is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len` (matching `Vec::insert`).
+    pub fn insert(&mut self, index: usize, value: T) {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                assert!(index <= *len, "insertion index out of bounds");
+                if *len < N {
+                    buf.copy_within(index..*len, index + 1);
+                    buf[index] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    v.extend_from_slice(&buf[..*len]);
+                    v.insert(index, value);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.insert(index, value),
+        }
+    }
+
+    /// Removes and returns the last element, or `None` when empty. Never
+    /// changes representation (a spilled vector keeps its heap storage).
+    pub fn pop(&mut self) -> Option<T> {
+        match &mut self.repr {
+            Repr::Inline { buf, len } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(buf[*len])
+                }
+            }
+            Repr::Heap(v) => v.pop(),
+        }
+    }
+
     /// Removes all elements, keeping the current representation's storage.
     pub fn clear(&mut self) {
         match &mut self.repr {
@@ -268,6 +309,30 @@ mod tests {
         let v: InlineVec<u16, 3> = (0..7).collect();
         let collected: Vec<u16> = v.into_iter().collect();
         assert_eq!(collected, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_shifts_and_spills_like_vec() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        let mut reference: Vec<u32> = Vec::new();
+        for (idx, value) in [(0, 10), (0, 5), (2, 20), (1, 7), (4, 30), (0, 1)] {
+            v.insert(idx, value);
+            reference.insert(idx, value);
+            assert_eq!(v, reference);
+        }
+        assert!(!v.is_inline(), "six elements must have spilled");
+    }
+
+    #[test]
+    fn pop_removes_last_in_both_representations() {
+        let mut v: InlineVec<u32, 2> = (0..4).collect();
+        assert_eq!(v.pop(), Some(3));
+        assert!(!v.is_inline(), "pop never un-spills");
+        let mut w: InlineVec<u32, 4> = (0..2).collect();
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(0));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_inline());
     }
 
     #[test]

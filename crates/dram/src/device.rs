@@ -116,9 +116,15 @@ impl BusSchedule {
             }
         }
 
+        // Intervals ending at or before `earliest` can neither host the
+        // burst (their start is below `earliest`) nor delay it, so skip
+        // straight past them — the busy list is sorted and disjoint, and
+        // most requests land near its tail, turning the placement scan
+        // from O(intervals) into O(log n + overlap).
         let mut t = earliest;
+        let first = self.busy.partition_point(|&(_, e)| e <= earliest);
         let mut idx = self.busy.len();
-        for (i, &(s, e)) in self.busy.iter().enumerate() {
+        for (i, &(s, e)) in self.busy.iter().enumerate().skip(first) {
             if t + dur <= s {
                 idx = i;
                 break;

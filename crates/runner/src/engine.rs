@@ -288,6 +288,19 @@ impl SweepResult {
         let h = reg.histogram("runner.cell_wall_ms");
         reg.merge_histogram(h, &self.cell_wall_ms);
 
+        // Event-engine counters (`sim.*`): process-wide totals from the
+        // simulator's timing wheel, aggregated across every cell this
+        // process has simulated (cached cells contribute nothing).
+        let engine = dice_sim::engine_counters();
+        for (name, v) in [
+            ("sim.events_scheduled", engine.events_scheduled),
+            ("sim.events_chained", engine.events_chained),
+            ("sim.wheel_cascades", engine.wheel_cascades),
+        ] {
+            let id = reg.counter(name);
+            reg.set(id, v);
+        }
+
         // Per-class error counters (`errors.*`): the sweep's failures
         // expressed in the shared DiceError taxonomy.
         dice_obs::register_error_counters(reg);

@@ -455,8 +455,10 @@ fn fabric_spec(seed: usize) -> String {
 /// Workers are processes on the local host, so speedup is bounded by
 /// host parallelism: with `host_cpus` cores, stages beyond that size
 /// measure coordination overhead at constant aggregate simulation
-/// throughput rather than scaling. The entry records `host_cpus` so the
-/// stage numbers stay interpretable.
+/// throughput rather than scaling. The entry records `host_cpus` and
+/// flags each oversubscribed stage (and the run) `cpu_bound: true`, with
+/// a stderr warning as the stage starts, so the numbers stay
+/// interpretable.
 fn run_fabric(args: &Args, bin: &str) -> i32 {
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let say = |msg: &str| {
@@ -464,9 +466,17 @@ fn run_fabric(args: &Args, bin: &str) -> i32 {
             println!("{msg}");
         }
     };
-    let mut stages: Vec<(usize, usize, f64)> = Vec::new();
+    let mut stages: Vec<(usize, usize, f64, bool)> = Vec::new();
     for (stage, &fleet) in args.fabric_workers.iter().enumerate() {
         let fleet = fleet.max(1);
+        let cpu_bound = host_cpus < fleet;
+        if cpu_bound {
+            eprintln!(
+                "dice-serve-loadgen: warning: {fleet} workers on {host_cpus} host cpu{}: \
+                 this stage is CPU-bound and measures coordination overhead, not scaling",
+                if host_cpus == 1 { "" } else { "s" }
+            );
+        }
         let concurrency = args.concurrency.max(4 * fleet);
         let mut nodes: Vec<FabricNode> = Vec::new();
         let mut worker_flags: Vec<String> = Vec::new();
@@ -561,7 +571,7 @@ fn run_fabric(args: &Args, bin: &str) -> i32 {
             args.requests,
             if host_cpus == 1 { "" } else { "s" },
         ));
-        stages.push((fleet, concurrency, req_per_s));
+        stages.push((fleet, concurrency, req_per_s, cpu_bound));
     }
 
     if args.append {
@@ -571,14 +581,16 @@ fn run_fabric(args: &Args, bin: &str) -> i32 {
             .unwrap_or(0);
         let stage_docs = stages
             .iter()
-            .map(|&(fleet, concurrency, req_per_s)| {
+            .map(|&(fleet, concurrency, req_per_s, cpu_bound)| {
                 Json::Obj(vec![
                     ("workers".into(), Json::u64(fleet as u64)),
                     ("concurrency".into(), Json::u64(concurrency as u64)),
                     ("req_per_s".into(), Json::num(req_per_s)),
+                    ("cpu_bound".into(), Json::Bool(cpu_bound)),
                 ])
             })
             .collect();
+        let any_cpu_bound = stages.iter().any(|&(.., cpu_bound)| cpu_bound);
         let entry = Json::Obj(vec![
             ("git_rev".into(), Json::str(git_rev())),
             ("unix_time".into(), Json::u64(unix_time)),
@@ -587,6 +599,7 @@ fn run_fabric(args: &Args, bin: &str) -> i32 {
                 Json::Obj(vec![
                     ("requests".into(), Json::u64(args.requests as u64)),
                     ("host_cpus".into(), Json::u64(host_cpus as u64)),
+                    ("cpu_bound".into(), Json::Bool(any_cpu_bound)),
                     ("stages".into(), Json::Arr(stage_docs)),
                 ]),
             ),

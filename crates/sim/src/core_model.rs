@@ -8,16 +8,27 @@
 //! overlaps independent misses (bandwidth-sensitive) while still charging
 //! serialized latency when parallelism runs out (latency-sensitive).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use dice_core::InlineVec;
 
 use crate::Cycle;
 
+/// Inline capacity of the completion window: the paper's `mlp` is 16, and
+/// the transient `mlp + 1`-th entry (pushed before the oldest is retired)
+/// must also stay inline for the window to be allocation-free.
+const WINDOW_INLINE: usize = 24;
+
 /// One core's dispatch/retire state.
+///
+/// The completion window is a small sorted array (descending, so the
+/// oldest completion pops from the end in O(1)) rather than a heap: `mlp`
+/// is small, inserts are a shift within one cache line or two, and the
+/// steady-state record loop performs **zero heap allocations** — the
+/// contract the simulator-level counting-allocator test enforces.
 #[derive(Debug, Clone)]
 pub struct CoreModel {
     dispatch: f64,
-    outstanding: BinaryHeap<Reverse<Cycle>>,
+    /// Outstanding completion times, sorted descending (min at the end).
+    outstanding: InlineVec<Cycle, WINDOW_INLINE>,
     mlp: usize,
     base_cpi: f64,
     instructions: u64,
@@ -34,7 +45,7 @@ impl CoreModel {
         assert!(mlp > 0, "a core needs at least one outstanding slot");
         Self {
             dispatch: 0.0,
-            outstanding: BinaryHeap::new(),
+            outstanding: InlineVec::new(),
             mlp,
             base_cpi,
             instructions: 0,
@@ -52,9 +63,13 @@ impl CoreModel {
     /// Records the completion time of the access dispatched by the last
     /// [`advance`](Self::advance); stalls dispatch if the window is full.
     pub fn complete(&mut self, done: Cycle) {
-        self.outstanding.push(Reverse(done));
+        // Descending order: new completions usually land near the front,
+        // and `partition_point` keeps equal values FIFO-stable (ties are
+        // indistinguishable `Cycle`s, so stability is moot but free).
+        let idx = self.outstanding.partition_point(|&c| c > done);
+        self.outstanding.insert(idx, done);
         if self.outstanding.len() > self.mlp {
-            let Reverse(oldest) = self.outstanding.pop().expect("window non-empty");
+            let oldest = self.outstanding.pop().expect("window non-empty");
             self.dispatch = self.dispatch.max(oldest as f64);
         }
     }
@@ -74,12 +89,7 @@ impl CoreModel {
     /// Cycle at which everything in flight has drained.
     #[must_use]
     pub fn finish_time(&self) -> Cycle {
-        let drain = self
-            .outstanding
-            .iter()
-            .map(|Reverse(c)| *c)
-            .max()
-            .unwrap_or(0);
+        let drain = self.outstanding.first().copied().unwrap_or(0);
         drain.max(self.dispatch as Cycle)
     }
 
@@ -87,6 +97,15 @@ impl CoreModel {
     /// timing state.
     pub fn reset_instructions(&mut self) {
         self.instructions = 0;
+    }
+
+    /// Whether the completion window has ever spilled to the heap (only
+    /// possible when `mlp` exceeds the inline capacity); introspection for
+    /// the allocation-free test.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn window_is_inline(&self) -> bool {
+        self.outstanding.is_inline()
     }
 }
 
@@ -145,5 +164,37 @@ mod tests {
             c.finish_time()
         };
         assert!(run(50) < run(400));
+    }
+
+    /// The sorted-array window must retire completions in the same order
+    /// the old binary heap did: always the minimum outstanding time.
+    #[test]
+    fn window_retires_minimum_first_out_of_order_completions() {
+        let mut c = CoreModel::new(3, 1.0);
+        for done in [900, 100, 500] {
+            let _ = c.advance(0);
+            c.complete(done);
+        }
+        // Window full (3): the next completion evicts the oldest (100).
+        let _ = c.advance(0);
+        c.complete(700);
+        assert_eq!(c.next_dispatch(), 100); // stalled to the oldest (100)
+        assert_eq!(c.finish_time(), 900);
+        // Next eviction retires 500, not 700.
+        let _ = c.advance(0);
+        c.complete(800);
+        assert!(c.next_dispatch() >= 500);
+    }
+
+    /// Paper-default `mlp` (16) plus the transient extra entry stays
+    /// inline — no heap allocation in the steady-state loop.
+    #[test]
+    fn paper_mlp_window_never_spills() {
+        let mut c = CoreModel::new(16, 0.25);
+        for i in 0..1_000u64 {
+            let t = c.advance(3);
+            c.complete(t + 200 + (i * 37) % 400);
+            assert!(c.window_is_inline());
+        }
     }
 }

@@ -43,11 +43,12 @@ mod core_model;
 mod report;
 mod system;
 mod timeline;
+mod wheel;
 
 pub use config::{SimConfig, WorkloadSet};
 pub use core_model::CoreModel;
 pub use report::{geomean, EnergyReport, IntegrityReport, PhaseCycles, RunDiag, RunReport};
-pub use system::System;
+pub use system::{engine_counters, EngineCounters, System};
 pub use timeline::IntervalSample;
 
 /// Simulated time in CPU cycles (re-exported from `dice-dram`).

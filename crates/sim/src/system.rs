@@ -1,7 +1,28 @@
 //! The deterministic event loop tying cores, L3, L4 and memory together.
+//!
+//! # Event engine
+//!
+//! Events flow through a hierarchical timing wheel ([`crate::wheel`])
+//! instead of a binary heap, with two contracts the old heap implied and
+//! this engine makes explicit:
+//!
+//! * **Tie-break** — events due at the same cycle execute in schedule
+//!   (FIFO) order, tracked by a monotone sequence number.
+//! * **Chaining** — when handling an event produces the same core's next
+//!   `Dispatch` and that dispatch is due strictly before every queued
+//!   event, it runs inline instead of round-tripping the queue. This is
+//!   execution-order-equivalent to queueing it (it would pop next
+//!   anyway), so reports stay byte-identical; in single-core cells it
+//!   short-circuits the majority of queue traffic (L3-hit bursts never
+//!   touch the queue at all).
+//!
+//! The original heap loop survives as a test-only *reference engine*
+//! ([`System::use_reference_engine`]); `tests/differential.rs` holds the
+//! two byte-identical across the experiment matrix.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dice_cache::{HierarchyConfig, SramHierarchy};
 use dice_core::{DramCacheController, FaultKind, FaultPlan, L4Stats, LyingSizes, Probe, SetIndex};
@@ -13,6 +34,7 @@ use crate::config::{SimConfig, WorkloadSet};
 use crate::core_model::CoreModel;
 use crate::report::{IntegrityReport, PhaseCycles, RunDiag, RunReport};
 use crate::timeline::IntervalSample;
+use crate::wheel::EventWheel;
 use crate::Cycle;
 
 /// Lines per 2 KB main-memory row.
@@ -54,6 +76,49 @@ impl PartialOrd for Event {
     }
 }
 
+/// The event queue behind the simulation loop. The wheel is the engine;
+/// the heap is the original implementation, kept as the reference for the
+/// differential determinism tests (and never used in production runs).
+enum EventQueue {
+    Wheel(EventWheel<EventKind>),
+    Reference {
+        heap: BinaryHeap<Reverse<Event>>,
+        seq: u64,
+    },
+}
+
+/// Per-run event-engine statistics (also accumulated process-wide; see
+/// [`engine_counters`]). Not part of [`RunReport`]: the reference engine
+/// chains nothing, so putting these in the report would break the
+/// byte-identity contract the engines share.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Events that round-tripped the queue (`sim.events_scheduled`).
+    pub events_scheduled: u64,
+    /// Dispatches run inline by the chaining fast path
+    /// (`sim.events_chained`).
+    pub events_chained: u64,
+    /// Timing-wheel slot cascades (`sim.wheel_cascades`).
+    pub wheel_cascades: u64,
+}
+
+static EVENTS_SCHEDULED: AtomicU64 = AtomicU64::new(0);
+static EVENTS_CHAINED: AtomicU64 = AtomicU64::new(0);
+static WHEEL_CASCADES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide event-engine totals across every simulation run, the
+/// source for the `sim.events_scheduled` / `sim.events_chained` /
+/// `sim.wheel_cascades` registry metrics (same lifetime convention as
+/// `dice_runner::engine_runs`).
+#[must_use]
+pub fn engine_counters() -> EngineCounters {
+    EngineCounters {
+        events_scheduled: EVENTS_SCHEDULED.load(Ordering::Relaxed),
+        events_chained: EVENTS_CHAINED.load(Ordering::Relaxed),
+        wheel_cascades: WHEEL_CASCADES.load(Ordering::Relaxed),
+    }
+}
+
 struct CoreState {
     gen: Box<dyn RecordSource>,
     model: CoreModel,
@@ -73,8 +138,14 @@ pub struct System {
     mem: DramDevice,
     cores: Vec<CoreState>,
     data: MixDataModel,
-    events: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    queue: EventQueue,
+    /// Dispatch chaining enabled (wheel engine only; the reference engine
+    /// round-trips every event so its pop order is the ground truth).
+    chain: bool,
+    ev_scheduled: u64,
+    ev_chained: u64,
+    /// Reusable buffer for draining L3 writebacks without allocating.
+    wb_scratch: Vec<u64>,
     workload_name: String,
     valid_sum: f64,
     occupied_sum: f64,
@@ -173,8 +244,11 @@ impl System {
             mem: DramDevice::new(cfg.mem_dram.clone()),
             cores,
             data,
-            events: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::Wheel(EventWheel::new()),
+            chain: true,
+            ev_scheduled: 0,
+            ev_chained: 0,
+            wb_scratch: Vec::new(),
             workload_name: name.to_owned(),
             valid_sum: 0.0,
             occupied_sum: 0.0,
@@ -206,12 +280,57 @@ impl System {
     }
 
     fn push(&mut self, time: Cycle, kind: EventKind) {
-        self.seq += 1;
-        self.events.push(Reverse(Event {
-            time,
-            seq: self.seq,
-            kind,
-        }));
+        self.ev_scheduled += 1;
+        match &mut self.queue {
+            EventQueue::Wheel(w) => w.push(time, kind),
+            EventQueue::Reference { heap, seq } => {
+                *seq += 1;
+                heap.push(Reverse(Event {
+                    time,
+                    seq: *seq,
+                    kind,
+                }));
+            }
+        }
+    }
+
+    fn pop_event(&mut self) -> Option<(Cycle, EventKind)> {
+        match &mut self.queue {
+            EventQueue::Wheel(w) => w.pop().map(|e| (e.time, e.payload)),
+            EventQueue::Reference { heap, .. } => heap.pop().map(|Reverse(e)| (e.time, e.kind)),
+        }
+    }
+
+    /// A lower bound on the earliest queued due time (wheel engine only;
+    /// see [`EventWheel::earliest_bound`] for the soundness argument).
+    fn earliest_bound(&self) -> Option<Cycle> {
+        match &self.queue {
+            EventQueue::Wheel(w) => w.earliest_bound(),
+            EventQueue::Reference { heap, .. } => heap.peek().map(|Reverse(e)| e.time),
+        }
+    }
+
+    /// Switches this system onto the original heap-based engine. Test-only
+    /// (the differential determinism suite); must be called before `run`.
+    #[doc(hidden)]
+    pub fn use_reference_engine(&mut self) {
+        assert_eq!(
+            self.queue_len(),
+            0,
+            "engine switch only valid before the first event"
+        );
+        self.queue = EventQueue::Reference {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        };
+        self.chain = false;
+    }
+
+    fn queue_len(&self) -> usize {
+        match &self.queue {
+            EventQueue::Wheel(w) => w.len(),
+            EventQueue::Reference { heap, .. } => heap.len(),
+        }
     }
 
     /// Records one completed transaction's latency (and, when tracing is
@@ -340,9 +459,16 @@ impl System {
     }
 
     fn drain_l3_writebacks(&mut self, t: Cycle) {
-        for wb in self.hierarchy.take_writebacks() {
+        // The scratch buffer is taken/returned around the push loop so the
+        // borrow checker allows `self.push`; its capacity persists across
+        // records, keeping the steady-state loop allocation-free.
+        let mut scratch = std::mem::take(&mut self.wb_scratch);
+        self.hierarchy.drain_writebacks_into(&mut scratch);
+        for &wb in &scratch {
             self.push(t, EventKind::L4Writeback { line: wb });
         }
+        scratch.clear();
+        self.wb_scratch = scratch;
     }
 
     fn mem_writes(&mut self, t: Cycle, lines: &[u64]) {
@@ -434,17 +560,20 @@ impl System {
         // requests (paying full bandwidth — the contrast of Table 7).
         // Like a real next-line prefetcher, they have no notion of the
         // workload's footprint; useless prefetches simply pollute.
-        for e in self.cfg.l3_fetch.extra_fetches(rec.line) {
+        if let Some(e) = self.cfg.l3_fetch.extra_fetch(rec.line) {
             self.push(t, EventKind::Prefetch { line: e });
         }
         completion + self.cfg.l3_hit_latency
     }
 
-    fn handle_event(&mut self, ev: Event) {
-        match ev.kind {
+    /// Handles one event; a `Dispatch` that has a follow-up dispatch
+    /// returns it (due time, kind) instead of pushing, so the caller can
+    /// chain it inline when nothing else is due earlier.
+    fn handle_event(&mut self, time: Cycle, kind: EventKind) -> Option<(Cycle, EventKind)> {
+        match kind {
             EventKind::Dispatch { core } => {
                 if self.cores[core].records_done >= self.cores[core].target {
-                    return;
+                    return None;
                 }
                 let rec = self.cores[core].gen.next_record();
                 let t = self.cores[core].model.advance(rec.gap);
@@ -454,7 +583,7 @@ impl System {
                 c.records_done += 1;
                 if c.records_done < c.target {
                     let next = c.model.next_dispatch();
-                    self.push(next, EventKind::Dispatch { core });
+                    return Some((next, EventKind::Dispatch { core }));
                 }
             }
             EventKind::Fill { line, probed } => {
@@ -470,12 +599,12 @@ impl System {
                 } else {
                     self.l4.fill(line, false, probed, &mut self.data)
                 };
-                let end = self.run_probes(ev.time, &out.probes);
+                let end = self.run_probes(time, &out.probes);
                 if self.sampling && self.diag_on {
-                    self.phases.fill_cycles += end - ev.time;
+                    self.phases.fill_cycles += end - time;
                 }
                 self.mem_writes(end, &out.memory_writebacks);
-                self.observe(RequestClass::MemFill, ev.time, end, line);
+                self.observe(RequestClass::MemFill, time, end, line);
             }
             EventKind::L4Writeback { line } => {
                 let out = if let Some(seed) = self.size_lie_seed() {
@@ -487,12 +616,12 @@ impl System {
                 } else {
                     self.l4.writeback(line, &mut self.data)
                 };
-                let end = self.run_probes(ev.time, &out.probes);
+                let end = self.run_probes(time, &out.probes);
                 if self.sampling && self.diag_on {
-                    self.phases.writeback_cycles += end - ev.time;
+                    self.phases.writeback_cycles += end - time;
                 }
                 self.mem_writes(end, &out.memory_writebacks);
-                self.observe(RequestClass::Writeback, ev.time, end, line);
+                self.observe(RequestClass::Writeback, time, end, line);
             }
             EventKind::Prefetch { line } => {
                 // Prefetches use the demand path for timing/bandwidth but
@@ -500,27 +629,66 @@ impl System {
                 // a prefetch the MAP-I expects to miss the L4 would spend
                 // DDR bandwidth on speculation and is dropped instead.
                 if self.hierarchy.l3_contains(line) || !self.l4.predicts_hit(line) {
-                    return;
+                    return None;
                 }
-                let done = self.l4_demand(ev.time, line);
+                let done = self.l4_demand(time, line);
                 self.hierarchy.l3_fill(line, false);
                 self.drain_l3_writebacks(done);
+            }
+        }
+        None
+    }
+
+    /// Executes an event and chains same-core follow-up dispatches inline
+    /// for as long as each is due strictly before every queued event. The
+    /// strict inequality is what keeps execution order identical to the
+    /// reference engine: at a tie, the queued event carries the lower
+    /// sequence number and must run first, so the dispatch goes through
+    /// the queue like any other event.
+    fn process(&mut self, mut time: Cycle, mut kind: EventKind) {
+        loop {
+            if self.sampling {
+                self.interval_tick(time);
+            }
+            let Some((t, k)) = self.handle_event(time, kind) else {
+                return;
+            };
+            if self.chain && self.earliest_bound().is_none_or(|b| t < b) {
+                self.ev_chained += 1;
+                time = t;
+                kind = k;
+            } else {
+                self.push(t, k);
+                return;
             }
         }
     }
 
     fn run_phase(&mut self, records_per_core: u64) {
+        // The seed dispatches are not sorted by time; rewind the (empty)
+        // wheel to their minimum so every push lands at or after its clock.
+        if let EventQueue::Wheel(w) = &mut self.queue {
+            if let Some(start) = self.cores.iter().map(|c| c.model.next_dispatch()).min() {
+                w.rewind(start);
+            }
+        }
         for core in 0..self.cores.len() {
             self.cores[core].target += records_per_core;
             let t = self.cores[core].model.next_dispatch();
             self.push(t, EventKind::Dispatch { core });
         }
-        while let Some(Reverse(ev)) = self.events.pop() {
-            if self.sampling {
-                self.interval_tick(ev.time);
-            }
-            self.handle_event(ev);
+        while let Some((time, kind)) = self.pop_event() {
+            self.process(time, kind);
         }
+    }
+
+    /// Runs `records_per_core` more records per core on the current engine
+    /// without entering the measured window. Test-only: the counting-
+    /// allocator test uses this to exercise the steady-state loop from a
+    /// warmed system.
+    #[doc(hidden)]
+    pub fn drive(&mut self, records_per_core: u64) {
+        self.run_phase(records_per_core);
     }
 
     /// Runs warm-up then the measured window and reports the measurement.
@@ -530,7 +698,14 @@ impl System {
     /// Panics when a [`FaultKind::CellPanic`] injector is armed — that is
     /// the injector's whole purpose (the runner's `catch_unwind` isolation
     /// is what's under test).
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_with_engine_stats().0
+    }
+
+    /// [`run`](Self::run), also returning this run's engine counters
+    /// (which never appear in the report; see [`EngineCounters`]).
+    #[doc(hidden)]
+    pub fn run_with_engine_stats(mut self) -> (RunReport, EngineCounters) {
         let span_ctx = self.span_ctx.clone();
         {
             let mut warm = span_ctx
@@ -637,7 +812,19 @@ impl System {
             )
         };
 
-        RunReport {
+        let counters = EngineCounters {
+            events_scheduled: self.ev_scheduled,
+            events_chained: self.ev_chained,
+            wheel_cascades: match &self.queue {
+                EventQueue::Wheel(w) => w.cascades(),
+                EventQueue::Reference { .. } => 0,
+            },
+        };
+        EVENTS_SCHEDULED.fetch_add(counters.events_scheduled, Ordering::Relaxed);
+        EVENTS_CHAINED.fetch_add(counters.events_chained, Ordering::Relaxed);
+        WHEEL_CASCADES.fetch_add(counters.wheel_cascades, Ordering::Relaxed);
+
+        let report = RunReport {
             workload: self.workload_name.clone(),
             cycles,
             core_instructions: self.cores.iter().map(|c| c.model.instructions()).collect(),
@@ -665,7 +852,8 @@ impl System {
             } else {
                 None
             },
-        }
+        };
+        (report, counters)
     }
 }
 
@@ -789,6 +977,63 @@ mod tests {
             "timeline windows must tile the measured reads"
         );
         assert!(!r.trace.is_empty(), "trace enabled but empty");
+    }
+
+    /// Fixture for driving [`System::interval_tick`] directly: a tiny
+    /// system with the given interval length and nothing simulated yet.
+    fn tick_fixture(iv: Cycle) -> System {
+        let mut cfg = SimConfig::scaled(Organization::UncompressedAlloy, 256).with_records(10, 10);
+        cfg.obs.interval_cycles = iv;
+        System::new(cfg, &WorkloadSet::rate(spec("gcc"), 7))
+    }
+
+    #[test]
+    fn interval_tick_anchors_then_closes_exactly_on_boundary() {
+        let mut sys = tick_fixture(100);
+        // The first measured event anchors the window grid and must not
+        // close anything.
+        sys.interval_tick(1_000);
+        assert_eq!(sys.iv_next, Some(1_100));
+        assert!(sys.timeline.is_empty(), "anchoring must not close a window");
+        // An event landing exactly on the boundary closes that window
+        // (boundaries are inclusive: `now >= next`).
+        sys.interval_tick(1_100);
+        assert_eq!(sys.timeline.len(), 1);
+        assert_eq!(sys.timeline[0].end_cycle, 1_100);
+        assert_eq!(sys.timeline[0].cycles, 100);
+        assert_eq!(sys.iv_next, Some(1_200));
+    }
+
+    #[test]
+    fn interval_tick_before_boundary_closes_nothing() {
+        let mut sys = tick_fixture(100);
+        sys.interval_tick(1_000);
+        sys.interval_tick(1_050);
+        sys.interval_tick(1_099); // one cycle short of the boundary
+        assert!(sys.timeline.is_empty());
+        assert_eq!(sys.iv_next, Some(1_100), "boundary must not move early");
+    }
+
+    #[test]
+    fn interval_tick_far_past_boundary_closes_every_skipped_window() {
+        let mut sys = tick_fixture(100);
+        sys.interval_tick(1_000);
+        // An event 3.5 windows out closes the three elapsed windows in
+        // order; the in-progress window (ending 1_400) stays open.
+        sys.interval_tick(1_350);
+        let ends: Vec<Cycle> = sys.timeline.iter().map(|s| s.end_cycle).collect();
+        assert_eq!(ends, vec![1_100, 1_200, 1_300]);
+        assert!(sys.timeline.iter().all(|s| s.cycles == 100));
+        assert_eq!(sys.iv_next, Some(1_400));
+    }
+
+    #[test]
+    fn interval_tick_disabled_is_inert() {
+        let mut sys = tick_fixture(0);
+        sys.interval_tick(1_000);
+        sys.interval_tick(10_000);
+        assert_eq!(sys.iv_next, None);
+        assert!(sys.timeline.is_empty());
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Hierarchical timing wheel: the simulator's event queue.
+//!
+//! A discrete-event simulator pops events in nondecreasing time order and
+//! only ever schedules into the future, so a general-purpose priority
+//! queue (the old `BinaryHeap<Reverse<Event>>`) pays for flexibility the
+//! workload never uses. This wheel exploits the monotone clock:
+//!
+//! * **Layout** — [`LEVELS`] levels of 64 slots each. Level `l` slot `s`
+//!   holds every pending event whose due time matches the wheel clock on
+//!   all bits above `6·(l+1)` and has `s` in bit field `[6·l, 6·(l+1))`.
+//!   Level 0 slots therefore each hold exactly one due *cycle*; higher
+//!   levels hold geometrically wider windows. 64⁰…64¹⁰ spans the full
+//!   `u64` cycle range, so there is no overflow list.
+//! * **Push** — O(1): the target level is the highest 6-bit digit in
+//!   which the due time differs from the wheel clock (`t ^ now`).
+//! * **Pop** — find the lowest non-empty level via a per-level occupancy
+//!   bitmask (`trailing_zeros`, no slot scanning). Level 0 pops directly;
+//!   a higher level *cascades* its earliest slot — redistributes the
+//!   slot's events one level down — and retries. Each event cascades at
+//!   most once per level, so total queue cost is O(levels) amortized,
+//!   with the common case (due time within 64 cycles) a single array
+//!   index.
+//! * **Tie-break contract** — events at equal due cycles pop in schedule
+//!   (FIFO) order, tracked by an explicit monotone sequence number. The
+//!   old heap ordered by `(time, seq)`; the wheel preserves exactly that
+//!   order: slots are FIFO deques, pushes are appends, and a cascade
+//!   replays a slot front-to-back into (provably empty) lower levels, so
+//!   relative order of equal-time events is never disturbed. The
+//!   differential tests in `tests/differential.rs` hold the two engines
+//!   byte-identical over the experiment matrix.
+//!
+//! Events live in a single node pool with an intrusive free list; slots
+//! are intrusive FIFO lists threaded through the pool. The pool only
+//! grows when the number of *simultaneously* pending events reaches a
+//! new maximum, so once warmed the simulation loop schedules, cascades
+//! and pops without heap allocation — per-slot buffers would instead
+//! keep allocating whenever any one of the 704 slots saw a new local
+//! maximum occupancy.
+
+use crate::Cycle;
+
+/// Bits per level: 64 slots.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Levels needed so `64^LEVELS` covers the full `u64` cycle range
+/// (`6 * 11 = 66 >= 64` bits).
+const LEVELS: usize = 11;
+
+/// One queued event: due time, FIFO tie-break, payload.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Scheduled<T> {
+    /// Due cycle.
+    pub time: Cycle,
+    /// Monotone schedule order; equal-time events pop in `seq` order.
+    pub seq: u64,
+    /// The event itself.
+    pub payload: T,
+}
+
+/// Null index for the intrusive lists.
+const NIL: usize = usize::MAX;
+
+/// A pool slot: the scheduled event plus its intrusive `next` link
+/// (successor within its wheel slot's FIFO list, or the next free node
+/// while on the free list).
+struct Node<T> {
+    entry: Scheduled<T>,
+    next: usize,
+}
+
+/// One wheel slot: head/tail indices of its FIFO list in the pool.
+#[derive(Clone, Copy)]
+struct Slot {
+    head: usize,
+    tail: usize,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    head: NIL,
+    tail: NIL,
+};
+
+struct Level {
+    slots: [Slot; SLOTS],
+    /// Bit `s` set ⇔ `slots[s]` is non-empty.
+    occupied: u64,
+}
+
+impl Level {
+    fn new() -> Self {
+        Self {
+            slots: [EMPTY_SLOT; SLOTS],
+            occupied: 0,
+        }
+    }
+}
+
+/// The wheel. `now` is the engine clock: it trails the minimum pending
+/// due time, advances on every pop, and every push must be `>= now`
+/// (the discrete-event invariant; checked in debug builds).
+pub(crate) struct EventWheel<T> {
+    levels: Vec<Level>,
+    pool: Vec<Node<T>>,
+    /// Head of the free-node list threaded through `pool[..].next`.
+    free: usize,
+    now: Cycle,
+    len: usize,
+    seq: u64,
+    cascades: u64,
+}
+
+impl<T: Copy> EventWheel<T> {
+    pub fn new() -> Self {
+        Self {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            pool: Vec::new(),
+            free: NIL,
+            now: 0,
+            len: 0,
+            seq: 0,
+            cascades: 0,
+        }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Slot cascades performed so far (the `sim.wheel_cascades` metric).
+    pub fn cascades(&self) -> u64 {
+        self.cascades
+    }
+
+    /// The level an event due at `t` belongs to, relative to clock `now`:
+    /// the highest 6-bit digit where they differ (0 when equal).
+    #[inline]
+    fn level_of(now: Cycle, t: Cycle) -> usize {
+        let diff = now ^ t;
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        }
+    }
+
+    #[inline]
+    fn slot_of(t: Cycle, level: usize) -> usize {
+        ((t >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
+    }
+
+    /// Files pool node `idx` without assigning a new sequence number
+    /// (shared by push and cascade; cascaded events keep their original
+    /// `seq`). Appends to the target slot's FIFO list.
+    #[inline]
+    fn place(&mut self, idx: usize) {
+        let time = self.pool[idx].entry.time;
+        let level = Self::level_of(self.now, time);
+        let slot = Self::slot_of(time, level);
+        self.pool[idx].next = NIL;
+        let tail = self.levels[level].slots[slot].tail;
+        if tail == NIL {
+            self.levels[level].slots[slot].head = idx;
+        } else {
+            self.pool[tail].next = idx;
+        }
+        self.levels[level].slots[slot].tail = idx;
+        self.levels[level].occupied |= 1 << slot;
+    }
+
+    /// Rewinds the clock of an *empty* wheel to `time` (no-op when the
+    /// clock is already at or below it). A new simulation phase may start
+    /// below the previous phase's final event; callers pushing several
+    /// seed events rewind to their minimum first so every push satisfies
+    /// the `time >= now` invariant.
+    pub fn rewind(&mut self, time: Cycle) {
+        debug_assert_eq!(self.len, 0, "rewind only valid on an empty wheel");
+        if time < self.now {
+            self.now = time;
+        }
+    }
+
+    /// Schedules `payload` at `time`, assigning the next sequence number.
+    ///
+    /// `time` must be `>= `the wheel clock, except when the wheel is
+    /// empty — then the clock rewinds to `time` automatically.
+    pub fn push(&mut self, time: Cycle, payload: T) {
+        if self.len == 0 && time < self.now {
+            self.now = time;
+        }
+        debug_assert!(time >= self.now, "event scheduled in the past");
+        self.seq += 1;
+        let entry = Scheduled {
+            time,
+            seq: self.seq,
+            payload,
+        };
+        // Recycle a free node when one exists; the pool only grows on a
+        // new maximum of simultaneously pending events.
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            self.free = self.pool[idx].next;
+            self.pool[idx].entry = entry;
+            idx
+        } else {
+            self.pool.push(Node { entry, next: NIL });
+            self.pool.len() - 1
+        };
+        self.place(idx);
+        self.len += 1;
+    }
+
+    /// A lower bound on the earliest pending due time (`None` when
+    /// empty). Exact when the earliest event sits at level 0 — the common
+    /// case — and otherwise the start of its level's slot window, which
+    /// is never above the true minimum. The dispatch-chaining fast path
+    /// compares strictly against this bound, so an inexact bound can only
+    /// suppress a chain (costing a queue round-trip), never reorder one.
+    pub fn earliest_bound(&self) -> Option<Cycle> {
+        if self.len == 0 {
+            return None;
+        }
+        for (level, l) in self.levels.iter().enumerate() {
+            if l.occupied != 0 {
+                let slot = l.occupied.trailing_zeros() as u64;
+                let shift = SLOT_BITS as usize * level;
+                let above = SLOT_BITS as usize * (level + 1);
+                // Keep the clock's digits above this level, substitute the
+                // slot index at this level, zero everything below.
+                let high = if above >= 64 {
+                    0
+                } else {
+                    (self.now >> above) << above
+                };
+                return Some(high | (slot << shift));
+            }
+        }
+        None
+    }
+
+    /// Pops the earliest event (FIFO among equal due times) and advances
+    /// the clock to its due time.
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Find the lowest non-empty level. Lower levels hold strictly
+            // earlier windows (their whole range nests inside the current
+            // slot of every level above), so the first hit is the level
+            // of the global minimum.
+            let level = self
+                .levels
+                .iter()
+                .position(|l| l.occupied != 0)
+                .expect("len > 0 but every level empty");
+            let slot = self.levels[level].occupied.trailing_zeros() as usize;
+            if level == 0 {
+                // A level-0 slot holds exactly one due cycle, FIFO.
+                let idx = self.levels[0].slots[slot].head;
+                debug_assert_ne!(idx, NIL, "occupied bit set on empty slot");
+                let next = self.pool[idx].next;
+                let entry = self.pool[idx].entry;
+                // The tie-break contract: a level-0 slot holds one due
+                // cycle, and FIFO appends keep it sorted by seq.
+                debug_assert!(next == NIL || self.pool[next].entry.seq > entry.seq);
+                self.levels[0].slots[slot].head = next;
+                if next == NIL {
+                    self.levels[0].slots[slot].tail = NIL;
+                    self.levels[0].occupied &= !(1 << slot);
+                }
+                // Return the node to the free list.
+                self.pool[idx].next = self.free;
+                self.free = idx;
+                self.len -= 1;
+                self.now = entry.time;
+                return Some(entry);
+            }
+            // Cascade: advance the clock to the slot's window start, then
+            // replay the slot one level down. Every level below is empty
+            // (we just chose the lowest), so the replay lands in empty
+            // slots and preserves FIFO order among equal due times. Pure
+            // pointer relinking — no node moves, no allocation.
+            let shift = SLOT_BITS as usize * level;
+            let above = SLOT_BITS as usize * (level + 1);
+            let high = if above >= 64 {
+                0
+            } else {
+                (self.now >> above) << above
+            };
+            self.now = high | ((slot as u64) << shift);
+            let s = self.levels[level].slots[slot];
+            self.levels[level].slots[slot] = EMPTY_SLOT;
+            self.levels[level].occupied &= !(1 << slot);
+            let mut idx = s.head;
+            while idx != NIL {
+                let next = self.pool[idx].next;
+                debug_assert!(Self::level_of(self.now, self.pool[idx].entry.time) < level);
+                self.place(idx);
+                idx = next;
+            }
+            self.cascades += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pops the wheel dry, returning `(time, seq)` pairs.
+    fn drain(w: &mut EventWheel<u32>) -> Vec<(Cycle, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = w.pop() {
+            out.push((e.time, e.seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_order_across_levels() {
+        let mut w = EventWheel::new();
+        for &t in &[5_000_000u64, 3, 70, 64, 4096, 65, 0, 1 << 40] {
+            w.push(t, 0u32);
+        }
+        let times: Vec<Cycle> = drain(&mut w).iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![0, 3, 64, 65, 70, 4096, 5_000_000, 1 << 40]);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn equal_times_pop_in_schedule_order() {
+        let mut w = EventWheel::new();
+        // Same due cycle scheduled from different clock positions: one
+        // lands far out (level > 0), later ones land nearby after the
+        // clock advances — all must still pop FIFO by seq.
+        w.push(500, 1u32);
+        w.push(10, 0);
+        assert_eq!(w.pop().unwrap().time, 10); // clock now 10
+        w.push(500, 2);
+        w.push(500, 3);
+        let rest = drain(&mut w);
+        assert_eq!(rest.iter().map(|&(t, _)| t).collect::<Vec<_>>(), [500; 3]);
+        let seqs: Vec<u64> = rest.iter().map(|&(_, s)| s).collect();
+        assert!(
+            seqs.windows(2).all(|p| p[0] < p[1]),
+            "FIFO broken: {seqs:?}"
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        // Deterministic pseudo-random schedule pattern mimicking the sim:
+        // always push at or after the last popped time.
+        let mut w = EventWheel::new();
+        let mut x = 0x5eedu64;
+        let mut clock = 0u64;
+        let mut popped = Vec::new();
+        for step in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let delta = x >> 52; // 0..4096
+            w.push(clock + delta, step as u32);
+            if step % 3 != 0 {
+                let e = w.pop().unwrap();
+                assert!(e.time >= clock, "popped {} before clock {clock}", e.time);
+                clock = e.time;
+                popped.push(e.time);
+            }
+        }
+        popped.extend(drain(&mut w).iter().map(|&(t, _)| t));
+        assert!(popped.windows(2).all(|p| p[0] <= p[1]));
+        assert_eq!(popped.len(), 10_000);
+        assert!(w.cascades() > 0, "pattern must exercise cascading");
+    }
+
+    #[test]
+    fn earliest_bound_is_a_sound_lower_bound() {
+        let mut w = EventWheel::new();
+        assert_eq!(w.earliest_bound(), None);
+        w.push(7, 0u32);
+        assert_eq!(w.earliest_bound(), Some(7), "level 0 bound is exact");
+        w.push(100_000, 1);
+        assert_eq!(w.earliest_bound(), Some(7));
+        assert_eq!(w.pop().unwrap().time, 7);
+        let bound = w.earliest_bound().unwrap();
+        assert!(bound <= 100_000, "bound {bound} above the true minimum");
+        assert!(bound > 7, "bound must advance past the popped event");
+    }
+
+    #[test]
+    fn clock_rewinds_only_when_empty() {
+        let mut w = EventWheel::new();
+        w.push(1_000, 0u32);
+        assert_eq!(w.pop().unwrap().time, 1_000);
+        // Next phase starts below the previous phase's last event.
+        w.push(50, 1);
+        w.push(60, 2);
+        assert_eq!(w.pop().unwrap().time, 50);
+        assert_eq!(w.pop().unwrap().time, 60);
+    }
+}

@@ -1,0 +1,157 @@
+//! Differential determinism: the timing-wheel engine (with dispatch
+//! chaining) must produce **byte-identical** `RunReport` JSON to the
+//! original heap-based reference engine, across the experiment matrix and
+//! under randomized cells.
+//!
+//! This is the contract that lets the engine rewrite ship without touching
+//! a single recorded result: the wheel preserves the heap's `(time, seq)`
+//! pop order, and chaining only runs an event early when it provably would
+//! have popped next anyway.
+
+use dice_cache::L3FetchPolicy;
+use dice_core::Organization;
+use dice_sim::{SimConfig, System, WorkloadSet};
+use dice_workloads::spec_table;
+use proptest::prelude::*;
+
+fn spec(name: &str) -> dice_workloads::WorkloadSpec {
+    spec_table().into_iter().find(|w| w.name == name).unwrap()
+}
+
+/// Runs the same cell on both engines and returns (wheel, reference) JSON.
+fn both_engines(cfg: &SimConfig, wl: &WorkloadSet) -> (String, String) {
+    let wheel = System::new(cfg.clone(), wl).run().to_json().render();
+    let mut sys = System::new(cfg.clone(), wl);
+    sys.use_reference_engine();
+    let reference = sys.run().to_json().render();
+    (wheel, reference)
+}
+
+fn assert_identical(cfg: &SimConfig, wl: &WorkloadSet, label: &str) {
+    let (wheel, reference) = both_engines(cfg, wl);
+    assert_eq!(
+        wheel, reference,
+        "engine divergence in cell {label} (wheel vs reference)"
+    );
+}
+
+#[test]
+fn every_organization_is_engine_identical() {
+    for org in [
+        Organization::UncompressedAlloy,
+        Organization::CompressedTsi,
+        Organization::CompressedNsi,
+        Organization::CompressedBai,
+        Organization::Dice { threshold: 36 },
+        Organization::Scc,
+    ] {
+        let cfg = SimConfig::scaled(org, 1024).with_records(1_500, 3_000);
+        let wl = WorkloadSet::rate(spec("mcf"), 7);
+        assert_identical(&cfg, &wl, &format!("{org:?}/mcf"));
+    }
+}
+
+#[test]
+fn every_workload_class_is_engine_identical() {
+    // One representative per access-pattern class: latency-bound pointer
+    // chasing (mcf), cache-friendly (gcc), compressible spatial (cc_twi),
+    // incompressible streaming (lbm).
+    for wl in ["mcf", "gcc", "cc_twi", "lbm"] {
+        let cfg = SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024)
+            .with_records(1_500, 3_000);
+        assert_identical(&cfg, &WorkloadSet::rate(spec(wl), 7), wl);
+    }
+}
+
+#[test]
+fn mixed_workloads_are_engine_identical() {
+    let cfg =
+        SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024).with_records(1_000, 2_000);
+    let specs = vec![
+        spec("mcf"),
+        spec("lbm"),
+        spec("gcc"),
+        spec("libq"),
+        spec("astar"),
+        spec("wrf"),
+        spec("milc"),
+        spec("xalanc"),
+    ];
+    assert_identical(&cfg, &WorkloadSet::mix("mixT", specs, 3), "mixT");
+}
+
+#[test]
+fn observability_knobs_are_engine_identical() {
+    // Interval sampling interacts with event times (window closes are
+    // driven by pop order), and tracing captures per-event latencies —
+    // both must see the exact same event sequence.
+    let mut cfg =
+        SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024).with_records(1_500, 3_000);
+    cfg.obs.interval_cycles = 25_000;
+    cfg.obs.trace_capacity = 512;
+    assert_identical(&cfg, &WorkloadSet::rate(spec("gcc"), 7), "sampled+traced");
+
+    let mut cfg =
+        SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024).with_records(1_500, 3_000);
+    cfg.obs.trace_level = dice_obs::TraceLevel::Decisions;
+    assert_identical(&cfg, &WorkloadSet::rate(spec("gcc"), 7), "decisions");
+}
+
+#[test]
+fn prefetch_policies_are_engine_identical() {
+    // Prefetch events share dispatch times with the records that spawn
+    // them — the tie-break contract's hardest customer.
+    for policy in [L3FetchPolicy::NextLine, L3FetchPolicy::Wide128] {
+        let mut cfg = SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024)
+            .with_records(1_500, 3_000);
+        cfg.l3_fetch = policy;
+        assert_identical(
+            &cfg,
+            &WorkloadSet::rate(spec("cc_twi"), 7),
+            &format!("{policy:?}"),
+        );
+    }
+}
+
+#[test]
+fn audit_and_pairing_knobs_are_engine_identical() {
+    let cfg = SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024)
+        .with_records(1_500, 3_000)
+        .with_audit(512);
+    assert_identical(&cfg, &WorkloadSet::rate(spec("gcc"), 7), "audited");
+
+    let mut cfg =
+        SimConfig::scaled(Organization::Dice { threshold: 36 }, 1024).with_records(1_500, 3_000);
+    cfg.install_pair_in_l3 = false;
+    assert_identical(&cfg, &WorkloadSet::rate(spec("cc_twi"), 7), "no-pair-fill");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random cells: any organization, workload, seed and window shape.
+    #[test]
+    fn random_cells_are_engine_identical(
+        org_idx in 0usize..6,
+        wl_idx in 0usize..4,
+        seed in 0u64..1000,
+        warmup in 200u64..1200,
+        measure in 500u64..2500,
+        interval_idx in 0usize..3,
+    ) {
+        let org = [
+            Organization::UncompressedAlloy,
+            Organization::CompressedTsi,
+            Organization::CompressedNsi,
+            Organization::CompressedBai,
+            Organization::Dice { threshold: 36 },
+            Organization::Scc,
+        ][org_idx];
+        let wl = ["mcf", "gcc", "cc_twi", "lbm"][wl_idx];
+        let mut cfg = SimConfig::scaled(org, 1024).with_records(warmup, measure);
+        cfg.obs.interval_cycles = [0u64, 10_000, 50_000][interval_idx];
+        let wlset = WorkloadSet::rate(spec(wl), seed);
+        let (wheel, reference) = both_engines(&cfg, &wlset);
+        prop_assert_eq!(wheel, reference);
+    }
+}
