@@ -8,6 +8,10 @@
 //!                         [--conn-workers N] [--vnodes N] [--capacity N]
 //!                         [--scatter-width N] [--retries N]
 //!                         [--backoff-ms MS] [--cell-timeout SECS]
+//!                         [--journal PATH] [--hedge-ms MS]
+//!                         [--breaker-threshold N] [--breaker-open-ms MS]
+//!                         [--probe-budget N] [--probe-connect-ms MS]
+//!                         [--probe-read-ms MS]
 //! ```
 //!
 //! Both roles bind 127.0.0.1 (`--port 0` = ephemeral) and report the
@@ -33,7 +37,11 @@ fn usage() -> ! {
          \x20      dice-fabric coordinator [--port P] --worker ADDR [--worker ADDR ...]\n\
          \x20                           [--conn-workers N] [--vnodes N] [--capacity N]\n\
          \x20                           [--scatter-width N] [--retries N]\n\
-         \x20                           [--backoff-ms MS] [--cell-timeout SECS]"
+         \x20                           [--backoff-ms MS] [--cell-timeout SECS]\n\
+         \x20                           [--journal PATH] [--hedge-ms MS]\n\
+         \x20                           [--breaker-threshold N] [--breaker-open-ms MS]\n\
+         \x20                           [--probe-budget N] [--probe-connect-ms MS]\n\
+         \x20                           [--probe-read-ms MS]"
     );
     std::process::exit(2);
 }
@@ -148,6 +156,30 @@ fn run_coordinator(args: &mut std::env::Args) -> i32 {
             "--cell-timeout" => {
                 let secs: u64 = value("seconds").parse().unwrap_or_else(|_| usage());
                 config.cell_timeout = Duration::from_secs(secs);
+            }
+            "--journal" => config.journal = Some(value("a path").into()),
+            "--hedge-ms" => {
+                let ms: u64 = value("milliseconds").parse().unwrap_or_else(|_| usage());
+                config.hedge_after = Some(Duration::from_millis(ms));
+            }
+            "--breaker-threshold" => {
+                config.breaker.failure_threshold =
+                    value("a count").parse().unwrap_or_else(|_| usage());
+            }
+            "--breaker-open-ms" => {
+                let ms: u64 = value("milliseconds").parse().unwrap_or_else(|_| usage());
+                config.breaker.open_base = Duration::from_millis(ms);
+            }
+            "--probe-budget" => {
+                config.breaker.probe_budget = value("a count").parse().unwrap_or_else(|_| usage());
+            }
+            "--probe-connect-ms" => {
+                let ms: u64 = value("milliseconds").parse().unwrap_or_else(|_| usage());
+                config.probe_connect = Duration::from_millis(ms);
+            }
+            "--probe-read-ms" => {
+                let ms: u64 = value("milliseconds").parse().unwrap_or_else(|_| usage());
+                config.probe_read = Duration::from_millis(ms);
             }
             _ => usage(),
         }

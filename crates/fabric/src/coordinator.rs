@@ -8,10 +8,15 @@
 //!
 //! Failure handling, per gather result:
 //!
-//! * **transport error / protocol violation / unexpected status** — the
-//!   node is marked dead, removed from the ring (version bump), and the
-//!   cell stays pending; the next round re-hashes it onto the survivors,
-//!   exactly where a ring without the dead node would place it.
+//! * **transport error / protocol violation / unexpected status** — a
+//!   dispatch failure against the node's circuit [`Breaker`]. At the
+//!   failure threshold the breaker trips: the node leaves the ring
+//!   (version bump) and an immediate health probe classifies the damage
+//!   — **connection refused** means the process is gone (the node is
+//!   declared dead), anything else keeps the breaker open for a
+//!   jittered interval after which half-open probes decide whether it
+//!   rejoins the ring or (probe budget exhausted) dies. The cell stays
+//!   pending either way; the next round re-hashes it onto survivors.
 //! * **HTTP 503** — the node is probed: a draining worker is removed
 //!   from the ring (its in-flight cells still answer), a merely busy one
 //!   stays and the cell retries after backoff.
@@ -22,15 +27,31 @@
 //!   deterministic simulation panic renders the same error entry a
 //!   direct run would.
 //!
-//! Rounds are bounded (`retry_rounds`) with doubling backoff. Report
-//! assembly rebuilds a [`SweepResult`] from the gathered outcomes and
-//! renders it through the same [`render_runs`] path a direct
+//! Rounds are bounded (`retry_rounds`) with decorrelated-jitter backoff
+//! ([`JitteredBackoff`], seeded per sweep). Optionally each dispatch is
+//! **hedged**: if the primary worker has not answered within
+//! `hedge_after`, a second request goes to the next distinct ring owner
+//! and the first usable response wins (`fabric.hedge.*` metrics).
+//!
+//! When a `journal` path is configured every accepted spec, finalized
+//! cell and sweep completion is appended to a write-ahead [`Journal`]
+//! (fsync'd before the client sees the 202). A coordinator killed
+//! mid-sweep replays the journal on restart, resumes only the missing
+//! cells, and renders the same bytes — crash recovery rides on the same
+//! identity that makes fabric reports `cmp`-equal to direct runs.
+//!
+//! Report assembly rebuilds a [`SweepResult`] from the gathered outcomes
+//! and renders it through the same [`render_runs`] path a direct
 //! `dice-runner` invocation uses — byte-identical output is the
-//! invariant the end-to-end tests `cmp` for.
+//! invariant the end-to-end tests `cmp` for. When the fabric itself had
+//! to synthesize an outcome (no live worker ever completed the cell),
+//! the sweep completes with a typed `degraded` reason instead of
+//! pretending the bytes are canonical.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -40,14 +61,22 @@ use dice_obs::{
     labeled, merge_chrome, render_prometheus, Histogram, Json, MetricRegistry, TraceCtx,
 };
 use dice_runner::{cell_key, Cell, CellOutcome, SweepResult};
-use dice_serve::client::{http_get_timeout, http_post_timeout};
+use dice_serve::client::{http_post_timeout, http_probe, ProbeError};
 use dice_serve::http::{Request, Response};
 use dice_serve::net::{Handled, NetConfig, NetServer};
 use dice_serve::sse::stream_sse;
 use dice_serve::{render_runs, sweep_key, JobState, SweepSpec};
 
+use crate::breaker::{Breaker, BreakerConfig, JitteredBackoff};
+use crate::journal::{Journal, JournalRecord};
 use crate::ring::{HashRing, DEFAULT_VNODES};
-use crate::wire::{cell_spec, parse_run_object};
+use crate::wire::{cell_spec, open_run_object, parse_run_object, render_run_object};
+
+/// The error the fabric synthesizes when no live worker ever completed a
+/// cell. Its `fabric:` prefix is what marks a finished sweep *degraded*:
+/// these entries are the fabric's fault, not the simulation's, so the
+/// report is not canonical.
+const SYNTHETIC_ERROR: &str = "fabric: no live worker completed this cell";
 
 /// Coordinator construction knobs.
 #[derive(Debug, Clone)]
@@ -64,12 +93,27 @@ pub struct CoordinatorConfig {
     pub scatter_width: usize,
     /// Re-scatter rounds after the first (bounded retries).
     pub retry_rounds: usize,
-    /// Backoff before the first re-scatter round; doubles per round
-    /// (capped at one second).
+    /// Base for the decorrelated-jitter backoff between re-scatter
+    /// rounds (draws live in `[backoff, backoff_cap]`).
     pub backoff: Duration,
-    /// Socket timeout for one scattered cell; a worker that blows it is
-    /// declared dead.
+    /// Ceiling on the jittered re-scatter backoff.
+    pub backoff_cap: Duration,
+    /// Socket timeout for one scattered cell; a worker that blows it
+    /// counts a dispatch failure against its breaker.
     pub cell_timeout: Duration,
+    /// Per-worker circuit breaker tuning.
+    pub breaker: BreakerConfig,
+    /// TCP connect budget for health probes (a refused connect within
+    /// this window proves the process is gone).
+    pub probe_connect: Duration,
+    /// Read budget for health probes (blown = alive but slow).
+    pub probe_read: Duration,
+    /// When set, a dispatch unanswered for this long gets a hedged
+    /// duplicate on the next distinct ring owner; first response wins.
+    pub hedge_after: Option<Duration>,
+    /// When set, accepted sweeps and finalized cells are appended to a
+    /// write-ahead journal at this path and replayed on restart.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for CoordinatorConfig {
@@ -82,7 +126,13 @@ impl Default for CoordinatorConfig {
             scatter_width: 8,
             retry_rounds: 3,
             backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
             cell_timeout: Duration::from_secs(120),
+            breaker: BreakerConfig::default(),
+            probe_connect: Duration::from_secs(1),
+            probe_read: Duration::from_secs(2),
+            hedge_after: None,
+            journal: None,
         }
     }
 }
@@ -114,6 +164,7 @@ struct Node {
     name: String,
     addr: String,
     state: NodeState,
+    breaker: Breaker,
     dispatched: u64,
     completed: u64,
     failed: u64,
@@ -163,6 +214,8 @@ impl Membership {
                     ("name".into(), Json::str(&n.name)),
                     ("addr".into(), Json::str(&n.addr)),
                     ("state".into(), Json::str(n.state.as_str())),
+                    ("breaker".into(), Json::str(n.breaker.state_str())),
+                    ("breaker_opened".into(), Json::u64(n.breaker.opened_total())),
                     ("dispatched".into(), Json::u64(n.dispatched)),
                     ("completed".into(), Json::u64(n.completed)),
                     ("failed".into(), Json::u64(n.failed)),
@@ -186,6 +239,9 @@ struct FabricJob {
     body: Option<Arc<String>>,
     error: Option<String>,
     summary: Option<String>,
+    /// Why the finished report is not canonical (fabric-synthesized
+    /// outcomes), when it is not.
+    degraded: Option<String>,
     coalesced: u64,
     events: Vec<Arc<String>>,
     trace: Option<Arc<String>>,
@@ -199,6 +255,7 @@ struct Shared {
     draining: Arc<AtomicBool>,
     metrics: Mutex<MetricRegistry>,
     threads: Mutex<Vec<JoinHandle<()>>>,
+    journal: Option<Journal>,
 }
 
 impl Shared {
@@ -208,18 +265,146 @@ impl Shared {
         reg.inc(id);
     }
 
+    fn count_by(&self, name: &str, n: u64) {
+        let mut reg = self.metrics.lock().expect("metrics poisoned");
+        let id = reg.counter(name);
+        reg.add(id, n);
+    }
+
     fn count_node(&self, base: &str, node: &str) {
         let mut reg = self.metrics.lock().expect("metrics poisoned");
         let id = reg.counter(&labeled(base, &[("node", node)]));
         reg.inc(id);
     }
 
-    /// Declares `name` dead (transport failure / protocol violation).
-    fn fail_node(&self, name: &str) {
+    /// Appends one record to the write-ahead journal, when configured.
+    /// Append failures are counted and logged but never block a sweep —
+    /// durability degrades, execution does not.
+    fn journal_append(&self, record: &JournalRecord) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        match journal.append(record) {
+            Ok(()) => self.count("fabric.journal.appends"),
+            Err(e) => {
+                eprintln!(
+                    "dice-fabric-coordinator: journal append failed ({}): {e}",
+                    journal.path().display()
+                );
+                self.count("fabric.journal.append_errors");
+            }
+        }
+    }
+
+    /// Records a dispatch failure (transport / protocol violation)
+    /// against `name`'s breaker. A trip takes the node off the ring and
+    /// triggers an immediate classifying probe.
+    fn dispatch_failed(&self, name: &str) {
+        let tripped_addr = {
+            let mut m = self.membership.lock().expect("membership poisoned");
+            let now = Instant::now();
+            let Some(node) = m.node_mut(name) else {
+                return;
+            };
+            if node.state != NodeState::Healthy {
+                return;
+            }
+            if !node.breaker.record_failure(now) {
+                return;
+            }
+            let addr = node.addr.clone();
+            m.ring.remove(name);
+            addr
+        };
+        self.count("fabric.breaker.opened");
+        self.count_node("fabric.breaker_opened", name);
+        // The trip tells us dispatches fail; the probe tells us *why*.
+        // Refused means the process is gone — no point waiting out the
+        // open interval for a node the kernel has already buried.
+        self.probe_node(name, &tripped_addr);
+    }
+
+    /// Records a successful worker answer: resets the breaker's failure
+    /// streak (closed breakers only — open ones re-close via probes so
+    /// the ring membership stays consistent).
+    fn dispatch_answered(&self, name: &str) {
         let mut m = self.membership.lock().expect("membership poisoned");
-        if m.retire(name, NodeState::Dead) {
-            drop(m);
-            self.count("fabric.node_failures");
+        if let Some(node) = m.node_mut(name) {
+            if node.state == NodeState::Healthy && node.breaker.is_closed() {
+                node.breaker.record_success();
+            }
+        }
+    }
+
+    /// One health probe against `name`, settling its breaker: 200
+    /// re-closes it (the node rejoins the ring), refused declares it
+    /// dead, 503 marks it draining, anything else burns probe budget.
+    fn probe_node(&self, name: &str, addr: &str) {
+        self.count("fabric.probe.sent");
+        let result = http_probe(
+            addr,
+            "/healthz",
+            self.cfg.probe_connect,
+            self.cfg.probe_read,
+        );
+        if let Err(e) = &result {
+            let mut reg = self.metrics.lock().expect("metrics poisoned");
+            let id = reg.counter(&labeled("fabric.probe_failures", &[("kind", e.kind_str())]));
+            reg.inc(id);
+        }
+        let mut m = self.membership.lock().expect("membership poisoned");
+        let now = Instant::now();
+        let Some(node) = m.node_mut(name) else {
+            return;
+        };
+        if node.state != NodeState::Healthy {
+            return;
+        }
+        match result {
+            Ok(ref r) if r.status == 200 => {
+                node.breaker.probe_succeeded();
+                m.ring.add(name);
+                drop(m);
+                self.count("fabric.breaker.reclosed");
+            }
+            Ok(_) => {
+                // 503: the worker is draining by choice; honor it.
+                m.retire(name, NodeState::Draining);
+            }
+            Err(ProbeError::Refused) => {
+                node.state = NodeState::Dead;
+                drop(m);
+                self.count("fabric.node_failures");
+            }
+            Err(_) => {
+                if node.breaker.probe_failed(now) {
+                    node.state = NodeState::Dead;
+                    drop(m);
+                    self.count("fabric.node_failures");
+                }
+            }
+        }
+    }
+
+    /// Probes every open breaker whose jittered interval has expired
+    /// (run at each scatter-round start so tripped nodes can rejoin the
+    /// ring mid-sweep).
+    fn probe_due_breakers(&self) {
+        let due: Vec<(String, String)> = {
+            let mut m = self.membership.lock().expect("membership poisoned");
+            let now = Instant::now();
+            m.nodes
+                .iter_mut()
+                .filter(|n| n.state == NodeState::Healthy && !n.breaker.is_closed())
+                .filter_map(|n| {
+                    n.breaker
+                        .probe_due(now)
+                        .then(|| (n.name.clone(), n.addr.clone()))
+                })
+                .collect()
+        };
+        for (name, addr) in due {
+            self.probe_node(&name, &addr);
         }
     }
 
@@ -257,19 +442,34 @@ impl Coordinator {
     /// reachable ones join the ring, unreachable ones start dead (they
     /// are still listed in the membership document).
     ///
+    /// When a journal is configured, its intact records are replayed
+    /// first: sweeps accepted but not completed before the last shutdown
+    /// (crash or otherwise) resume immediately, re-dispatching only the
+    /// cells the journal has no result for.
+    ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure and journal open/recovery failures.
     pub fn bind(config: CoordinatorConfig) -> io::Result<Coordinator> {
         let net = NetServer::bind(&config.net)?;
         let draining = net.drain_flag();
+
+        let (journal, recovery) = match &config.journal {
+            Some(path) => {
+                let (journal, recovery) = Journal::open(path)?;
+                (Some(journal), Some(recovery))
+            }
+            None => (None, None),
+        };
+
         let mut membership = Membership {
             nodes: Vec::new(),
             ring: HashRing::new(config.vnodes),
         };
         for (i, addr) in config.workers.iter().enumerate() {
             let name = format!("w{i}");
-            let state = match http_get_timeout(addr, "/healthz", Duration::from_secs(2)) {
+            let state = match http_probe(addr, "/healthz", config.probe_connect, config.probe_read)
+            {
                 Ok(r) if r.status == 200 => NodeState::Healthy,
                 Ok(_) => NodeState::Draining,
                 Err(_) => NodeState::Dead,
@@ -278,6 +478,7 @@ impl Coordinator {
                 membership.ring.add(&name);
             }
             membership.nodes.push(Node {
+                breaker: Breaker::new(config.breaker.clone(), i as u64 + 1),
                 name,
                 addr: addr.clone(),
                 state,
@@ -286,18 +487,20 @@ impl Coordinator {
                 failed: 0,
             });
         }
-        Ok(Coordinator {
-            net,
-            shared: Arc::new(Shared {
-                cfg: config,
-                membership: Mutex::new(membership),
-                jobs: Mutex::new(HashMap::new()),
-                active: AtomicUsize::new(0),
-                draining,
-                metrics: Mutex::new(MetricRegistry::new()),
-                threads: Mutex::new(Vec::new()),
-            }),
-        })
+        let shared = Arc::new(Shared {
+            cfg: config,
+            membership: Mutex::new(membership),
+            jobs: Mutex::new(HashMap::new()),
+            active: AtomicUsize::new(0),
+            draining,
+            metrics: Mutex::new(MetricRegistry::new()),
+            threads: Mutex::new(Vec::new()),
+            journal,
+        });
+        if let Some(recovery) = recovery {
+            resume_from_journal(&shared, &recovery);
+        }
+        Ok(Coordinator { net, shared })
     }
 
     /// The bound address (useful with `port: 0`).
@@ -512,6 +715,7 @@ fn submit_sweep(request: &Request, shared: &Arc<Shared>) -> Response {
             body: None,
             error: None,
             summary: None,
+            degraded: None,
             coalesced: 0,
             events: Vec::new(),
             trace: None,
@@ -520,10 +724,16 @@ fn submit_sweep(request: &Request, shared: &Arc<Shared>) -> Response {
     shared.active.fetch_add(1, Ordering::SeqCst);
     drop(jobs);
     shared.count("fabric.sweeps_submitted");
+    // Durability point: the spec is fsync'd before the client sees 202,
+    // so an accepted sweep survives any later crash.
+    shared.journal_append(&JournalRecord::Accepted {
+        sweep: id,
+        spec: spec.to_json(),
+    });
 
     let worker_shared = Arc::clone(shared);
     let thread = std::thread::spawn(move || {
-        run_fabric_sweep(&worker_shared, id, &spec, cells);
+        run_fabric_sweep(&worker_shared, id, &spec, cells, HashMap::new());
         worker_shared.active.fetch_sub(1, Ordering::SeqCst);
     });
     let mut threads = shared.threads.lock().expect("threads poisoned");
@@ -531,6 +741,97 @@ fn submit_sweep(request: &Request, shared: &Arc<Shared>) -> Response {
     threads.push(thread);
     drop(threads);
     accepted(id, false, JobState::Queued)
+}
+
+/// Replays journal recovery at bind time: every sweep with an `accepted`
+/// record but no `done` record gets its job entry rebuilt, its journaled
+/// cell results pre-filled, and a scatter thread spawned to finish only
+/// the cells the journal has no outcome for.
+fn resume_from_journal(shared: &Arc<Shared>, recovery: &crate::journal::Recovery) {
+    if recovery.dropped_bytes > 0 {
+        eprintln!(
+            "dice-fabric-coordinator: journal recovery dropped {} torn trailing bytes",
+            recovery.dropped_bytes
+        );
+    }
+    let mut specs: HashMap<u64, &Json> = HashMap::new();
+    let mut cell_runs: HashMap<u64, Vec<&Json>> = HashMap::new();
+    let mut finished: HashSet<u64> = HashSet::new();
+    for record in &recovery.records {
+        match record {
+            JournalRecord::Accepted { sweep, spec } => {
+                specs.insert(*sweep, spec);
+            }
+            JournalRecord::Cell { sweep, run } => {
+                cell_runs.entry(*sweep).or_default().push(run);
+            }
+            JournalRecord::Done { sweep, .. } => {
+                finished.insert(*sweep);
+            }
+        }
+    }
+    let mut unfinished: Vec<u64> = specs
+        .keys()
+        .filter(|sweep| !finished.contains(sweep))
+        .copied()
+        .collect();
+    unfinished.sort_unstable();
+    for id in unfinished {
+        let spec = match SweepSpec::from_json(specs[&id]) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("dice-fabric-coordinator: journaled spec {id:016x} unusable: {e}");
+                shared.count("fabric.journal.replay_errors");
+                continue;
+            }
+        };
+        // Last write wins per cell: a crash between append and ack can
+        // journal the same cell twice with identical payloads.
+        let mut done_cells: HashMap<(String, String), CellOutcome> = HashMap::new();
+        for run in cell_runs.get(&id).into_iter().flatten() {
+            match parse_run_object(run) {
+                Ok((tag, workload, outcome)) => {
+                    done_cells.insert((tag, workload), outcome);
+                }
+                Err(e) => {
+                    eprintln!("dice-fabric-coordinator: journaled cell of {id:016x} unusable: {e}");
+                    shared.count("fabric.journal.replay_errors");
+                }
+            }
+        }
+        let cells = spec.to_cells();
+        {
+            let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+            jobs.insert(
+                id,
+                FabricJob {
+                    cells: cells.len(),
+                    spec: spec.clone(),
+                    state: JobState::Running,
+                    body: None,
+                    error: None,
+                    summary: None,
+                    degraded: None,
+                    coalesced: 0,
+                    events: Vec::new(),
+                    trace: None,
+                },
+            );
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.count("fabric.journal.recovered_sweeps");
+        shared.count_by("fabric.journal.recovered_cells", done_cells.len() as u64);
+        let worker_shared = Arc::clone(shared);
+        let thread = std::thread::spawn(move || {
+            run_fabric_sweep(&worker_shared, id, &spec, cells, done_cells);
+            worker_shared.active.fetch_sub(1, Ordering::SeqCst);
+        });
+        shared
+            .threads
+            .lock()
+            .expect("threads poisoned")
+            .push(thread);
+    }
 }
 
 fn accepted(id: u64, coalesced: bool, state: JobState) -> Response {
@@ -590,6 +891,9 @@ fn sweep_get(path: &str, shared: &Arc<Shared>) -> Response {
             if let Some(error) = &job.error {
                 pairs.push(("error".to_owned(), Json::str(error)));
             }
+            if let Some(degraded) = &job.degraded {
+                pairs.push(("degraded".to_owned(), Json::str(degraded)));
+            }
             Response::json(200, Json::Obj(pairs).render())
         }
     }
@@ -611,20 +915,91 @@ struct Item {
 
 /// What one dispatched cell request came back as.
 enum Fetch {
-    /// Connect/read/write failure — the node is gone.
+    /// Connect/read/write failure — a dispatch failure for the breaker.
     Transport,
     /// Non-200 status; 503 means draining-or-busy, anything else is a
     /// protocol violation.
     Status(u16),
-    /// 200 with a parseable JSON body.
+    /// 200 with a parseable JSON body (the checksummed envelope).
     Body(Json),
     /// 200 with garbage — protocol violation.
     BadBody,
 }
 
+/// One `POST /v1/cells` against a worker, classified.
+fn fetch_cell(addr: &str, body: &str, timeout: Duration) -> Fetch {
+    match http_post_timeout(addr, "/v1/cells", body, timeout) {
+        Err(_) => Fetch::Transport,
+        Ok(resp) if resp.status != 200 => Fetch::Status(resp.status),
+        Ok(resp) => match std::str::from_utf8(&resp.body)
+            .ok()
+            .and_then(|t| Json::parse(t).ok())
+        {
+            Some(doc) => Fetch::Body(doc),
+            None => Fetch::BadBody,
+        },
+    }
+}
+
+/// Dispatches one cell with optional hedging: if the primary worker has
+/// not answered within `hedge_after`, a duplicate goes to the hedge
+/// target and the first usable (200 + body) response wins. Returns the
+/// node whose response was used.
+fn dispatch_cell(
+    shared: &Arc<Shared>,
+    body: &str,
+    node: &str,
+    addr: &str,
+    hedge: Option<&(String, String)>,
+) -> (String, Fetch) {
+    let timeout = shared.cfg.cell_timeout;
+    let (Some(delay), Some((hedge_node, hedge_addr))) = (shared.cfg.hedge_after, hedge) else {
+        return (node.to_owned(), fetch_cell(addr, body, timeout));
+    };
+    let (tx, rx) = mpsc::channel::<Fetch>();
+    let primary_addr = addr.to_owned();
+    let primary_body = body.to_owned();
+    std::thread::spawn(move || {
+        let _ = tx.send(fetch_cell(&primary_addr, &primary_body, timeout));
+    });
+    match rx.recv_timeout(delay) {
+        Ok(fetch) => (node.to_owned(), fetch),
+        Err(mpsc::RecvTimeoutError::Disconnected) => (node.to_owned(), Fetch::Transport),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            shared.count("fabric.hedge.dispatched");
+            let hedged = fetch_cell(hedge_addr, body, timeout);
+            // The primary may have raced us while the hedge ran; a real
+            // answer from it beats anything, a real answer from the
+            // hedge beats waiting.
+            if let Ok(fetch @ Fetch::Body(_)) = rx.try_recv() {
+                return (node.to_owned(), fetch);
+            }
+            if matches!(hedged, Fetch::Body(_)) {
+                shared.count("fabric.hedge.wins");
+                return (hedge_node.clone(), hedged);
+            }
+            match rx.recv_timeout(timeout) {
+                Ok(fetch) => (node.to_owned(), fetch),
+                Err(_) => (node.to_owned(), Fetch::Transport),
+            }
+        }
+    }
+}
+
+/// One planned dispatch: `(item index, node, addr, hedge (node, addr))`.
+type Assignment = (usize, String, String, Option<(String, String)>);
+
 /// Runs one sweep: scatter rounds until every unique cell has an
 /// outcome, then reassemble and render through [`render_runs`].
-fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<Cell>) {
+/// `resume` carries journal-replayed outcomes keyed by `(tag,
+/// workload)`; those cells are never re-dispatched.
+fn run_fabric_sweep(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &SweepSpec,
+    cells: Vec<Cell>,
+    mut resume: HashMap<(String, String), CellOutcome>,
+) {
     {
         let mut jobs = shared.jobs.lock().expect("jobs poisoned");
         if let Some(job) = jobs.get_mut(&id) {
@@ -641,24 +1016,39 @@ fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<
     let declared = cells.len();
     let mut seen = std::collections::HashSet::new();
     let mut items: Vec<Item> = Vec::with_capacity(cells.len());
+    let mut replayed = 0usize;
     for cell in cells {
         if !seen.insert(cell.memo_key()) {
             continue;
         }
         let key = cell_key(&cell.cfg, &cell.workload);
+        // A journal-replayed outcome settles the cell without dispatch
+        // (and without re-journaling it).
+        let outcome = resume.remove(&cell.memo_key());
+        replayed += usize::from(outcome.is_some());
         items.push(Item {
             cell,
             key,
             tried: Vec::new(),
             fallback: None,
             fallback_node: None,
-            outcome: None,
+            outcome,
         });
     }
     let deduped = declared - items.len();
     let total = items.len();
     let mut seq = 0usize;
+    if replayed > 0 {
+        let event = Json::Obj(vec![
+            ("event".into(), Json::str("resumed")),
+            ("replayed".into(), Json::u64(replayed as u64)),
+            ("total".into(), Json::u64(total as u64)),
+        ])
+        .render();
+        shared.push_event(id, event);
+    }
 
+    let mut backoff = JitteredBackoff::new(shared.cfg.backoff, shared.cfg.backoff_cap, id);
     let mut round = 0usize;
     loop {
         let pending: Vec<usize> = (0..items.len())
@@ -670,7 +1060,7 @@ fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<
         if round > shared.cfg.retry_rounds {
             for idx in pending {
                 let outcome = items[idx].fallback.take().unwrap_or(CellOutcome::Failed {
-                    error: "fabric: no live worker completed this cell".to_owned(),
+                    error: SYNTHETIC_ERROR.to_owned(),
                 });
                 let node = items[idx].fallback_node.take().unwrap_or_default();
                 finalize(shared, id, total, &mut seq, &mut items[idx], outcome, &node);
@@ -679,29 +1069,45 @@ fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<
         }
         if round > 0 {
             shared.count("fabric.rescatter_rounds");
-            let backoff = shared.cfg.backoff * (1 << (round - 1).min(4)) as u32;
-            std::thread::sleep(backoff.min(Duration::from_secs(1)));
+            // Decorrelated jitter, seeded by the sweep id: concurrent
+            // sweeps retrying after the same worker failure wake at
+            // different instants instead of storming the survivors.
+            std::thread::sleep(backoff.next_delay());
         }
+        // Give tripped breakers whose open interval has expired their
+        // half-open probe, so nodes can rejoin the ring mid-sweep.
+        shared.probe_due_breakers();
 
         let (ring, addrs) = shared
             .membership
             .lock()
             .expect("membership poisoned")
             .snapshot();
-        let mut assignments: Vec<(usize, String, String)> = Vec::new();
+        let mut assignments: Vec<Assignment> = Vec::new();
         for idx in pending {
             let tried: Vec<&str> = items[idx].tried.iter().map(String::as_str).collect();
             let placed = ring
                 .owner_excluding(items[idx].key, &tried)
                 .and_then(|node| addrs.get(node).map(|addr| (node.to_owned(), addr.clone())));
             match placed {
-                Some((node, addr)) => assignments.push((idx, node, addr)),
+                Some((node, addr)) => {
+                    // The hedge target is the next distinct owner — the
+                    // node a re-scatter would pick anyway, just asked
+                    // `hedge_after` early.
+                    let hedge = shared.cfg.hedge_after.and_then(|_| {
+                        let mut excluded = tried.clone();
+                        excluded.push(node.as_str());
+                        ring.owner_excluding(items[idx].key, &excluded)
+                            .and_then(|h| addrs.get(h).map(|haddr| (h.to_owned(), haddr.clone())))
+                    });
+                    assignments.push((idx, node, addr, hedge));
+                }
                 None => {
                     // Every surviving node already failed this cell (or
                     // the ring is empty): keep the worker-reported
                     // outcome — it is what a direct run would render.
                     let outcome = items[idx].fallback.take().unwrap_or(CellOutcome::Failed {
-                        error: "fabric: no live worker completed this cell".to_owned(),
+                        error: SYNTHETIC_ERROR.to_owned(),
                     });
                     let node = items[idx].fallback_node.take().unwrap_or_default();
                     finalize(shared, id, total, &mut seq, &mut items[idx], outcome, &node);
@@ -717,8 +1123,8 @@ fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<
         let parent = round_span.as_ref().map(dice_obs::SpanGuard::id);
         let next = AtomicUsize::new(0);
         let width = shared.cfg.scatter_width.clamp(1, assignments.len());
-        let (tx, rx) = mpsc::channel::<(usize, Fetch)>();
-        let mut results: Vec<(usize, Fetch)> = Vec::with_capacity(assignments.len());
+        let (tx, rx) = mpsc::channel::<(usize, String, Fetch)>();
+        let mut results: Vec<(usize, String, Fetch)> = Vec::with_capacity(assignments.len());
         std::thread::scope(|s| {
             for _ in 0..width {
                 let tx = tx.clone();
@@ -728,7 +1134,7 @@ fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<
                 let ctx = ctx.clone();
                 s.spawn(move || loop {
                     let slot = next.fetch_add(1, Ordering::SeqCst);
-                    let Some((idx, node, addr)) = assignments.get(slot) else {
+                    let Some((idx, node, addr, hedge)) = assignments.get(slot) else {
                         break;
                     };
                     let cell = &items[*idx].cell;
@@ -737,23 +1143,8 @@ fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<
                         parent,
                     );
                     let body = cell_spec(spec, &cell.tag, &cell.workload.name);
-                    let fetch = match http_post_timeout(
-                        addr,
-                        "/v1/cells",
-                        &body,
-                        shared.cfg.cell_timeout,
-                    ) {
-                        Err(_) => Fetch::Transport,
-                        Ok(resp) if resp.status != 200 => Fetch::Status(resp.status),
-                        Ok(resp) => match std::str::from_utf8(&resp.body)
-                            .ok()
-                            .and_then(|t| Json::parse(t).ok())
-                        {
-                            Some(doc) => Fetch::Body(doc),
-                            None => Fetch::BadBody,
-                        },
-                    };
-                    if tx.send((slot, fetch)).is_err() {
+                    let (used, fetch) = dispatch_cell(shared, &body, node, addr, hedge.as_ref());
+                    if tx.send((slot, used, fetch)).is_err() {
                         break;
                     }
                 });
@@ -765,23 +1156,31 @@ fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<
         });
         drop(round_span);
 
-        for (slot, fetch) in results {
-            let (idx, node, addr) = &assignments[slot];
-            shared.count_node("fabric.cells_dispatched", node);
+        for (slot, node, fetch) in results {
+            let (idx, _, _, _) = &assignments[slot];
+            shared.count_node("fabric.cells_dispatched", &node);
             {
                 let mut m = shared.membership.lock().expect("membership poisoned");
-                if let Some(n) = m.node_mut(node) {
+                if let Some(n) = m.node_mut(&node) {
                     n.dispatched += 1;
                 }
             }
+            let addr = {
+                let m = shared.membership.lock().expect("membership poisoned");
+                m.nodes
+                    .iter()
+                    .find(|n| n.name == node)
+                    .map(|n| n.addr.clone())
+                    .unwrap_or_default()
+            };
             apply_fetch(
                 shared,
                 id,
                 total,
                 &mut seq,
                 &mut items[*idx],
-                node,
-                addr,
+                &node,
+                &addr,
                 fetch,
             );
         }
@@ -789,16 +1188,26 @@ fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<
     }
 
     // Reassemble exactly the structure a direct runner invocation
-    // produces and render through the same code path.
+    // produces and render through the same code path. Cells whose final
+    // outcome the fabric had to synthesize (`fabric:` errors) make the
+    // sweep *degraded*: it still terminates with a typed reason instead
+    // of hanging or passing off non-canonical bytes as canonical.
     let mut outcomes = BTreeMap::new();
     let mut retried = 0usize;
+    let mut synthetic = 0usize;
     for item in &mut items {
         retried += item.tried.len();
         let outcome = item.outcome.take().unwrap_or(CellOutcome::Failed {
             error: "fabric: cell never gathered".to_owned(),
         });
+        if matches!(&outcome, CellOutcome::Failed { error } if error.starts_with("fabric:")) {
+            synthetic += 1;
+        }
         outcomes.insert(item.cell.memo_key(), outcome);
     }
+    let degraded = (synthetic > 0).then(|| {
+        format!("{synthetic} of {total} cells completed on no live worker (fabric-synthesized failures)")
+    });
     let result = SweepResult {
         outcomes,
         deduped,
@@ -818,14 +1227,23 @@ fn run_fabric_sweep(shared: &Arc<Shared>, id: u64, spec: &SweepSpec, cells: Vec<
         let mut reg = shared.metrics.lock().expect("metrics poisoned");
         let mid = reg.counter("fabric.sweeps_completed");
         reg.inc(mid);
+        if degraded.is_some() {
+            let did = reg.counter("fabric.sweeps_degraded");
+            reg.inc(did);
+        }
         let hist = reg.histogram("fabric.sweep_wall_ms");
         reg.observe(hist, started.elapsed().as_millis() as u64);
     }
+    shared.journal_append(&JournalRecord::Done {
+        sweep: id,
+        degraded: degraded.clone(),
+    });
     let mut jobs = shared.jobs.lock().expect("jobs poisoned");
     if let Some(job) = jobs.get_mut(&id) {
         job.state = JobState::Done;
         job.body = Some(Arc::new(body));
         job.summary = Some(summary);
+        job.degraded = degraded;
         job.trace = Some(Arc::new(trace));
     }
 }
@@ -843,14 +1261,14 @@ fn apply_fetch(
     fetch: Fetch,
 ) {
     match fetch {
-        Fetch::Transport | Fetch::BadBody => shared.fail_node(node),
+        Fetch::Transport | Fetch::BadBody => shared.dispatch_failed(node),
         Fetch::Status(503) => {
             // Draining worker or merely a full accept backlog — probe to
             // tell them apart. A draining node leaves the ring (its
             // in-flight cells still answer); a busy one stays and the
             // cell simply retries next round.
             let draining = !matches!(
-                http_get_timeout(addr, "/healthz", Duration::from_secs(2)),
+                http_probe(addr, "/healthz", shared.cfg.probe_connect, shared.cfg.probe_read),
                 Ok(ref r) if r.status == 200
             );
             if draining {
@@ -858,45 +1276,56 @@ fn apply_fetch(
                 m.retire(node, NodeState::Draining);
             }
         }
-        Fetch::Status(_) => shared.fail_node(node),
+        Fetch::Status(_) => shared.dispatch_failed(node),
         Fetch::Body(doc) => {
+            // Two gates before the body is believed: the envelope
+            // checksum (bytes arrived as sent) and the cell identity
+            // (the worker answered for the right cell).
             let expected = item.cell.memo_key();
-            match parse_run_object(&doc) {
-                Ok((tag, wl, outcome)) if tag == expected.0 && wl == expected.1 => match outcome {
-                    CellOutcome::Completed { .. } => {
-                        {
-                            let mut m = shared.membership.lock().expect("membership poisoned");
-                            if let Some(n) = m.node_mut(node) {
-                                n.completed += 1;
+            let parsed = open_run_object(&doc).and_then(parse_run_object);
+            match parsed {
+                Ok((tag, wl, outcome)) if tag == expected.0 && wl == expected.1 => {
+                    shared.dispatch_answered(node);
+                    match outcome {
+                        CellOutcome::Completed { .. } => {
+                            {
+                                let mut m = shared.membership.lock().expect("membership poisoned");
+                                if let Some(n) = m.node_mut(node) {
+                                    n.completed += 1;
+                                }
                             }
+                            shared.count_node("fabric.cells_completed", node);
+                            finalize(shared, id, total, seq, item, outcome, node);
                         }
-                        shared.count_node("fabric.cells_completed", node);
-                        finalize(shared, id, total, seq, item, outcome, node);
-                    }
-                    CellOutcome::Failed { .. } | CellOutcome::TimedOut { .. } => {
-                        // Cell-level failure: remember it, try the next
-                        // distinct surviving node next round.
-                        {
-                            let mut m = shared.membership.lock().expect("membership poisoned");
-                            if let Some(n) = m.node_mut(node) {
-                                n.failed += 1;
+                        CellOutcome::Failed { .. } | CellOutcome::TimedOut { .. } => {
+                            // Cell-level failure: remember it, try the next
+                            // distinct surviving node next round.
+                            {
+                                let mut m = shared.membership.lock().expect("membership poisoned");
+                                if let Some(n) = m.node_mut(node) {
+                                    n.failed += 1;
+                                }
                             }
+                            shared.count_node("fabric.cells_failed", node);
+                            item.tried.push(node.to_owned());
+                            item.fallback = Some(outcome);
+                            item.fallback_node = Some(node.to_owned());
                         }
-                        shared.count_node("fabric.cells_failed", node);
-                        item.tried.push(node.to_owned());
-                        item.fallback = Some(outcome);
-                        item.fallback_node = Some(node.to_owned());
                     }
-                },
-                // Answered for the wrong cell, or unparseable: protocol
-                // violation.
-                _ => shared.fail_node(node),
+                }
+                // Wrong cell, bad checksum, or unparseable: protocol
+                // violation — a dispatch failure for the breaker.
+                _ => {
+                    shared.count("fabric.envelope_rejected");
+                    shared.dispatch_failed(node);
+                }
             }
         }
     }
 }
 
-/// Records a final outcome for an item and emits its progress event.
+/// Records a final outcome for an item, journals it, and emits its
+/// progress event.
 fn finalize(
     shared: &Arc<Shared>,
     id: u64,
@@ -906,6 +1335,12 @@ fn finalize(
     outcome: CellOutcome,
     node: &str,
 ) {
+    // Journal before the in-memory finalize: a crash between the two
+    // replays the cell (idempotent), the reverse order would lose it.
+    shared.journal_append(&JournalRecord::Cell {
+        sweep: id,
+        run: render_run_object(&item.cell.tag, &item.cell.workload.name, &outcome),
+    });
     *seq += 1;
     let status = match &outcome {
         CellOutcome::Completed { .. } => "completed",

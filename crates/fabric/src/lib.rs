@@ -20,12 +20,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod chaos;
 pub mod coordinator;
+pub mod journal;
 pub mod ring;
+pub mod seeded;
 pub mod wire;
 pub mod worker;
 
+pub use breaker::{Breaker, BreakerConfig, JitteredBackoff};
+pub use chaos::{ChaosConfig, ChaosHandle, ChaosProxy, NetFault, ALL_FAULTS};
 pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, NodeState};
+pub use journal::{Journal, JournalRecord, Recovery};
 pub use ring::{HashRing, DEFAULT_VNODES};
-pub use wire::{cell_spec, parse_run_object, render_run_object};
+pub use seeded::SeededRng;
+pub use wire::{cell_spec, open_run_object, parse_run_object, render_run_object, seal_run_object};
 pub use worker::{Worker, WorkerConfig, WorkerHandle};

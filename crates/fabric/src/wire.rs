@@ -18,12 +18,22 @@
 //! assembled sweep through the same [`render_runs`] code path a direct
 //! single-node run uses — which is what makes fabric reports
 //! byte-identical to direct ones.
+//!
+//! Since the chaos work, the run object travels inside a **checksummed
+//! envelope**: `{"sum":"<16-hex fnv1a64 of run.render()>","run":{…}}`.
+//! A network that merely tears a response produces unparseable bytes the
+//! coordinator already rejects; a network that *flips* bytes can produce
+//! JSON that still parses but carries a wrong number — the one corruption
+//! mode that would silently poison a report. The envelope closes it:
+//! [`open_run_object`] re-renders the received run and compares
+//! checksums, so a garbled-but-parseable body is a typed dispatch
+//! failure, never a wrong report.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use dice_obs::Json;
-use dice_runner::CellOutcome;
+use dice_runner::{fnv1a64, CellOutcome};
 use dice_serve::SweepSpec;
 use dice_sim::RunReport;
 
@@ -65,6 +75,36 @@ pub fn render_run_object(tag: &str, workload: &str, outcome: &CellOutcome) -> Js
         }
     }
     Json::Obj(pairs)
+}
+
+/// Wraps a run object in the checksummed envelope a worker ships back:
+/// `{"sum": "<16-hex fnv1a64 of run.render()>", "run": {…}}`.
+#[must_use]
+pub fn seal_run_object(run: Json) -> Json {
+    let sum = fnv1a64(run.render().as_bytes());
+    Json::Obj(vec![
+        ("sum".to_owned(), Json::str(format!("{sum:016x}"))),
+        ("run".to_owned(), run),
+    ])
+}
+
+/// Verifies an envelope's checksum and yields the run object inside.
+///
+/// # Errors
+///
+/// A human-readable description: missing/ill-typed `sum` or `run`, or a
+/// checksum mismatch (bytes were corrupted in flight but still parsed).
+pub fn open_run_object(doc: &Json) -> Result<&Json, String> {
+    let sum = doc
+        .get("sum")
+        .and_then(Json::as_str)
+        .ok_or("cell envelope missing \"sum\"")?;
+    let sum = u64::from_str_radix(sum, 16).map_err(|_| "cell envelope \"sum\" is not hex")?;
+    let run = doc.get("run").ok_or("cell envelope missing \"run\"")?;
+    if fnv1a64(run.render().as_bytes()) != sum {
+        return Err("cell envelope checksum mismatch (response corrupted in flight)".to_owned());
+    }
+    Ok(run)
 }
 
 /// Parses a worker's run object back into `(tag, workload, outcome)`.
@@ -151,6 +191,52 @@ mod tests {
                 render_run_object("base", "gcc", &back).render(),
                 doc.render()
             );
+        }
+    }
+
+    #[test]
+    fn sealed_envelopes_open_clean() {
+        let run = render_run_object(
+            "base",
+            "gcc",
+            &CellOutcome::Failed {
+                error: "boom".into(),
+            },
+        );
+        let rendered = run.render();
+        let sealed = seal_run_object(run);
+        let wire = Json::parse(&sealed.render()).expect("envelope parses");
+        let opened = open_run_object(&wire).expect("checksum holds");
+        assert_eq!(opened.render(), rendered);
+    }
+
+    #[test]
+    fn tampered_envelopes_are_rejected() {
+        let run = render_run_object(
+            "base",
+            "gcc",
+            &CellOutcome::TimedOut {
+                budget: Duration::from_millis(1234),
+            },
+        );
+        let sealed = seal_run_object(run).render();
+        // A garble that keeps the JSON parseable: flip one body digit.
+        let tampered = sealed.replace("1234", "1235");
+        assert_ne!(sealed, tampered, "tamper target must exist");
+        let doc = Json::parse(&tampered).expect("still parses");
+        let err = open_run_object(&doc).expect_err("checksum must catch the flip");
+        assert!(err.contains("checksum"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn envelopes_without_sum_or_run_are_rejected() {
+        for bad in [
+            r#"{"run":{"tag":"base","workload":"gcc","error":"x"}}"#,
+            r#"{"sum":"00","tag":"base"}"#,
+            r#"{"sum":"zz","run":{}}"#,
+        ] {
+            let doc = Json::parse(bad).expect("test JSON");
+            assert!(open_run_object(&doc).is_err(), "accepted: {bad}");
         }
     }
 

@@ -28,7 +28,7 @@ use dice_serve::http::{Request, Response};
 use dice_serve::net::{Handled, NetConfig, NetServer};
 use dice_serve::SweepSpec;
 
-use crate::wire::render_run_object;
+use crate::wire::{render_run_object, seal_run_object};
 
 /// Worker construction knobs.
 #[derive(Debug, Clone)]
@@ -232,5 +232,10 @@ fn run_cell(request: &Request, shared: &Arc<WorkerShared>) -> Response {
     reg.inc(id);
     drop(reg);
 
-    Response::json(200, render_run_object(&memo.0, &memo.1, &outcome).render())
+    // Sealed in a checksummed envelope so a network that garbles bytes
+    // into still-parseable JSON cannot poison the coordinator's report.
+    Response::json(
+        200,
+        seal_run_object(render_run_object(&memo.0, &memo.1, &outcome)).render(),
+    )
 }

@@ -397,3 +397,92 @@ fn warm_cache_skips_all_simulation() {
     }
     fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Crash-consistency, exhaustively: a cache entry cut short at *every*
+/// possible byte offset — the file a crashed writer without the
+/// temp-and-rename discipline would leave — must load as a miss and
+/// count as discarded. No prefix may panic the loader, and no prefix may
+/// masquerade as a valid report (a proper prefix of a JSON object is
+/// never itself a complete object, and the decode path enforces the
+/// format/key/report envelope on anything that parses).
+#[test]
+fn truncation_at_every_byte_offset_degrades_to_a_miss() {
+    let dir = scratch("truncate-sweep");
+    let cache = DiskCache::open(&dir).unwrap();
+    let report = System::new(base_cfg(), &base_wl()).run();
+    let key = cell_key(&base_cfg(), &base_wl());
+    cache.store(key, "dice36", &report).unwrap();
+    let good = fs::read(cache.entry_path(key)).unwrap();
+
+    let before = cache.discarded();
+    for len in 0..good.len() {
+        fs::write(cache.entry_path(key), &good[..len]).unwrap();
+        assert!(
+            cache.load(key).is_none(),
+            "a {len}-byte prefix of a {}-byte entry loaded as a hit",
+            good.len()
+        );
+        assert_eq!(
+            cache.discarded(),
+            before + len as u64 + 1,
+            "a {len}-byte prefix was a miss but not counted discarded"
+        );
+    }
+
+    // Restoring the full bytes restores the hit, byte-identically.
+    fs::write(cache.entry_path(key), &good).unwrap();
+    let loaded = cache.load(key).expect("intact entry must load");
+    assert_eq!(loaded.to_json().render(), report.to_json().render());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Proptest-style seeded fuzz over single-byte corruptions: overwriting
+/// any one byte with any seeded value must never panic the loader, and
+/// every miss must be matched by exactly one discard tick. (A mutation
+/// the envelope cannot detect — e.g. a digit flip inside the report body
+/// — may legitimately still load; detecting those is the transport
+/// checksum's job, not the cache's.)
+#[test]
+fn seeded_single_byte_corruptions_never_panic() {
+    // SplitMix64: tiny, seeded, reproducible — the failure message names
+    // the (offset, value) pair so any find replays directly.
+    let mut state = 0xd1ce_cafe_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+
+    let dir = scratch("byte-fuzz");
+    let cache = DiskCache::open(&dir).unwrap();
+    let report = System::new(base_cfg(), &base_wl()).run();
+    let key = cell_key(&base_cfg(), &base_wl());
+    cache.store(key, "dice36", &report).unwrap();
+    let good = fs::read(cache.entry_path(key)).unwrap();
+
+    for _ in 0..512 {
+        let offset = (next() % good.len() as u64) as usize;
+        let value = (next() % 256) as u8;
+        let mut mutated = good.clone();
+        mutated[offset] = value;
+        fs::write(cache.entry_path(key), &mutated).unwrap();
+        let discarded = cache.discarded();
+        let outcome = cache.load(key);
+        if outcome.is_none() {
+            assert_eq!(
+                cache.discarded(),
+                discarded + 1,
+                "miss without a discard tick at offset {offset} value {value:#04x}"
+            );
+        } else {
+            assert_eq!(
+                cache.discarded(),
+                discarded,
+                "hit with a discard tick at offset {offset} value {value:#04x}"
+            );
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -7,7 +7,7 @@
 //! [`crate::http`] rather than duplicated here.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::http::{read_chunked_body, read_header_lines};
@@ -84,6 +84,106 @@ pub fn http_post_timeout(
     timeout: Duration,
 ) -> io::Result<ClientResponse> {
     request(addr, "POST", path, Some(body), timeout)
+}
+
+/// Why a health probe failed — the distinction the coordinator's
+/// breaker logic runs on.
+///
+/// A plain `io::Error` conflates two very different worlds: a
+/// **connection refused** means the kernel answered for a process that
+/// is gone (declare the node dead), while a **timeout** means something
+/// is there but slow (keep the breaker open and try again later).
+/// `http_probe` splits the connect and read phases so the two cannot be
+/// confused, and names each failure for the
+/// `fabric.probe.failed.{refused,connect_timeout,read_timeout,other}`
+/// counters.
+#[derive(Debug)]
+pub enum ProbeError {
+    /// The kernel refused the connection — no process is listening.
+    Refused,
+    /// The TCP connect did not complete within the connect timeout
+    /// (unreachable host, wedged accept queue).
+    ConnectTimeout,
+    /// Connected, but the response did not arrive within the read
+    /// timeout — the process is alive but slow.
+    ReadTimeout,
+    /// Any other transport or parse failure.
+    Other(io::Error),
+}
+
+impl ProbeError {
+    /// The metric-label spelling of this failure class.
+    #[must_use]
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            ProbeError::Refused => "refused",
+            ProbeError::ConnectTimeout => "connect_timeout",
+            ProbeError::ReadTimeout => "read_timeout",
+            ProbeError::Other(_) => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::Refused => write!(f, "connection refused"),
+            ProbeError::ConnectTimeout => write!(f, "connect timed out"),
+            ProbeError::ReadTimeout => write!(f, "read timed out"),
+            ProbeError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// `GET path` with split connect and read timeouts, classifying every
+/// failure as a [`ProbeError`].
+///
+/// # Errors
+///
+/// Returns [`ProbeError::Refused`] when nothing is listening,
+/// [`ProbeError::ConnectTimeout`] / [`ProbeError::ReadTimeout`] for the
+/// respective phase timeouts, and [`ProbeError::Other`] for everything
+/// else.
+pub fn http_probe(
+    addr: &str,
+    path: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<ClientResponse, ProbeError> {
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(ProbeError::Other)?
+        .next()
+        .ok_or_else(|| {
+            ProbeError::Other(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ))
+        })?;
+    let mut stream =
+        TcpStream::connect_timeout(&sock, connect_timeout).map_err(|e| match e.kind() {
+            io::ErrorKind::ConnectionRefused => ProbeError::Refused,
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ProbeError::ConnectTimeout,
+            _ => ProbeError::Other(e),
+        })?;
+    let classify_read = |e: io::Error| match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ProbeError::ReadTimeout,
+        _ => ProbeError::Other(e),
+    };
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .map_err(ProbeError::Other)?;
+    stream
+        .set_write_timeout(Some(read_timeout))
+        .map_err(ProbeError::Other)?;
+    stream.set_nodelay(true).map_err(ProbeError::Other)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(classify_read)?;
+    stream.flush().map_err(classify_read)?;
+    read_response(&mut BufReader::new(stream)).map_err(classify_read)
 }
 
 fn request(
@@ -195,5 +295,53 @@ mod tests {
     fn rejects_garbage() {
         let raw: &[u8] = b"not http at all";
         assert!(read_response(&mut BufReader::new(raw)).is_err());
+    }
+
+    #[test]
+    fn probe_classifies_refused() {
+        // Bind then drop: the port is provably ours and provably closed.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+        match http_probe(
+            &addr,
+            "/healthz",
+            Duration::from_secs(2),
+            Duration::from_secs(2),
+        ) {
+            Err(ProbeError::Refused) => {}
+            other => panic!("expected Refused, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_classifies_read_timeout() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        // Accept, then go silent: alive but unresponsive.
+        let holder = std::thread::spawn(move || {
+            let conn = listener.accept();
+            std::thread::sleep(Duration::from_millis(400));
+            drop(conn);
+        });
+        match http_probe(
+            &addr,
+            "/healthz",
+            Duration::from_secs(2),
+            Duration::from_millis(100),
+        ) {
+            Err(ProbeError::ReadTimeout) => {}
+            other => panic!("expected ReadTimeout, got {other:?}"),
+        }
+        holder.join().expect("holder thread");
+    }
+
+    #[test]
+    fn probe_error_kinds_are_stable_labels() {
+        assert_eq!(ProbeError::Refused.kind_str(), "refused");
+        assert_eq!(ProbeError::ConnectTimeout.kind_str(), "connect_timeout");
+        assert_eq!(ProbeError::ReadTimeout.kind_str(), "read_timeout");
+        let other = ProbeError::Other(io::Error::new(io::ErrorKind::BrokenPipe, "x"));
+        assert_eq!(other.kind_str(), "other");
     }
 }

@@ -40,7 +40,10 @@ pub mod signal;
 pub mod spec;
 pub mod sse;
 
-pub use client::{http_get, http_get_timeout, http_post, http_post_timeout, ClientResponse};
+pub use client::{
+    http_get, http_get_timeout, http_post, http_post_timeout, http_probe, ClientResponse,
+    ProbeError,
+};
 pub use jobs::{JobQueue, JobQueueConfig, JobState, Submission};
 pub use net::{Handled, NetConfig, NetServer};
 pub use promcheck::validate_prometheus;
