@@ -1,8 +1,9 @@
 //! `bench` — the pinned-seed perf-regression micro-suite.
 //!
 //! Runs a fixed set of hot-path benchmarks (compression size kernels, the
-//! page-batched size oracle, the L4 access loop, and one end-to-end
-//! simulation cell), then appends one entry per run to a results file
+//! page-batched size oracle, the L4 access loop, one end-to-end
+//! simulation cell, and streamed `.dtf` trace ingestion), then appends
+//! one entry per run to a results file
 //! (`BENCH_results.json` by default) recording ops/sec per hot path plus
 //! the git revision.
 //!
@@ -283,6 +284,41 @@ fn bench_end2end_cell() -> f64 {
     best
 }
 
+/// Streamed `.dtf` ingestion: records per second decoded off disk through
+/// the bounded-memory reader (frame parse + checksum + LZ decompress +
+/// delta decode), measured on a freshly packed generator trace.
+fn bench_trace_ingest() -> f64 {
+    use dice_ingest::{DtfTraceSource, DtfWriter};
+    use dice_workloads::TraceSource;
+    let path = std::env::temp_dir().join(format!("dice-bench-ingest-{}.dtf", std::process::id()));
+    let spec = spec_table()
+        .into_iter()
+        .find(|w| w.name == "mcf")
+        .expect("mcf in spec table");
+    let per_core = 60_000u64;
+    let mut w = DtfWriter::create(&path, 2, true).expect("creating bench trace");
+    for core in 0..2u32 {
+        let mut gen = TraceGen::with_scale(&spec, core, SEED, 256);
+        for _ in 0..per_core {
+            w.push_record(core, gen.next_record())
+                .expect("encoding bench trace");
+        }
+    }
+    w.finish().expect("writing bench trace");
+    let src = DtfTraceSource::open(&path).expect("opening bench trace");
+    let ops = measure(|| {
+        let mut stream = src.open_core(0).expect("opening bench stream");
+        let mut acc = 0u64;
+        for _ in 0..per_core {
+            acc = acc.wrapping_add(stream.next_record().line);
+        }
+        black_box(acc);
+        per_core
+    });
+    let _ = std::fs::remove_file(&path);
+    ops
+}
+
 fn git_rev() -> String {
     Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -331,6 +367,7 @@ fn main() {
     benches.push(("size_oracle", bench_size_oracle()));
     benches.push(("l4_access", bench_l4_access()));
     benches.push(("end2end_cell", bench_end2end_cell()));
+    benches.push(("trace_ingest", bench_trace_ingest()));
 
     let speedup = compress_size / compress_mat;
     for (name, ops) in &benches {

@@ -1,0 +1,394 @@
+//! Trace ingestion tool: packs traces into the `.dtf` container and runs
+//! sweeps straight off the packed file.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dice-bench --bin dice-ingest -- <command> [flags]
+//!
+//! commands:
+//!   gen     generate a synthetic multi-core trace and pack it
+//!             --out PATH      output .dtf file (required)
+//!             --spec NAME     workload spec driving the generator (mcf)
+//!             --cores N       independent streams (8)
+//!             --records N     records per stream (100000)
+//!             --seed N        generator seed (53709)
+//!             --scale N       footprint scale divisor (256)
+//!             --no-compress   store frames raw
+//!   pack    convert a text trace (`gap line_hex r|w` per line) to .dtf
+//!             --in PATH --out PATH [--no-compress]
+//!   unpack  write one stream of a .dtf back out as a text trace
+//!             --in PATH --out PATH [--core N]
+//!   info    validate a .dtf and print its statistics
+//!             --in PATH [--strict]
+//!   sweep   simulate the organization sweep on a packed trace
+//!             --in PATH       the trace to drive every core from
+//!             --spec NAME     value/compressibility model (mcf)
+//!             --seed N        data-model seed (7)
+//!             --scale N       system scale divisor (256)
+//!             --warmup N      warm-up records per core (20000)
+//!             --measure N     measured records per core (60000)
+//!             --jobs N        worker threads (default: all cores)
+//!             --replay-in-memory  preload the trace instead of streaming
+//!                             (the report is byte-identical either way)
+//!             --skew          give even-indexed cells a 6x measure window,
+//!                             forcing the scheduler to steal work
+//! ```
+//!
+//! `sweep` prints a deterministic JSON report on stdout (identical for
+//! streamed and preloaded replay, and for any `--jobs`), and scheduler
+//! statistics — including `steals=` and `tail_idle_ms=` — on stderr.
+
+use std::path::PathBuf;
+
+use dice_core::Organization;
+use dice_ingest::{pack_records, scan, DtfWriter, TraceBinding};
+use dice_obs::Json;
+use dice_runner::{Cell, CellOutcome, Runner, RunnerConfig};
+use dice_sim::{RunReport, SimConfig, WorkloadSet};
+use dice_workloads::{load_trace, save_trace, spec_table, TraceGen, WorkloadSpec};
+
+/// Flag parser shared by every subcommand; whines and exits on anything
+/// a subcommand did not declare.
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Self {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let name = raw[i].as_str();
+            if value_flags.contains(&name) {
+                i += 1;
+                let Some(v) = raw.get(i) else {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                };
+                flags.push((name.to_owned(), Some(v.clone())));
+            } else if bool_flags.contains(&name) {
+                flags.push((name.to_owned(), None));
+            } else {
+                eprintln!("unexpected argument {name:?}");
+                std::process::exit(2);
+            }
+            i += 1;
+        }
+        Self { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num(&self, name: &str, default: u64) -> u64 {
+        self.get(name).map_or(default, |v| {
+            v.parse().unwrap_or_else(|e| {
+                eprintln!("{name} {v:?}: {e}");
+                std::process::exit(2);
+            })
+        })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        let Some(v) = self.get(name) else {
+            eprintln!("{name} PATH is required");
+            std::process::exit(2);
+        };
+        PathBuf::from(v)
+    }
+}
+
+fn spec_named(name: &str) -> WorkloadSpec {
+    spec_table()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload spec {name:?}");
+            std::process::exit(2);
+        })
+}
+
+fn fail(context: &str, e: &dyn std::fmt::Display) -> ! {
+    eprintln!("[dice-ingest] {context}: {e}");
+    std::process::exit(1);
+}
+
+/// `gen`: pack synthetic per-core generator streams.
+fn cmd_gen(args: &Args) {
+    let out = args.path("--out");
+    let spec = spec_named(args.get("--spec").unwrap_or("mcf"));
+    let cores = args.num("--cores", 8) as u32;
+    let records = args.num("--records", 100_000);
+    let seed = args.num("--seed", 0xd1cd);
+    let scale = args.num("--scale", 256);
+    let compress = !args.has("--no-compress");
+    let mut w = DtfWriter::create(&out, cores, compress)
+        .unwrap_or_else(|e| fail(&format!("creating {}", out.display()), &e));
+    for core in 0..cores {
+        let mut gen = TraceGen::with_scale(&spec, core, seed, scale);
+        for _ in 0..records {
+            w.push_record(core, gen.next_record())
+                .unwrap_or_else(|e| fail("encoding records", &e));
+        }
+    }
+    let stats = w
+        .finish()
+        .unwrap_or_else(|e| fail(&format!("writing {}", out.display()), &e));
+    eprintln!(
+        "[dice-ingest] gen: {} records ({} streams of {records}) in {} frames, {} bytes -> {}",
+        stats.records,
+        cores,
+        stats.frames,
+        stats.bytes,
+        out.display()
+    );
+}
+
+/// `pack`: text trace to a single-stream `.dtf`.
+fn cmd_pack(args: &Args) {
+    let input = args.path("--in");
+    let out = args.path("--out");
+    let compress = !args.has("--no-compress");
+    let records =
+        load_trace(&input).unwrap_or_else(|e| fail(&format!("reading {}", input.display()), &e));
+    if records.is_empty() {
+        fail(
+            &format!("reading {}", input.display()),
+            &"the trace holds no records",
+        );
+    }
+    let stats = pack_records(&out, &records, compress)
+        .unwrap_or_else(|e| fail(&format!("packing {}", out.display()), &e));
+    eprintln!(
+        "[dice-ingest] pack: {} records in {} frames, {} bytes -> {}",
+        stats.records,
+        stats.frames,
+        stats.bytes,
+        out.display()
+    );
+}
+
+/// `unpack`: one `.dtf` stream back to the text format.
+fn cmd_unpack(args: &Args) {
+    let input = args.path("--in");
+    let out = args.path("--out");
+    let core = args.num("--core", 0) as u32;
+    let records = dice_ingest::read_core_records(&input, core)
+        .unwrap_or_else(|e| fail(&format!("reading {}", input.display()), &e));
+    let plain: Vec<_> = records.iter().map(|r| r.rec).collect();
+    save_trace(&out, &plain).unwrap_or_else(|e| fail(&format!("writing {}", out.display()), &e));
+    eprintln!(
+        "[dice-ingest] unpack: {} records of stream {core} -> {}",
+        plain.len(),
+        out.display()
+    );
+}
+
+/// `info`: scan and report container statistics.
+fn cmd_info(args: &Args) {
+    let input = args.path("--in");
+    let info = scan(&input, args.has("--strict"))
+        .unwrap_or_else(|e| fail(&format!("scanning {}", input.display()), &e));
+    let hash = dice_ingest::file_content_hash(&input)
+        .unwrap_or_else(|e| fail(&format!("hashing {}", input.display()), &e));
+    println!("file:          {}", input.display());
+    println!("content hash:  {hash:016x}");
+    println!("streams:       {}", info.cores);
+    println!("records:       {}", info.records);
+    println!(
+        "frames:        {} ({} compressed)",
+        info.frames, info.compressed_frames
+    );
+    println!(
+        "bytes:         {} ({} raw payload, {:.2}x packed)",
+        info.file_bytes,
+        info.raw_payload_bytes,
+        info.raw_payload_bytes as f64 / info.file_bytes.max(1) as f64
+    );
+    println!("torn tail:     {} bytes dropped", info.dropped_bytes);
+    for (i, c) in info.per_core.iter().enumerate() {
+        println!(
+            "  stream {i}: {} records, {} footprint lines",
+            c.records,
+            c.footprint_lines()
+        );
+    }
+}
+
+/// The organization columns of the `sweep` command, in output order.
+/// `base` must come first: every speedup is computed against it.
+const SWEEP_ORGS: [(&str, Organization); 6] = [
+    ("base", Organization::UncompressedAlloy),
+    ("tsi", Organization::CompressedTsi),
+    ("bai", Organization::CompressedBai),
+    ("dice32", Organization::Dice { threshold: 32 }),
+    ("dice36", Organization::Dice { threshold: 36 }),
+    ("dice40", Organization::Dice { threshold: 40 }),
+];
+
+/// `sweep`: the organization comparison driven by a packed trace.
+fn cmd_sweep(args: &Args) {
+    let input = args.path("--in");
+    let spec = spec_named(args.get("--spec").unwrap_or("mcf"));
+    let seed = args.num("--seed", 7);
+    let scale = args.num("--scale", 256);
+    let warmup = args.num("--warmup", 20_000);
+    let measure = args.num("--measure", 60_000);
+    let preload = args.has("--replay-in-memory");
+    let skew = args.has("--skew");
+    let jobs = args.num(
+        "--jobs",
+        std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+    ) as usize;
+
+    let binding = TraceBinding::open(&input)
+        .unwrap_or_else(|e| fail(&format!("opening {}", input.display()), &e))
+        .with_preload(preload);
+    let wl_name = format!("trace-{}", spec.name);
+    let wl = WorkloadSet::traced(&wl_name, spec, seed, binding.clone());
+
+    let mut cells = Vec::new();
+    for (i, (tag, org)) in SWEEP_ORGS.into_iter().enumerate() {
+        // The skew is keyed on the cell index, not the job count, so the
+        // report stays identical for any --jobs; only the schedule moves.
+        let m = if skew && i % 2 == 0 {
+            measure * 6
+        } else {
+            measure
+        };
+        let cfg = SimConfig::scaled(org, scale).with_records(warmup, m);
+        cells.push(Cell::new(tag, cfg, wl.clone()));
+    }
+
+    let runner = Runner::new(RunnerConfig {
+        jobs,
+        verbose: false,
+        ..RunnerConfig::default()
+    })
+    .unwrap_or_else(|e| fail("building runner", &e));
+    let sweep = runner.run(cells);
+    eprintln!(
+        "[dice-ingest] sweep: {} steals={} tail_idle_ms={} mode={}",
+        sweep.summary(),
+        sweep.steals,
+        sweep.tail_idle_ms,
+        if preload { "preload" } else { "streamed" },
+    );
+
+    let report_of = |tag: &str| -> &RunReport {
+        match sweep.outcomes.get(&(tag.to_owned(), wl_name.clone())) {
+            Some(CellOutcome::Completed { report, .. }) => report,
+            Some(CellOutcome::Failed { error }) => fail(&format!("cell {tag}/{wl_name}"), &error),
+            other => fail(&format!("cell {tag}/{wl_name}"), &format!("{other:?}")),
+        }
+    };
+    let base = report_of("base");
+    let runs = SWEEP_ORGS
+        .into_iter()
+        .map(|(tag, _)| {
+            let r = report_of(tag);
+            Json::Obj(vec![
+                ("tag".into(), Json::str(tag)),
+                ("workload".into(), Json::str(&wl_name)),
+                (
+                    "speedup".into(),
+                    Json::str(format!("{:.4}", r.weighted_speedup(base))),
+                ),
+                (
+                    "l3_hit".into(),
+                    Json::str(format!("{:.4}", r.l3.hit_rate())),
+                ),
+                (
+                    "l4_hit".into(),
+                    Json::str(format!("{:.4}", r.l4.hit_rate())),
+                ),
+                ("cycles".into(), Json::u64(r.cycles)),
+            ])
+        })
+        .collect();
+    // No scheduling or replay-mode facts on stdout: the report must be
+    // byte-identical between streamed and preloaded replay and for any
+    // --jobs (CI compares the two outputs with `cmp`).
+    let out = Json::Obj(vec![
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                (
+                    "content_hash".into(),
+                    Json::str(format!("{:016x}", binding.content_hash())),
+                ),
+                ("streams".into(), Json::u64(u64::from(binding.cores()))),
+                ("records".into(), Json::u64(binding.records())),
+            ]),
+        ),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("spec".into(), Json::str(&wl_name)),
+                ("seed".into(), Json::u64(seed)),
+                ("scale".into(), Json::u64(scale)),
+                ("warmup_records".into(), Json::u64(warmup)),
+                ("measure_records".into(), Json::u64(measure)),
+                ("skew".into(), Json::Bool(skew)),
+            ]),
+        ),
+        ("runs".into(), Json::Arr(runs)),
+    ]);
+    println!("{}", out.render());
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().map(String::as_str) else {
+        eprintln!("usage: dice-ingest <gen|pack|unpack|info|sweep> [flags] (see --help)");
+        std::process::exit(2);
+    };
+    let rest = &raw[1..];
+    match cmd {
+        "gen" => cmd_gen(&Args::parse(
+            rest,
+            &[
+                "--out",
+                "--spec",
+                "--cores",
+                "--records",
+                "--seed",
+                "--scale",
+            ],
+            &["--no-compress"],
+        )),
+        "pack" => cmd_pack(&Args::parse(rest, &["--in", "--out"], &["--no-compress"])),
+        "unpack" => cmd_unpack(&Args::parse(rest, &["--in", "--out", "--core"], &[])),
+        "info" => cmd_info(&Args::parse(rest, &["--in"], &["--strict"])),
+        "sweep" => cmd_sweep(&Args::parse(
+            rest,
+            &[
+                "--in",
+                "--spec",
+                "--seed",
+                "--scale",
+                "--warmup",
+                "--measure",
+                "--jobs",
+            ],
+            &["--replay-in-memory", "--skew"],
+        )),
+        "--help" | "-h" | "help" => {
+            eprintln!("commands: gen pack unpack info sweep (see the module docs)");
+        }
+        other => {
+            eprintln!("unknown command {other:?}; one of: gen pack unpack info sweep");
+            std::process::exit(2);
+        }
+    }
+}

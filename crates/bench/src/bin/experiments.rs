@@ -6,7 +6,7 @@
 //! cargo run --release -p dice-bench --bin experiments -- <id> [flags]
 //!
 //! ids:   fig1f fig4 fig7 fig10 fig11 fig12 fig13 fig14 fig15
-//!        tab4 tab5 tab6 tab7 tab8 cip all
+//!        tab4 tab5 tab6 tab7 tab8 cip ingest all
 //! flags: --list         print the experiment id/description catalog as
 //!                       JSON (the same bytes `dice-serve` serves at
 //!                       /v1/experiments) and exit
@@ -160,6 +160,11 @@ const EXPERIMENTS: &[Experiment] = &[
         id: "cip",
         cells: cip_cells,
         render: cip,
+    },
+    Experiment {
+        id: "ingest",
+        cells: ingest_cells,
+        render: ingest,
     },
 ];
 
@@ -867,6 +872,124 @@ fn cip(ctx: &Ctx) -> String {
     )
 }
 
+/// The specs whose generator streams are packed into the `ingest`
+/// experiment's `.dtf` trace, one stream per entry.
+const INGEST_STREAM_SPECS: [&str; 4] = ["mcf", "lbm", "gcc", "soplex"];
+const INGEST_STREAM_RECORDS: u64 = 20_000;
+
+/// Builds (or reuses) the `ingest` experiment's packed trace: one
+/// generator stream per [`INGEST_STREAM_SPECS`] entry, deterministic in
+/// the context's seed and scale (which name the file, so differently
+/// parameterized invocations never collide).
+fn ingest_trace(ctx: &Ctx) -> dice_ingest::TraceBinding {
+    use dice_ingest::{DtfWriter, TraceBinding};
+    let path =
+        std::env::temp_dir().join(format!("dice-exp-ingest-{:x}-{}.dtf", ctx.seed, ctx.scale));
+    let cores = INGEST_STREAM_SPECS.len() as u32;
+    if let Ok(b) = TraceBinding::open(&path) {
+        // Same seed/scale regenerate byte-identical content, so an
+        // existing well-formed file of the right shape is reusable as-is.
+        if b.cores() == cores && b.records() == INGEST_STREAM_RECORDS * u64::from(cores) {
+            return b;
+        }
+    }
+    let mut w = DtfWriter::create(&path, cores, true).expect("creating the ingest trace");
+    for (core, name) in INGEST_STREAM_SPECS.iter().enumerate() {
+        let spec = spec_table()
+            .into_iter()
+            .find(|s| s.name == *name)
+            .expect("ingest stream specs are in the spec table");
+        let mut gen = TraceGen::with_scale(&spec, core as u32, ctx.seed, ctx.scale);
+        for _ in 0..INGEST_STREAM_RECORDS {
+            w.push_record(core as u32, gen.next_record())
+                .expect("encoding the ingest trace");
+        }
+    }
+    w.finish().expect("writing the ingest trace");
+    TraceBinding::open(&path).expect("reopening the ingest trace")
+}
+
+/// The ingest experiment's two workload sets: the same trace binding,
+/// streamed with bounded memory vs preloaded into RAM.
+fn ingest_workloads(ctx: &Ctx) -> (WorkloadSet, WorkloadSet) {
+    let binding = ingest_trace(ctx);
+    let spec = spec_table()
+        .into_iter()
+        .find(|s| s.name == "mcf")
+        .expect("mcf is in the spec table");
+    let streamed = WorkloadSet::traced("dtf-mix", spec, ctx.seed, binding.clone());
+    let preload = streamed
+        .clone()
+        .with_trace(Some(binding.with_preload(true)));
+    (streamed, preload)
+}
+
+fn ingest_cells(ctx: &Ctx) -> Vec<Cell> {
+    let (streamed, preload) = ingest_workloads(ctx);
+    vec![
+        ctx.cell(
+            "base-stream",
+            ctx.cfg(Organization::UncompressedAlloy),
+            &streamed,
+        ),
+        ctx.cell("dice-stream", ctx.cfg(DICE), &streamed),
+        ctx.cell(
+            "base-mem",
+            ctx.cfg(Organization::UncompressedAlloy),
+            &preload,
+        ),
+        ctx.cell("dice-mem", ctx.cfg(DICE), &preload),
+    ]
+}
+
+/// Trace ingestion: DICE vs baseline driven by a packed `.dtf` trace,
+/// with the streamed and preloaded replays cross-checked byte-for-byte.
+fn ingest(ctx: &Ctx) -> String {
+    let (streamed, preload) = ingest_workloads(ctx);
+    let base_s = ctx.run_cfg(
+        "base-stream",
+        ctx.cfg(Organization::UncompressedAlloy),
+        &streamed,
+    );
+    let base_m = ctx.run_cfg(
+        "base-mem",
+        ctx.cfg(Organization::UncompressedAlloy),
+        &preload,
+    );
+    let dice_s = ctx.run_cfg("dice-stream", ctx.cfg(DICE), &streamed);
+    let dice_m = ctx.run_cfg("dice-mem", ctx.cfg(DICE), &preload);
+    let mut t = Table::new(&["org", "streamed", "preloaded", "l4 hit", "identical"]);
+    for (label, s, m, su_s, su_m) in [
+        ("Baseline", &base_s, &base_m, 1.0, 1.0),
+        (
+            "DICE",
+            &dice_s,
+            &dice_m,
+            dice_s.weighted_speedup(&base_s),
+            dice_m.weighted_speedup(&base_m),
+        ),
+    ] {
+        let identical = s.to_json().render() == m.to_json().render();
+        t.row(&[
+            label.to_owned(),
+            format!("{su_s:.3}"),
+            format!("{su_m:.3}"),
+            format!("{:.0}%", 100.0 * s.l4.hit_rate()),
+            if identical { "yes" } else { "DIVERGED" }.to_owned(),
+        ]);
+    }
+    let binding = ingest_trace(ctx);
+    format!(
+        "Trace ingestion: {} streams, {} records, content hash {:016x}\n\
+         Bounded-memory streaming off the .dtf must match an in-memory replay\n\
+         byte-for-byte ('identical' compares the full report JSON).\n\n{}",
+        binding.cores(),
+        binding.records(),
+        binding.content_hash(),
+        t.render()
+    )
+}
+
 /// Developer aid: detailed counters for one workload under the main
 /// organizations (not a paper artifact; used for calibration).
 fn inspect(ctx: &Ctx, workload: &str) -> String {
@@ -1303,7 +1426,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown experiment '{other}'; try fig1f fig4 fig7 fig10 fig11 fig12 \
-                     fig13 fig14 fig15 tab4 tab5 tab6 tab7 tab8 cip all"
+                     fig13 fig14 fig15 tab4 tab5 tab6 tab7 tab8 cip ingest all"
                 );
                 std::process::exit(2);
             }

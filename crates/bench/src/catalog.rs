@@ -85,6 +85,10 @@ pub const EXPERIMENT_CATALOG: &[ExperimentInfo] = &[
         id: "cip",
         description: "CIP accuracy vs Last-Time-Table size (Section 5.3)",
     },
+    ExperimentInfo {
+        id: "ingest",
+        description: "Trace ingestion: DICE on a packed .dtf trace, streamed vs preloaded",
+    },
 ];
 
 /// The catalog as JSON: `{"experiments": [{"id", "description"}, …]}`.

@@ -1217,6 +1217,8 @@ fn run_fabric_sweep(
         retried,
         cache_discarded: 0,
         cancelled: 0,
+        steals: 0,
+        tail_idle_ms: 0,
     };
     let body = render_runs(&result).render();
     let summary = result.summary();

@@ -1,0 +1,198 @@
+//! `dlz`: the zero-dependency LZ-style block compressor behind optional
+//! DTF1 frame compression.
+//!
+//! The token stream is byte-oriented and self-delimiting:
+//!
+//! * `0x00..=0x7F` — a literal run: `token + 1` raw bytes follow (1–128);
+//! * `0x80..=0xFF` — a back-reference: length `= (token & 0x7F) + MIN_MATCH`
+//!   (4–131), followed by the match distance as a varint (≥ 1, ≤ bytes
+//!   already produced).
+//!
+//! Compression is greedy over a 4-byte-prefix hash table (one candidate
+//! per bucket), which is plenty for delta-encoded trace payloads — their
+//! redundancy is short repeated gap/delta motifs. Decompression is fully
+//! bounds-checked and returns typed errors: it never reads past the input,
+//! never writes past the declared output size, and rejects any distance
+//! outside the produced window, so a corrupt or truncated block cannot
+//! panic or over-allocate.
+
+use dice_obs::{DiceError, DiceResult};
+
+use crate::varint::{get_varint, put_varint};
+
+/// Shortest back-reference worth a token + distance varint.
+const MIN_MATCH: usize = 4;
+/// Longest back-reference one token can express.
+const MAX_MATCH: usize = 127 + MIN_MATCH;
+/// Longest literal run one token can express.
+const MAX_LITERALS: usize = 128;
+/// Hash-table buckets (4-byte prefixes → last position).
+const HASH_BUCKETS: usize = 1 << 15;
+
+fn hash4(b: &[u8]) -> usize {
+    let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    (v.wrapping_mul(2654435761) >> 17) as usize & (HASH_BUCKETS - 1)
+}
+
+fn flush_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    for chunk in lits.chunks(MAX_LITERALS) {
+        out.push((chunk.len() - 1) as u8);
+        out.extend_from_slice(chunk);
+    }
+}
+
+/// Compresses `src` into a fresh token stream. Always succeeds; on
+/// incompressible input the result is slightly larger than `src` (one
+/// literal token per 128 bytes) — callers compare sizes and keep the raw
+/// form when compression does not pay (the DTF1 writer does exactly that).
+#[must_use]
+pub fn compress(src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len() / 2 + 16);
+    let mut table = vec![usize::MAX; HASH_BUCKETS];
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + MIN_MATCH <= src.len() {
+        let h = hash4(&src[i..i + MIN_MATCH]);
+        let cand = table[h];
+        table[h] = i;
+        if cand != usize::MAX && src[cand..cand + MIN_MATCH] == src[i..i + MIN_MATCH] {
+            let mut len = MIN_MATCH;
+            while i + len < src.len() && len < MAX_MATCH && src[cand + len] == src[i + len] {
+                len += 1;
+            }
+            flush_literals(&mut out, &src[lit_start..i]);
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            put_varint(&mut out, (i - cand) as u64);
+            i += len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &src[lit_start..]);
+    out
+}
+
+/// Decompresses a token stream into exactly `raw_len` bytes, appended to
+/// `out` (which is cleared first and reused across frames to keep the
+/// streaming reader allocation-bounded).
+///
+/// # Errors
+///
+/// Returns [`DiceError::TraceParse`] (with `path`/`frame` context) when the
+/// stream is truncated, a distance points outside the produced window, or
+/// the produced size differs from `raw_len`.
+pub fn decompress_into(
+    src: &[u8],
+    raw_len: usize,
+    out: &mut Vec<u8>,
+    path: &str,
+    frame: u64,
+) -> DiceResult<()> {
+    let bad = |reason: String| DiceError::TraceParse {
+        path: path.to_owned(),
+        line: frame,
+        reason,
+    };
+    out.clear();
+    out.reserve(raw_len);
+    let mut pos = 0usize;
+    while pos < src.len() {
+        let token = src[pos];
+        pos += 1;
+        if token < 0x80 {
+            let n = usize::from(token) + 1;
+            let lits = src
+                .get(pos..pos + n)
+                .ok_or_else(|| bad(format!("dlz literal run of {n} truncated")))?;
+            if out.len() + n > raw_len {
+                return Err(bad("dlz output exceeds declared raw size".to_owned()));
+            }
+            out.extend_from_slice(lits);
+            pos += n;
+        } else {
+            let len = usize::from(token & 0x7f) + MIN_MATCH;
+            let dist = get_varint(src, &mut pos)
+                .ok_or_else(|| bad("dlz match distance truncated".to_owned()))?;
+            let dist = usize::try_from(dist)
+                .ok()
+                .filter(|d| *d >= 1 && *d <= out.len())
+                .ok_or_else(|| bad(format!("dlz match distance {dist} out of window")))?;
+            if out.len() + len > raw_len {
+                return Err(bad("dlz output exceeds declared raw size".to_owned()));
+            }
+            // Overlapping copies are the point (run-length motifs), so
+            // copy byte-wise from the back-reference.
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != raw_len {
+        return Err(bad(format!(
+            "dlz produced {} bytes, frame declared {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &[u8]) {
+        let c = compress(src);
+        let mut out = Vec::new();
+        decompress_into(&c, src.len(), &mut out, "<test>", 0).unwrap();
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn round_trips_basic_shapes() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abcabcabcabcabcabcabcabc");
+        round_trip(&[0u8; 4096]);
+        round_trip(b"the quick brown fox jumps over the lazy dog");
+        let ramp: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        round_trip(&ramp);
+    }
+
+    #[test]
+    fn compresses_repetitive_payloads() {
+        let src: Vec<u8> = std::iter::repeat_n([3u8, 1, 4, 1, 5, 9, 2, 6], 512)
+            .flatten()
+            .collect();
+        let c = compress(&src);
+        assert!(c.len() * 4 < src.len(), "{} vs {}", c.len(), src.len());
+        let mut out = Vec::new();
+        decompress_into(&c, src.len(), &mut out, "<test>", 0).unwrap();
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn decompress_rejects_corruption() {
+        let src = b"abcabcabcabcabcabcabcabcabcabc";
+        let c = compress(src);
+        // Truncation at every offset either errors or yields a short
+        // output, which the raw_len check turns into an error.
+        for cut in 0..c.len() {
+            let mut out = Vec::new();
+            assert!(
+                decompress_into(&c[..cut], src.len(), &mut out, "<t>", 1).is_err(),
+                "cut at {cut} silently accepted"
+            );
+        }
+        // A distance pointing before the start of output is rejected.
+        let evil = [0x80u8, 0x05]; // match len 4, distance 5, no output yet
+        let mut out = Vec::new();
+        assert!(decompress_into(&evil, 4, &mut out, "<t>", 1).is_err());
+        // Output larger than declared is rejected.
+        let big = compress(&[7u8; 100]);
+        let mut out = Vec::new();
+        assert!(decompress_into(&big, 10, &mut out, "<t>", 1).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! LEB128 varints and zigzag signed mapping — the primitive integer
+//! encoding under every DTF1 frame.
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Reads an LEB128 varint at `*pos`, advancing it. Returns `None` on
+/// truncation or a value that would overflow 64 bits.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && (b & 0x7f) > 1 {
+            return None; // bits past the 64th
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Maps a signed delta to an unsigned varint-friendly value (0, -1, 1, -2
+/// → 0, 1, 2, 3).
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_edges() {
+        for v in [
+            0u64,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf[..cut], &mut pos), None, "cut at {cut}");
+        }
+        // 10 continuation bytes followed by a value bit past the 64th.
+        let over = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut pos = 0;
+        assert_eq!(get_varint(&over, &mut pos), None);
+        // 11 bytes is always invalid.
+        let long = [0x80u8; 10]
+            .iter()
+            .chain([0x01u8].iter())
+            .copied()
+            .collect::<Vec<_>>();
+        let mut pos = 0;
+        assert_eq!(get_varint(&long, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

@@ -12,6 +12,13 @@
 //! written — changes the key. That is the property the cache needs;
 //! cross-version key stability is explicitly **not** promised (the
 //! version term already invalidates old entries on every release).
+//!
+//! File-backed traces are keyed by *content*, not just by path: a
+//! [`WorkloadSet`] with a trace binding attached carries the `.dtf`
+//! file's FNV-1a content hash inside the binding, and the binding's
+//! `Debug` form lands in the fingerprint below. Regenerating a trace
+//! file in place therefore invalidates every cached cell that consumed
+//! the old bytes.
 
 use dice_sim::{SimConfig, WorkloadSet};
 

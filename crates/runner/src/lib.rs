@@ -10,10 +10,12 @@
 //!   [`WorkloadSet`]); figure generators enumerate their cells up front
 //!   instead of simulating mid-render.
 //! * [`Runner`] — schedules unique cells across `jobs` worker threads
-//!   (std scoped threads over an atomic work index; no dependencies),
-//!   isolates each simulation with `catch_unwind` so one diverging
-//!   configuration reports a failed cell instead of killing the sweep,
-//!   and dedupes cells shared between figures.
+//!   (std scoped threads over per-worker work-stealing deques: owner
+//!   pops LIFO, an idle thread steals the front half of the longest
+//!   queue; no dependencies), isolates each simulation with
+//!   `catch_unwind` so one diverging configuration reports a failed cell
+//!   instead of killing the sweep, and dedupes cells shared between
+//!   figures.
 //! * [`DiskCache`] — a persistent result cache: completed cells are
 //!   stored as lossless [`RunReport`](dice_sim::RunReport) JSON keyed by
 //!   [`cell_key`] (a stable hash over every config/workload field plus

@@ -1,0 +1,114 @@
+//! The work-stealing scheduler's contract: byte-identical sweep output
+//! for any `--jobs N`, and actual steals on a duration-skewed sweep.
+
+use dice_core::Organization;
+use dice_runner::{Cell, CellOutcome, Runner, RunnerConfig};
+use dice_sim::{SimConfig, WorkloadSet};
+use dice_workloads::spec_table;
+
+fn spec(name: &str) -> dice_workloads::WorkloadSpec {
+    spec_table().into_iter().find(|w| w.name == name).unwrap()
+}
+
+fn cfg(org: Organization, warmup: u64, measure: u64) -> SimConfig {
+    SimConfig::scaled(org, 1024).with_records(warmup, measure)
+}
+
+/// A sweep whose cells differ in organization, workload and duration.
+fn mixed_sweep() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (i, name) in ["gcc", "mcf", "lbm"].iter().enumerate() {
+        let wl = WorkloadSet::rate(spec(name), 11);
+        let measure = 1_500 + 2_000 * i as u64; // deliberately uneven
+        cells.push(Cell::new(
+            "base",
+            cfg(Organization::UncompressedAlloy, 500, measure),
+            wl.clone(),
+        ));
+        cells.push(Cell::new(
+            "dice36",
+            cfg(Organization::Dice { threshold: 36 }, 500, measure),
+            wl,
+        ));
+    }
+    cells
+}
+
+type RenderedCell = ((String, String), String);
+
+fn render_sweep(jobs: usize) -> (Vec<RenderedCell>, u64) {
+    let runner = Runner::new(RunnerConfig {
+        jobs,
+        ..RunnerConfig::default()
+    })
+    .unwrap();
+    let result = runner.run(mixed_sweep());
+    assert_eq!(result.failed(), 0, "jobs={jobs}: no cell may fail");
+    let rendered = result
+        .outcomes
+        .into_iter()
+        .map(|(key, outcome)| match outcome {
+            CellOutcome::Completed { report, .. } => (key, report.to_json().render()),
+            other => panic!("jobs={jobs}: unexpected outcome {other:?}"),
+        })
+        .collect();
+    (rendered, result.steals)
+}
+
+/// Stealing must not change results: 1, 2 and 8 workers produce
+/// byte-identical report JSON for every cell, whichever thread ran or
+/// stole which cell.
+#[test]
+fn output_is_byte_identical_for_any_job_count() {
+    let (serial, serial_steals) = render_sweep(1);
+    assert_eq!(serial.len(), 6);
+    assert_eq!(serial_steals, 0, "a single worker has nobody to steal from");
+    for jobs in [2, 8] {
+        let (parallel, _) = render_sweep(jobs);
+        assert_eq!(serial, parallel, "jobs={jobs} diverged from jobs=1");
+    }
+}
+
+/// A sweep with all the slow cells dealt to one worker forces the other
+/// worker to steal: round-robin dealing gives worker 0 the even-index
+/// cells, so making those slow and the odd ones fast leaves worker 1
+/// idle with worker 0's queue still deep.
+#[test]
+fn skewed_sweep_records_steals() {
+    let slow = 30_000u64;
+    let fast = 400u64;
+    let wl = WorkloadSet::rate(spec("mcf"), 13);
+    let mut cells = Vec::new();
+    for i in 0..8u64 {
+        let measure = if i % 2 == 0 { slow } else { fast };
+        cells.push(Cell::new(
+            format!("cell{i}"),
+            cfg(Organization::UncompressedAlloy, 200, measure),
+            wl.clone(),
+        ));
+    }
+    let runner = Runner::new(RunnerConfig {
+        jobs: 2,
+        ..RunnerConfig::default()
+    })
+    .unwrap();
+    let result = runner.run(cells);
+    assert_eq!(result.failed(), 0);
+    assert_eq!(result.outcomes.len(), 8);
+    assert!(
+        result.steals > 0,
+        "fast worker should have stolen from the slow worker's queue \
+         (steals = {}, tail_idle_ms = {})",
+        result.steals,
+        result.tail_idle_ms,
+    );
+
+    // The new counters surface in the metric registry.
+    let mut reg = dice_obs::MetricRegistry::new();
+    result.register(&mut reg);
+    assert_eq!(reg.counter_value("runner.steals"), Some(result.steals));
+    assert_eq!(
+        reg.counter_value("runner.tail_idle_ms"),
+        Some(result.tail_idle_ms)
+    );
+}

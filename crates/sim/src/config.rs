@@ -3,6 +3,7 @@
 use dice_cache::L3FetchPolicy;
 use dice_core::{DramCacheConfig, FaultPlan, Organization};
 use dice_dram::DramConfig;
+use dice_ingest::TraceBinding;
 use dice_obs::ObsConfig;
 use dice_workloads::WorkloadSpec;
 
@@ -146,12 +147,22 @@ impl SimConfig {
 /// What each core runs.
 #[derive(Debug, Clone)]
 pub struct WorkloadSet {
-    /// Per-core workload specs (rate mode repeats one spec).
+    /// Per-core workload specs (rate mode repeats one spec). With a
+    /// [`trace`](Self::trace) binding attached the specs still supply the
+    /// *value model* (compressibility profile) while addresses and timing
+    /// come from the recorded trace.
     pub specs: Vec<WorkloadSpec>,
     /// Seed for traces and data values.
     pub seed: u64,
     /// Human-readable name (workload column in the output tables).
     pub name: String,
+    /// Recorded-trace binding: when set, per-core record streams come
+    /// from the bound `.dtf` file (streamed with bounded memory, or
+    /// preloaded) instead of the synthetic generator. The binding's
+    /// `Debug` form — including the file's content hash — feeds the
+    /// runner's cell fingerprint, so cached results key on the exact
+    /// trace bytes.
+    pub trace: Option<TraceBinding>,
 }
 
 impl WorkloadSet {
@@ -163,6 +174,7 @@ impl WorkloadSet {
             specs: vec![spec; 8],
             seed,
             name,
+            trace: None,
         }
     }
 
@@ -178,7 +190,28 @@ impl WorkloadSet {
             specs,
             seed,
             name: name.to_owned(),
+            trace: None,
         }
+    }
+
+    /// A recorded-trace workload: every core streams its records from
+    /// `binding` (mapped `core % binding.cores()`), while `spec` provides
+    /// the value/compressibility model and `seed` drives it.
+    #[must_use]
+    pub fn traced(name: &str, spec: WorkloadSpec, seed: u64, binding: TraceBinding) -> Self {
+        Self {
+            specs: vec![spec],
+            seed,
+            name: name.to_owned(),
+            trace: Some(binding),
+        }
+    }
+
+    /// Attaches (or clears) a recorded-trace binding.
+    #[must_use]
+    pub fn with_trace(mut self, binding: Option<TraceBinding>) -> Self {
+        self.trace = binding;
+        self
     }
 }
 

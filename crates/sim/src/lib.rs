@@ -47,6 +47,7 @@ mod wheel;
 
 pub use config::{SimConfig, WorkloadSet};
 pub use core_model::CoreModel;
+pub use dice_ingest::TraceBinding;
 pub use report::{geomean, EnergyReport, IntegrityReport, PhaseCycles, RunDiag, RunReport};
 pub use system::{engine_counters, EngineCounters, System};
 pub use timeline::IntervalSample;

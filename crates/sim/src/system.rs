@@ -28,7 +28,7 @@ use dice_cache::{HierarchyConfig, SramHierarchy};
 use dice_core::{DramCacheController, FaultKind, FaultPlan, L4Stats, LyingSizes, Probe, SetIndex};
 use dice_dram::{AccessKind, DramDevice, DramStats, Location};
 use dice_obs::{LatencyPanel, RequestClass, SpanId, TraceBuffer, TraceCtx, TraceEvent};
-use dice_workloads::{MixDataModel, RecordSource, TraceGen, TraceRecord};
+use dice_workloads::{MixDataModel, RecordSource, TraceGen, TraceRecord, TraceSource};
 
 use crate::config::{SimConfig, WorkloadSet};
 use crate::core_model::CoreModel;
@@ -176,9 +176,22 @@ pub struct System {
 impl System {
     /// Builds a cold system running `workload` under `cfg`.
     ///
+    /// With a recorded-trace binding attached to the workload, each core
+    /// streams its records from the bound `.dtf` file (core `i` maps to
+    /// file stream `i % file_cores`) — bounded-memory frame streaming, or
+    /// materialized [`dice_workloads::ReplaySource`]s when the binding is
+    /// in preload mode. Either way the record sequences are identical, so
+    /// the two modes produce byte-identical reports. Values still come
+    /// from the spec-driven data model: DTF value payloads are reserved
+    /// for future value-exact replay.
+    ///
     /// # Panics
     ///
-    /// Panics if `workload.specs` is neither 1 nor `cfg.cores` entries.
+    /// Panics if `workload.specs` is neither 1 nor `cfg.cores` entries,
+    /// or (with the typed error's message) when a bound trace cannot be
+    /// opened — the binding validated the file, so this means it changed
+    /// or vanished since; the runner's per-cell `catch_unwind` contains
+    /// the blast radius to one failed cell.
     #[must_use]
     pub fn new(cfg: SimConfig, workload: &WorkloadSet) -> Self {
         let specs: Vec<_> = if workload.specs.len() == 1 {
@@ -191,14 +204,28 @@ impl System {
             );
             workload.specs.clone()
         };
-        let cores = specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                Box::new(TraceGen::with_scale(s, i as u32, workload.seed, cfg.scale))
-                    as Box<dyn RecordSource>
-            })
-            .collect();
+        let cores: Vec<Box<dyn RecordSource>> = match &workload.trace {
+            Some(binding) => {
+                let src = dice_ingest::DtfTraceSource::new(binding.clone());
+                (0..cfg.cores)
+                    .map(|i| match TraceSource::open_core(&src, i as u32) {
+                        Ok(s) => s as Box<dyn RecordSource>,
+                        Err(e) => panic!(
+                            "workload {:?}: opening trace stream for core {i}: {e}",
+                            workload.name
+                        ),
+                    })
+                    .collect()
+            }
+            None => specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    Box::new(TraceGen::with_scale(s, i as u32, workload.seed, cfg.scale))
+                        as Box<dyn RecordSource>
+                })
+                .collect(),
+        };
         let data = MixDataModel::new(
             specs.iter().map(|s| s.values).collect(),
             workload.seed ^ 0xda7a,

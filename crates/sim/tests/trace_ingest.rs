@@ -1,0 +1,117 @@
+//! Streamed-trace equivalence: a sweep cell driven by a bounded-memory
+//! `.dtf` stream must produce a report byte-identical to the same records
+//! run from memory — both via the binding's preload mode and via explicit
+//! [`ReplaySource`]s through [`System::with_sources`].
+
+use dice_core::Organization;
+use dice_ingest::{DtfWriter, TraceBinding};
+use dice_sim::{SimConfig, System, WorkloadSet};
+use dice_workloads::{
+    spec_table, MixDataModel, RecordSource, ReplaySource, TraceGen, TraceRecord, WorkloadSpec,
+};
+
+fn spec(name: &str) -> WorkloadSpec {
+    spec_table()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("spec exists")
+}
+
+fn small_cfg(org: Organization) -> SimConfig {
+    SimConfig::scaled(org, 512).with_records(400, 1200)
+}
+
+/// Packs a synthetic multi-core trace and returns the per-core records.
+fn pack_trace(path: &std::path::Path, cores: usize, per_core: u64) -> Vec<Vec<TraceRecord>> {
+    let s = spec("mcf");
+    let mut w = DtfWriter::create(path, cores as u32, true)
+        .unwrap()
+        // Small frames force many refills and other-core skips.
+        .with_frame_records(257);
+    let mut all = Vec::new();
+    for core in 0..cores {
+        let mut gen = TraceGen::with_scale(&s, core as u32, 0xd1ce, 512);
+        let recs: Vec<TraceRecord> = (0..per_core).map(|_| gen.next_record()).collect();
+        for r in &recs {
+            w.push_record(core as u32, *r).unwrap();
+        }
+        all.push(recs);
+    }
+    w.finish().unwrap();
+    all
+}
+
+#[test]
+fn streamed_trace_report_is_byte_identical_to_in_memory() {
+    let dir = std::env::temp_dir().join("dice-sim-trace-ingest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("equiv-{}.dtf", std::process::id()));
+    let per_core = pack_trace(&path, 8, 2000);
+
+    let binding = TraceBinding::open(&path).unwrap();
+    let s = spec("mcf");
+
+    for org in [
+        Organization::UncompressedAlloy,
+        Organization::Dice { threshold: 36 },
+    ] {
+        let cfg = small_cfg(org);
+
+        // 1. Streamed: bounded-memory frame streaming straight off disk.
+        let streamed = WorkloadSet::traced("mcf-trace", s.clone(), 7, binding.clone());
+        let streamed_report = System::new(cfg.clone(), &streamed).run().to_json().render();
+
+        // 2. Preload mode: same binding, records materialized up front.
+        let preload = WorkloadSet::traced(
+            "mcf-trace",
+            s.clone(),
+            7,
+            binding.clone().with_preload(true),
+        );
+        let preload_report = System::new(cfg.clone(), &preload).run().to_json().render();
+
+        // 3. Fully manual in-memory replay through with_sources, using
+        //    the same data model System::new derives.
+        let sources: Vec<Box<dyn RecordSource>> = per_core
+            .iter()
+            .map(|recs| Box::new(ReplaySource::new(recs.clone())) as Box<dyn RecordSource>)
+            .collect();
+        let data = MixDataModel::new(vec![s.values; cfg.cores], 7 ^ 0xda7a);
+        let manual_report = System::with_sources(cfg, "mcf-trace", sources, data)
+            .run()
+            .to_json()
+            .render();
+
+        assert_eq!(
+            streamed_report, preload_report,
+            "{org:?}: streamed vs preload"
+        );
+        assert_eq!(
+            streamed_report, manual_report,
+            "{org:?}: streamed vs manual replay"
+        );
+    }
+}
+
+/// A trace recorded on fewer streams than the simulated core count maps
+/// `core % file_cores` — still deterministic and identical between
+/// streamed and preloaded modes.
+#[test]
+fn narrow_trace_fans_out_over_more_cores() {
+    let dir = std::env::temp_dir().join("dice-sim-trace-ingest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("narrow-{}.dtf", std::process::id()));
+    pack_trace(&path, 2, 1500);
+
+    let binding = TraceBinding::open(&path).unwrap();
+    assert_eq!(binding.cores(), 2);
+    let s = spec("lbm");
+    let cfg = small_cfg(Organization::Dice { threshold: 36 });
+
+    let streamed = WorkloadSet::traced("narrow", s.clone(), 9, binding.clone());
+    let preload = WorkloadSet::traced("narrow", s, 9, binding.with_preload(true));
+    assert_eq!(
+        System::new(cfg.clone(), &streamed).run().to_json().render(),
+        System::new(cfg, &preload).run().to_json().render(),
+    );
+}

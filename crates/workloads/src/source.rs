@@ -23,6 +23,39 @@ pub trait RecordSource {
     fn footprint_lines(&self) -> u64;
 }
 
+/// A multi-stream recorded trace that can hand out an independent,
+/// bounded-memory [`RecordSource`] per simulated core.
+///
+/// This is the seam between the simulator and any trace container: the
+/// sim asks for one stream per core and never sees the storage format.
+/// `dice-ingest`'s `DtfTraceSource` implements it over `.dtf` files with
+/// one frame in flight per stream; an in-memory implementation can wrap
+/// [`ReplaySource`]s. Implementations map a core id outside `cores()`
+/// onto an existing stream (conventionally `core % cores()`), so a trace
+/// recorded on fewer cores than the simulated system still drives every
+/// core deterministically.
+pub trait TraceSource {
+    /// Independent streams the trace was recorded with.
+    fn cores(&self) -> u32;
+
+    /// Opens a fresh stream for simulated core `core`. Streams loop at
+    /// end of trace (the [`ReplaySource`] convention: simulation windows
+    /// often exceed trace length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiceError::Config`] when the mapped stream holds no
+    /// records, or any error of the backing store.
+    fn open_core(&self, core: u32) -> DiceResult<Box<dyn RecordSource + Send>>;
+
+    /// Hash of the backing bytes; result caches key on it so cached cells
+    /// can never outlive a changed trace file.
+    fn content_hash(&self) -> u64;
+
+    /// Total records across all streams.
+    fn records(&self) -> u64;
+}
+
 impl RecordSource for TraceGen {
     fn next_record(&mut self) -> TraceRecord {
         TraceGen::next_record(self)
